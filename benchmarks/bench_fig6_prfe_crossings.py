@@ -1,0 +1,22 @@
+"""Figure 6 / Example 7 — PRFe value curves and the single-crossing property.
+
+Dataset-free illustration of Theorem 4: on the four-tuple Example 7
+relation each pair of tuples swaps relative order at most once as alpha
+sweeps from 0 to 1, and the curves end at the existence probabilities at
+alpha = 1.
+"""
+
+from repro.experiments import fig6
+
+from _bench_utils import run_once
+
+
+def test_fig6_prfe_value_curves(benchmark, save_result):
+    result = run_once(benchmark, lambda: fig6.run(num_points=101))
+    save_result("fig6_prfe_crossings", result.to_text())
+    assert result.metadata["max_order_changes"] <= 1
+    # At alpha = 1 the PRFe values equal the existence probabilities.
+    final_row = result.rows[-1]
+    values = dict(zip(result.headers[1:], final_row[1:]))
+    assert abs(values["t1"] - 0.4) < 1e-9
+    assert abs(values["t4"] - 0.9) < 1e-9

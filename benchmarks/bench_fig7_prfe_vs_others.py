@@ -1,0 +1,45 @@
+"""Figure 7 — how well PRFe(alpha) approximates the other ranking functions.
+
+Paper setting: IIP-100,000 and Syn-IND-1000, k = 100, alpha = 1 - 0.9^i.
+Reproduction setting: IIP-like-20,000 and Syn-IND-1000, k = 100.  The
+claims checked: every prior function has an alpha valley where PRFe gets
+close to it, PRFe is close to the score ranking for small alpha, and the
+curves move towards the probability ranking as alpha approaches 1.
+"""
+
+from repro.datasets import generate_iip_like, syn_ind
+from repro.experiments import fig7
+
+from _bench_utils import run_once
+
+
+def _curve(result, label):
+    column = result.headers.index(label)
+    return [row[column] for row in result.rows]
+
+
+def test_fig7_iip_like(benchmark, save_result):
+    relation = generate_iip_like(20_000, rng=7)
+    result = run_once(
+        benchmark, lambda: fig7.run(relation, k=100, num_points=100, dataset_name="IIP-like-20000")
+    )
+    save_result("fig7_iip_like_20000", result.to_text())
+    minima = result.metadata["minima"]
+    assert minima["PT(h)"][1] < 0.15
+    assert minima["U-Rank"][1] < 0.2
+    # Small alpha: PRFe is close to ranking by score alone.
+    assert _curve(result, "Score")[0] < 0.1
+    # The probability curve improves monotonically-ish towards alpha -> 1.
+    prob = _curve(result, "Prob")
+    assert prob[-1] < prob[0]
+
+
+def test_fig7_syn_ind_1000(benchmark, save_result):
+    relation = syn_ind(1000, rng=9)
+    result = run_once(
+        benchmark, lambda: fig7.run(relation, k=100, num_points=90, dataset_name="Syn-IND-1000")
+    )
+    save_result("fig7_syn_ind_1000", result.to_text())
+    minima = result.metadata["minima"]
+    assert minima["PT(h)"][1] < 0.2
+    assert minima["E-Score"][1] < 0.35

@@ -1,0 +1,47 @@
+"""Figure 8 — ranking with a linear combination of PRFe functions.
+
+Paper setting: approximating PT(1000) on IIP-100,000 / IIP-1,000,000 with
+k = 1000 / 10000.  Reproduction setting: PT(300) on IIP-like datasets of
+10,000-20,000 tuples with k = 300 (proportionally scaled).  Claims
+checked: the vanilla DFT approximation ranks poorly while the full
+DFT+DF+IS+ES pipeline reaches a small Kendall distance with a few dozen
+exponentials, and smooth/linear weights are easier than the step weight.
+"""
+
+from repro.experiments import fig8
+
+from _bench_utils import run_once
+
+
+def test_fig8_panel_i_stage_quality(benchmark, save_result):
+    term_counts = (10, 20, 50, 100)
+    result = run_once(
+        benchmark,
+        lambda: fig8.run_panel_i(
+            n=20_000, support=300, k=300, term_counts=term_counts, seed=11
+        ),
+    )
+    save_result("fig8_panel_i", result.to_text())
+    full = [row[result.headers.index("DFT+DF+IS+ES")] for row in result.rows]
+    vanilla = [row[result.headers.index("DFT")] for row in result.rows]
+    # Few dozen terms suffice for the full pipeline; pure DFT stays far away.
+    assert min(full) < 0.12
+    assert min(vanilla) > min(full)
+
+
+def test_fig8_panel_ii_term_quality(benchmark, save_result):
+    term_counts = (10, 20, 50, 100)
+    result = run_once(
+        benchmark,
+        lambda: fig8.run_panel_ii(
+            sizes=(10_000, 20_000), support=300, k=300, term_counts=term_counts, seed=13
+        ),
+    )
+    save_result("fig8_panel_ii", result.to_text())
+    last_row = result.rows[-1]
+    by_label = dict(zip(result.headers[1:], last_row[1:]))
+    # At the largest L every family/dataset combination is well approximated.
+    assert max(by_label.values()) < 0.2
+    # The smooth weight needs fewer terms than the step weight.
+    first_row = dict(zip(result.headers[1:], result.rows[0][1:]))
+    assert first_row["smooth (n=10000)"] <= first_row["step (n=10000)"] + 1e-9

@@ -1,0 +1,44 @@
+"""Figure 9 — learning ranking functions from user preferences.
+
+Paper setting: IIP-100,000, k = 100, samples up to 100,000 (panel i) and
+up to 200 (panel ii, SVM-light).  Reproduction setting: IIP-like-10,000
+with samples up to 2,000 for the PRFe learner and IIP-like-5,000 with
+samples up to 200 for the PRFomega learner.  Claims checked: a planted
+PRFe(0.95) ranking is learned almost perfectly, PT(h)/U-Rank are learned
+reasonably from small samples, and E-Rank is the hardest target for a
+single PRFe — mirroring the paper's discussion.
+"""
+
+from repro.experiments import fig9
+
+from _bench_utils import run_once
+
+
+def test_fig9_panel_i_learn_prfe(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: fig9.run_panel_i(
+            n=10_000, k=100, sample_sizes=(200, 500, 1000, 2000), seed=17
+        ),
+    )
+    save_result("fig9_panel_i", result.to_text())
+    final = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    assert final["PRFe(0.95)"] < 0.05
+    assert final["PT(h)"] < 0.35
+    # E-Rank is the hardest function to imitate with a single PRFe.
+    assert final["E-Rank"] >= final["PRFe(0.95)"]
+
+
+def test_fig9_panel_ii_learn_prfomega(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: fig9.run_panel_ii(
+            n=5_000, k=100, sample_sizes=(25, 50, 100, 200), seed=23
+        ),
+    )
+    save_result("fig9_panel_ii", result.to_text())
+    final = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    assert all(0.0 <= value <= 1.0 for value in final.values())
+    # PT(h) and PRFe targets are learnable by a weighted PRFomega function.
+    assert final["PT(h)"] < 0.5
+    assert final["PRFe(0.95)"] < 0.5

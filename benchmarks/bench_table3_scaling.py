@@ -1,0 +1,24 @@
+"""Table 3 — empirical scaling exponents of the ranking algorithms.
+
+The paper's Table 3 is an asymptotic summary; this benchmark fits
+empirical log-log slopes on a geometric ladder of dataset sizes to check
+that the implementations scale as designed: PRFe, PRFomega(h) with fixed
+h and E-Rank are near-linear, the general-weight PRF path is
+super-linear (quadratic).
+"""
+
+from repro.experiments import table3
+
+from _bench_utils import run_once
+
+
+def test_table3_empirical_scaling(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: table3.run(sizes=(2_000, 4_000, 8_000, 16_000), k=100, seed=53)
+    )
+    save_result("table3_scaling", result.to_text())
+    exponents = {row[0]: float(row[-1]) for row in result.rows}
+    assert exponents["PRFe (O(n log n))"] < 1.6
+    assert exponents["E-Rank (O(n log n))"] < 1.6
+    assert exponents["PRFomega(h=100) (O(n h))"] < 1.7
+    assert exponents["general PRF (O(n^2))"] > 1.5

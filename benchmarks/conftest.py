@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 3 for the experiment index).  Besides the
+pytest-benchmark timing, each benchmark writes the regenerated
+rows/series to ``benchmarks/results/<name>.txt`` so the numbers can be
+inspected after a run and are quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one experiment artefact to the results directory (and echo it)."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+

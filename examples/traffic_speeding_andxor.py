@@ -1,0 +1,95 @@
+"""Traffic-monitoring scenario: ranking correlated radar readings.
+
+This expands the paper's Figure 1 example into a realistic workload: a
+set of radar stations reports speeding cars; readings of the *same car*
+at nearby timestamps are mutually exclusive (at most one can be the true
+reading), while readings of different cars coexist.  The resulting
+dataset is an x-tuple / and/xor tree, and the script shows how much the
+correlations matter for the returned top-k (the Figure 10 story) and how
+the attribute-uncertainty reduction handles uncertain speeds.
+
+Run with::
+
+    python examples/traffic_speeding_andxor.py [num_cars]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import PRFOmega, PRFe, Tuple, rank
+from repro.algorithms.attribute_uncertainty import ScoreDistributionTuple, rank_uncertain_scores
+from repro.andxor.tree import AndXorTree
+from repro.baselines import pt_topk, u_rank_topk
+from repro.core.weights import StepWeight
+from repro.metrics import kendall_topk_distance
+
+
+def build_radar_dataset(num_cars: int, rng: np.random.Generator) -> AndXorTree:
+    """One xor group of 1-4 alternative readings per car."""
+    groups = []
+    for car in range(num_cars):
+        num_readings = int(rng.integers(1, 5))
+        true_speed = rng.uniform(60, 160)
+        raw_confidences = rng.uniform(0.2, 1.0, size=num_readings)
+        confidences = raw_confidences / raw_confidences.sum() * rng.uniform(0.6, 1.0)
+        readings = [
+            Tuple(
+                tid=f"car{car:04d}-r{i}",
+                score=float(true_speed + rng.normal(0, 8)),
+                probability=float(confidences[i]),
+                attributes={"car": f"car{car:04d}", "station": f"L{int(rng.integers(1, 20))}"},
+            )
+            for i in range(num_readings)
+        ]
+        groups.append(readings)
+    return AndXorTree.from_x_tuples(groups, name=f"radar-{num_cars}")
+
+
+def correlation_gap(tree: AndXorTree, k: int) -> None:
+    independent = tree.to_relation()
+    print(f"Top-{k} agreement between correlation-aware and independence-assuming ranking:")
+    for name, with_tree, with_flat in (
+        ("PRFe(0.9)", rank(tree, PRFe(0.9)).top_k(k), rank(independent, PRFe(0.9)).top_k(k)),
+        ("PT(k)", pt_topk(tree, k), pt_topk(independent, k)),
+        ("U-Rank", u_rank_topk(tree, k), u_rank_topk(independent, k)),
+    ):
+        distance = kendall_topk_distance(with_tree, with_flat, k=k)
+        print(f"  {name:<10}: normalized Kendall distance {distance:.3f}")
+
+
+def uncertain_speed_demo(rng: np.random.Generator) -> None:
+    print("\nUncertain speeds (attribute uncertainty, Section 4.4):")
+    cars = []
+    for car in range(6):
+        base = rng.uniform(80, 150)
+        outcomes = [(float(base + delta), float(p)) for delta, p in ((0, 0.5), (-10, 0.3), (15, 0.1))]
+        cars.append(ScoreDistributionTuple(f"car{car}", outcomes))
+    result = rank_uncertain_scores(cars, PRFe(0.9))
+    for item in result:
+        print(
+            f"  {item.tid}: E[speed]={item.item.score:6.1f}  "
+            f"Pr(valid)={item.item.probability:.2f}  Upsilon={item.value:.4f}"
+        )
+
+
+def main() -> None:
+    num_cars = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    rng = np.random.default_rng(7)
+    tree = build_radar_dataset(num_cars, rng)
+    print(
+        f"Radar dataset: {len(tree)} readings of {num_cars} cars "
+        f"(and/xor tree of height {tree.height()})\n"
+    )
+    k = 50
+    print(f"PRFe(0.95) top-10 readings: {rank(tree, PRFe(0.95)).top_k(10)}\n")
+    print(f"PT(10) top-10 readings    : {rank(tree, PRFOmega(StepWeight(10))).top_k(10)}\n")
+    correlation_gap(tree, k)
+    uncertain_speed_demo(rng)
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

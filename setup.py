@@ -1,0 +1,9 @@
+"""Setuptools shim so ``pip install -e .`` works without the wheel package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+enable the legacy editable-install path on minimal/offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of "A Unified Approach to Ranking in Probabilistic Databases".
+
+The package implements the parameterized ranking functions (PRF, PRFomega,
+PRFe) of Li, Saha and Deshpande (VLDB 2009), the generating-function
+algorithms that evaluate them over independent, and/xor-correlated and
+Markov-network-correlated probabilistic relations, the DFT-based
+approximation of arbitrary weight functions by linear combinations of
+PRFe functions, procedures for learning ranking functions from user
+preferences, all previously proposed ranking semantics as baselines, and
+the datasets and experiment harness that regenerate the paper's
+evaluation tables and figures.
+
+Typical usage::
+
+    from repro import ProbabilisticRelation, PRFe, rank
+
+    relation = ProbabilisticRelation.from_pairs(
+        [(100, 0.4), (80, 0.6), (50, 0.5), (30, 0.9)]
+    )
+    result = rank(relation, PRFe(alpha=0.9))
+    print(result.top_k(2))
+"""
+
+from .core import (
+    PRF,
+    LinearCombinationPRFe,
+    PRFe,
+    PRFLinear,
+    PRFOmega,
+    PossibleWorld,
+    ProbabilisticRelation,
+    RankedItem,
+    RankingResult,
+    Tuple,
+    positional_probability,
+    rank,
+    rank_distribution,
+    top_k,
+)
+from .andxor import AndNode, AndXorTree, LeafNode, XorNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PRF",
+    "PRFOmega",
+    "PRFe",
+    "PRFLinear",
+    "LinearCombinationPRFe",
+    "PossibleWorld",
+    "ProbabilisticRelation",
+    "Tuple",
+    "RankedItem",
+    "RankingResult",
+    "rank",
+    "top_k",
+    "rank_distribution",
+    "positional_probability",
+    "AndXorTree",
+    "AndNode",
+    "XorNode",
+    "LeafNode",
+]

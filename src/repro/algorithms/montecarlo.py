@@ -1,0 +1,114 @@
+"""Monte-Carlo estimation of rank distributions and PRF values.
+
+The generating-function algorithms are exact, but two situations call for
+sampling over possible worlds:
+
+* ranking functions outside the PRF family on correlated data (most
+  prominently U-Top, whose exact evaluation on arbitrary correlations is
+  intractable), and
+* cheap cross-validation of the exact algorithms (the property-based tests
+  compare both).
+
+The estimators accept any iterable of
+:class:`~repro.core.possible_worlds.PossibleWorld` objects whose
+probabilities sum to one, so they work uniformly for independent
+relations (:func:`repro.core.possible_worlds.sample_worlds`), and/xor
+trees (:meth:`repro.andxor.tree.AndXorTree.sample_worlds`) and junction
+trees.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..core.possible_worlds import PossibleWorld
+from ..core.prf import RankingFunction
+from ..core.result import RankingResult
+from ..core.tuples import Tuple
+
+__all__ = [
+    "estimate_rank_distributions",
+    "estimate_prf_values",
+    "rank_by_monte_carlo",
+    "estimate_topk_set_probabilities",
+]
+
+
+def estimate_rank_distributions(
+    worlds: Iterable[PossibleWorld],
+    tids: Sequence[Any],
+    max_rank: int,
+) -> dict[Any, np.ndarray]:
+    """Estimate ``Pr(r(t) = j)`` for ``j <= max_rank`` from sampled worlds.
+
+    ``result[tid][j]`` is the estimated probability of rank ``j``
+    (1-based; index 0 unused).  Worlds must carry their sampling weight in
+    ``PossibleWorld.probability`` (the samplers in this package set it to
+    ``1 / num_samples``).
+    """
+    wanted = set(tids)
+    distributions = {tid: np.zeros(max_rank + 1, dtype=float) for tid in tids}
+    for world in worlds:
+        for position, t in enumerate(world.tuples, start=1):
+            if position > max_rank:
+                break
+            if t.tid in wanted:
+                distributions[t.tid][position] += world.probability
+    return distributions
+
+
+def estimate_prf_values(
+    worlds: Iterable[PossibleWorld],
+    tuples: Sequence[Tuple],
+    rf: RankingFunction,
+) -> dict[Any, complex]:
+    """Estimate PRF values ``Upsilon(t)`` for every tuple from sampled worlds."""
+    values: dict[Any, complex] = defaultdict(complex)
+    weight = rf.weight
+    factors = {t.tid: rf.factor(t) for t in tuples}
+    wanted = set(factors)
+    for world in worlds:
+        for position, t in enumerate(world.tuples, start=1):
+            if t.tid in wanted:
+                values[t.tid] += factors[t.tid] * weight(position) * world.probability
+    return {t.tid: values.get(t.tid, 0.0) for t in tuples}
+
+
+def rank_by_monte_carlo(
+    worlds: Iterable[PossibleWorld],
+    tuples: Sequence[Tuple],
+    rf: RankingFunction,
+    name: str = "",
+) -> RankingResult:
+    """Monte-Carlo ranking of ``tuples`` by the PRF function ``rf``."""
+    values = estimate_prf_values(worlds, tuples, rf)
+    ordered = sorted(tuples, key=lambda t: -t.score)
+    return RankingResult.from_values(ordered, [values[t.tid] for t in ordered], name=name)
+
+
+def estimate_topk_set_probabilities(
+    worlds: Iterable[PossibleWorld], k: int
+) -> dict[tuple[Any, ...], float]:
+    """Estimate ``Pr(top-k answer = S)`` for every observed ordered top-k prefix.
+
+    Used by the Monte-Carlo fallback of U-Top on correlated datasets: the
+    returned dictionary maps the ordered tuple-id prefix (length at most
+    ``k``) to its total weight.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    totals: dict[tuple[Any, ...], float] = defaultdict(float)
+    for world in worlds:
+        totals[world.top_k(k)] += world.probability
+    return dict(totals)
+
+
+def standard_error(probability: float, num_samples: int) -> float:
+    """Standard error of a Bernoulli-probability Monte-Carlo estimate."""
+    if num_samples <= 0:
+        return math.inf
+    return math.sqrt(max(probability * (1.0 - probability), 0.0) / num_samples)

@@ -1,0 +1,224 @@
+"""Generating functions over probabilistic and/xor trees (Theorem 1).
+
+Given an and/xor tree and an assignment of variables to its leaves, the
+tree's generating function is built bottom-up:
+
+* a leaf contributes its assigned variable (or the constant 1),
+* an xor node contributes ``(1 - sum_i p_i) + sum_i p_i F_i``,
+* an and node contributes ``prod_i F_i``.
+
+Theorem 1 states that the coefficient of a monomial records the total
+probability of the worlds with exactly that many leaves of each variable.
+The ranking algorithms only ever need two variables — ``x`` for the
+tuples that outscore the tuple of interest and ``y`` for the tuple
+itself — and the ``y`` degree never exceeds one, so polynomials are
+represented as a pair ``(A, B)`` of univariate coefficient arrays with
+``F(x, y) = A(x) + B(x) * y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..algorithms.polynomials import multiply, trim
+from ..core.tuples import Tuple
+from .tree import AndNode, AndXorTree, LeafNode, Node, XorNode
+
+__all__ = [
+    "BivariatePolynomial",
+    "generating_function",
+    "world_size_distribution",
+    "subset_size_distribution",
+    "positional_distribution",
+    "positional_probabilities_tree",
+]
+
+#: Leaf labels accepted by :func:`generating_function`.
+LABEL_X = "x"
+LABEL_Y = "y"
+LABEL_ONE = 1
+
+
+@dataclass(frozen=True)
+class BivariatePolynomial:
+    """``F(x, y) = A(x) + B(x) * y`` with coefficient arrays ``a`` and ``b``."""
+
+    a: np.ndarray
+    b: np.ndarray
+
+    def evaluate(self, x: complex, y: complex) -> complex:
+        """Evaluate the polynomial at a point."""
+        powers_a = x ** np.arange(self.a.size)
+        powers_b = x ** np.arange(self.b.size)
+        return complex(np.dot(self.a, powers_a) + y * np.dot(self.b, powers_b))
+
+    def x_coefficients_of_y(self) -> np.ndarray:
+        """Coefficients ``c_j`` such that the ``x^j y`` coefficient is ``c_j``."""
+        return self.b.copy()
+
+
+def _truncate(poly: np.ndarray, max_degree: int | None) -> np.ndarray:
+    if max_degree is not None and poly.size > max_degree + 1:
+        return poly[: max_degree + 1]
+    return poly
+
+
+def _combine_xor(
+    node: XorNode,
+    child_polys: Iterable[BivariatePolynomial],
+    max_degree: int | None,
+) -> BivariatePolynomial:
+    children = list(zip(node.children, child_polys))
+    size_a = max([1] + [poly.a.size for _, poly in children])
+    size_b = max([1] + [poly.b.size for _, poly in children])
+    a = np.zeros(size_a, dtype=float)
+    b = np.zeros(size_b, dtype=float)
+    a[0] = node.none_probability
+    for (probability, _), poly in children:
+        a[: poly.a.size] += probability * poly.a
+        b[: poly.b.size] += probability * poly.b
+    return BivariatePolynomial(_truncate(trim(a), max_degree), _truncate(trim(b), max_degree))
+
+
+def _combine_and(
+    child_polys: Iterable[BivariatePolynomial],
+    max_degree: int | None,
+) -> BivariatePolynomial:
+    a = np.ones(1, dtype=float)
+    b = np.zeros(1, dtype=float)
+    for poly in child_polys:
+        # (a + b y)(pa + pb y) = a*pa + (a*pb + b*pa) y  [y^2 dropped: at most
+        # one leaf carries the y label in every use of this module].
+        new_a = multiply(a, poly.a)
+        new_b = multiply(a, poly.b)
+        cross = multiply(b, poly.a)
+        if cross.size > new_b.size:
+            cross[: new_b.size] += new_b
+            new_b = cross
+        else:
+            new_b = new_b.copy()
+            new_b[: cross.size] += cross
+        a = _truncate(trim(new_a), max_degree)
+        b = _truncate(trim(new_b), max_degree)
+    return BivariatePolynomial(a, b)
+
+
+def generating_function(
+    tree_or_node: AndXorTree | Node,
+    labels: Mapping[Any, object],
+    max_degree: int | None = None,
+) -> BivariatePolynomial:
+    """Build the generating function of a tree under a leaf-label assignment.
+
+    Parameters
+    ----------
+    tree_or_node:
+        The tree (or a subtree root) to process.
+    labels:
+        Mapping from leaf tuple identifier to ``"x"``, ``"y"`` or the
+        constant ``1``.  Missing identifiers default to ``1``.  At most one
+        leaf may be labelled ``"y"`` (the representation drops ``y^2``
+        terms).
+    max_degree:
+        Optional truncation of the ``x`` degree; coefficients beyond it are
+        never needed when only ranks up to ``max_degree + 1`` matter.
+    """
+    node = tree_or_node.root if isinstance(tree_or_node, AndXorTree) else tree_or_node
+    y_count = sum(1 for value in labels.values() if value == LABEL_Y)
+    if y_count > 1:
+        raise ValueError("at most one leaf may carry the 'y' label")
+    return _build(node, labels, max_degree)
+
+
+def _build(
+    node: Node, labels: Mapping[Any, object], max_degree: int | None
+) -> BivariatePolynomial:
+    if isinstance(node, LeafNode):
+        label = labels.get(node.tid, LABEL_ONE)
+        if label == LABEL_X:
+            return BivariatePolynomial(np.array([0.0, 1.0]), np.array([0.0]))
+        if label == LABEL_Y:
+            return BivariatePolynomial(np.array([0.0]), np.array([1.0]))
+        return BivariatePolynomial(np.array([1.0]), np.array([0.0]))
+    child_polys = [_build(child, labels, max_degree) for child in node.children_nodes()]
+    if isinstance(node, XorNode):
+        return _combine_xor(node, child_polys, max_degree)
+    assert isinstance(node, AndNode)
+    return _combine_and(child_polys, max_degree)
+
+
+def world_size_distribution(tree: AndXorTree) -> np.ndarray:
+    """``Pr(|pw| = i)`` for ``i = 0 .. n`` (Example 2 of the paper)."""
+    labels = {t.tid: LABEL_X for t in tree.tuples()}
+    poly = generating_function(tree, labels)
+    sizes = np.zeros(len(tree) + 1, dtype=float)
+    sizes[: poly.a.size] = poly.a
+    return sizes
+
+
+def subset_size_distribution(tree: AndXorTree, tids: Iterable[Any]) -> np.ndarray:
+    """``Pr(|pw intersect S| = i)`` for a subset ``S`` of leaves (Example 3)."""
+    subset = set(tids)
+    labels = {tid: LABEL_X for tid in subset}
+    poly = generating_function(tree, labels)
+    sizes = np.zeros(len(subset) + 1, dtype=float)
+    sizes[: min(poly.a.size, sizes.size)] = poly.a[: sizes.size]
+    return sizes
+
+
+def positional_distribution(
+    tree: AndXorTree,
+    tid: Any,
+    max_rank: int | None = None,
+) -> np.ndarray:
+    """Rank distribution ``Pr(r(t) = j)`` of one leaf tuple.
+
+    The leaf of interest is labelled ``y``, leaves with strictly higher
+    score (under the package-wide tie-breaking) are labelled ``x``, all
+    other leaves are constants; the coefficient of ``x^{j-1} y`` is the
+    probability of rank ``j`` (Section 4.2).
+
+    Returns an array of length ``limit + 1`` with index 0 unused.
+    """
+    ordered = tree.sorted_tuples()
+    try:
+        position = next(i for i, t in enumerate(ordered) if t.tid == tid)
+    except StopIteration:
+        raise KeyError(f"no leaf with identifier {tid!r}") from None
+    labels: dict[Any, object] = {t.tid: LABEL_X for t in ordered[:position]}
+    labels[tid] = LABEL_Y
+    limit = len(ordered) if max_rank is None else min(int(max_rank), len(ordered))
+    poly = generating_function(tree, labels, max_degree=max(limit - 1, 0))
+    distribution = np.zeros(limit + 1, dtype=float)
+    coefficients = poly.x_coefficients_of_y()
+    upto = min(coefficients.size, limit)
+    distribution[1 : upto + 1] = coefficients[:upto]
+    return distribution
+
+
+def positional_probabilities_tree(
+    tree: AndXorTree,
+    max_rank: int | None = None,
+) -> tuple[list[Tuple], np.ndarray]:
+    """Positional probabilities of every leaf of an and/xor tree.
+
+    Returns ``(sorted_tuples, matrix)`` with
+    ``matrix[i, j - 1] = Pr(r(sorted_tuples[i]) = j)``, mirroring
+    :func:`repro.algorithms.independent.positional_probabilities`.
+    """
+    ordered = tree.sorted_tuples()
+    n = len(ordered)
+    limit = n if max_rank is None else min(int(max_rank), n)
+    matrix = np.zeros((n, limit), dtype=float)
+    labels: dict[Any, object] = {}
+    for i, t in enumerate(ordered):
+        labels[t.tid] = LABEL_Y
+        poly = generating_function(tree, labels, max_degree=max(limit - 1, 0))
+        coefficients = poly.x_coefficients_of_y()
+        upto = min(coefficients.size, limit)
+        matrix[i, :upto] = coefficients[:upto]
+        labels[t.tid] = LABEL_X
+    return ordered, matrix

@@ -1,0 +1,15 @@
+"""Approximation of arbitrary weight functions by linear combinations of PRFe."""
+
+from .dft import (
+    STAGE_SETS,
+    ExponentialApproximation,
+    approximate_weight_function,
+    dft_approximation,
+)
+
+__all__ = [
+    "STAGE_SETS",
+    "ExponentialApproximation",
+    "approximate_weight_function",
+    "dft_approximation",
+]

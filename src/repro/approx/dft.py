@@ -1,0 +1,205 @@
+"""DFT-based approximation of weight functions by complex exponentials.
+
+Section 5.1 of the paper shows how to approximate an arbitrary
+PRFomega weight function ``omega(i)`` (monotonically decaying, zero
+beyond a support ``N``) by a short linear combination of exponentials
+
+    omega(i)  ~=  sum_{l=1}^{L} u_l * alpha_l ** i
+
+so that ranking by the PRFomega function reduces to ``L`` independent
+PRFe evaluations, each linear time.  The base Discrete Fourier Transform
+approximation is adapted in three steps:
+
+* **DF** — a damping factor ``eta`` multiplied into every base kills the
+  periodicity of the DFT beyond the sampled domain;
+* **IS** — initial scaling: the DFT is taken of ``eta**(-i) * omega(i)``
+  so that the damping does not bias the approximation on the support;
+* **ES** — extend-and-shift: the weight is extrapolated to the left of
+  zero and shifted right before the DFT so the discontinuity at ``i = 0``
+  does not pollute the low ranks, then shifted back.
+
+:class:`ExponentialApproximation` holds the resulting ``(u_l, alpha_l)``
+pairs, evaluates the approximation pointwise (for plots such as Figure 4
+and 5), and converts to a
+:class:`~repro.core.prf.LinearCombinationPRFe` ranking function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.prf import LinearCombinationPRFe
+from ..core.weights import WeightFunction
+
+__all__ = [
+    "ExponentialApproximation",
+    "dft_approximation",
+    "approximate_weight_function",
+    "STAGE_SETS",
+]
+
+#: The four cumulative stage sets of Figure 4, in presentation order.
+STAGE_SETS = {
+    "DFT": ("dft",),
+    "DFT+DF": ("dft", "df"),
+    "DFT+DF+IS": ("dft", "df", "is"),
+    "DFT+DF+IS+ES": ("dft", "df", "is", "es"),
+}
+
+_VALID_STAGES = {"dft", "df", "is", "es"}
+
+
+@dataclass(frozen=True)
+class ExponentialApproximation:
+    """A finite exponential-sum approximation ``sum_l u_l alpha_l**i``."""
+
+    coefficients: np.ndarray
+    alphas: np.ndarray
+    support: int
+    stages: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return int(self.coefficients.size)
+
+    def evaluate(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Real part of the approximation at the given (1-based) ranks."""
+        ranks = np.asarray(ranks, dtype=float)
+        values = (
+            self.coefficients[None, :] * self.alphas[None, :] ** ranks[:, None]
+        ).sum(axis=1)
+        return values.real
+
+    def to_ranking_function(self) -> LinearCombinationPRFe:
+        """The equivalent :class:`LinearCombinationPRFe` ranking function."""
+        return LinearCombinationPRFe(self.coefficients, self.alphas)
+
+    def max_error(self, weight: WeightFunction | Sequence[float], upto: int | None = None) -> float:
+        """Maximum absolute approximation error over ranks ``1 .. upto``."""
+        limit = upto if upto is not None else self.support
+        ranks = np.arange(1, limit + 1)
+        target = _tabulate(weight, limit)
+        return float(np.max(np.abs(self.evaluate(ranks) - target)))
+
+
+def _tabulate(weight: WeightFunction | Sequence[float], support: int) -> np.ndarray:
+    """Values ``omega(1) .. omega(support)`` of a weight function or table."""
+    if isinstance(weight, WeightFunction):
+        return np.asarray(weight.as_array(support)[1:], dtype=float)
+    table = np.asarray(weight, dtype=float)
+    if table.ndim != 1:
+        raise ValueError("weight tables must be one-dimensional")
+    if table.size >= support:
+        return table[:support].astype(float)
+    return np.concatenate([table.astype(float), np.zeros(support - table.size)])
+
+
+def dft_approximation(
+    weight: WeightFunction | Sequence[float],
+    num_terms: int,
+    support: int | None = None,
+    stages: Iterable[str] = ("dft", "df", "is", "es"),
+    domain_multiplier: int = 2,
+    damping_epsilon: float = 1e-5,
+    extension_fraction: float = 0.1,
+) -> ExponentialApproximation:
+    """Approximate a weight function by ``num_terms`` complex exponentials.
+
+    Parameters
+    ----------
+    weight:
+        The target ``omega``: a :class:`WeightFunction` or a table of
+        values ``[omega(1), ..., omega(N)]``.
+    num_terms:
+        Number ``L`` of exponential terms to keep (the L largest-magnitude
+        DFT coefficients).
+    support:
+        The support ``N`` beyond which ``omega`` is (treated as) zero.
+        Defaults to the weight's ``horizon`` or the table length.
+    stages:
+        Which adaptation stages to apply; ``"dft"`` is always implied.
+        Subsets of ``{"dft", "df", "is", "es"}`` reproduce the four curves
+        of Figure 4.
+    domain_multiplier:
+        The constant ``a``: the DFT is taken on the domain ``[0, a * N)``.
+    damping_epsilon:
+        The target residual ``epsilon`` used to size the damping factor
+        ``eta`` so that ``B * eta**(a*N) <= epsilon``.
+    extension_fraction:
+        The constant ``b`` of the extend-and-shift stage: the weight is
+        extended ``b * N`` positions to the left of zero.
+    """
+    stage_set = {stage.lower() for stage in stages} | {"dft"}
+    unknown = stage_set - _VALID_STAGES
+    if unknown:
+        raise ValueError(f"unknown approximation stages: {sorted(unknown)}")
+    if num_terms < 1:
+        raise ValueError(f"num_terms must be >= 1, got {num_terms}")
+    if domain_multiplier < 1:
+        raise ValueError(f"domain_multiplier must be >= 1, got {domain_multiplier}")
+
+    if support is None:
+        if isinstance(weight, WeightFunction) and weight.horizon is not None:
+            support = weight.horizon
+        elif not isinstance(weight, WeightFunction):
+            support = len(np.atleast_1d(np.asarray(weight)))
+        else:
+            raise ValueError("support must be given for weights with unbounded horizon")
+    support = int(support)
+    if support < 1:
+        raise ValueError(f"support must be >= 1, got {support}")
+
+    table = _tabulate(weight, support)
+    domain = int(domain_multiplier * support)
+    shift = int(round(extension_fraction * support)) if "es" in stage_set else 0
+    # The sampled sequence lives on j = 0 .. domain - 1 and represents
+    # omega(j - shift); positions left of rank 1 are extrapolated with
+    # omega(1) so the sequence is continuous at the original boundary.
+    positions = np.arange(domain) - shift
+    sequence = np.where(
+        positions < 1,
+        table[0],
+        np.where(positions <= support, table[np.clip(positions, 1, support) - 1], 0.0),
+    ).astype(float)
+
+    magnitude_bound = float(np.max(np.abs(sequence))) or 1.0
+    if "df" in stage_set:
+        eta = float((damping_epsilon / magnitude_bound) ** (1.0 / domain))
+        eta = min(eta, 1.0)
+    else:
+        eta = 1.0
+
+    if "is" in stage_set and eta < 1.0:
+        scaled = sequence * eta ** (-np.arange(domain, dtype=float))
+    else:
+        scaled = sequence
+
+    spectrum = np.fft.fft(scaled)
+    num_terms = min(num_terms, domain)
+    chosen = np.argsort(np.abs(spectrum))[::-1][:num_terms]
+
+    base_alphas = eta * np.exp(2j * np.pi * chosen / domain)
+    coefficients = spectrum[chosen] / domain
+    if shift:
+        # omega(i) = sequence(i + shift)  =>  fold alpha**shift into u.
+        coefficients = coefficients * base_alphas ** shift
+
+    return ExponentialApproximation(
+        coefficients=coefficients.astype(complex),
+        alphas=base_alphas.astype(complex),
+        support=support,
+        stages=tuple(sorted(stage_set)),
+    )
+
+
+def approximate_weight_function(
+    weight: WeightFunction | Sequence[float],
+    num_terms: int,
+    support: int | None = None,
+    **kwargs,
+) -> LinearCombinationPRFe:
+    """Convenience wrapper returning the ranking function directly."""
+    approximation = dft_approximation(weight, num_terms, support=support, **kwargs)
+    return approximation.to_ranking_function()

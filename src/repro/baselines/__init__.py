@@ -1,0 +1,44 @@
+"""Previously proposed ranking functions, used as baselines and PRF special cases."""
+
+from .consensus import (
+    consensus_topk,
+    expected_symmetric_difference,
+    expected_weighted_distance,
+)
+from .expected_rank import expected_rank_ranking, expected_rank_topk, expected_rank_values
+from .expected_score import expected_score_ranking, expected_score_topk, expected_score_values
+from .k_selection import (
+    expected_best_score,
+    greedy_k_selection,
+    k_selection,
+    k_selection_ranking,
+)
+from .pt_topk import global_topk, pt_ranking, pt_topk, pt_values
+from .urank import u_rank_assignment, u_rank_topk
+from .utop import topk_answer_probability, u_topk, u_topk_independent, u_topk_monte_carlo
+
+__all__ = [
+    "consensus_topk",
+    "expected_symmetric_difference",
+    "expected_weighted_distance",
+    "expected_rank_ranking",
+    "expected_rank_topk",
+    "expected_rank_values",
+    "expected_score_ranking",
+    "expected_score_topk",
+    "expected_score_values",
+    "expected_best_score",
+    "greedy_k_selection",
+    "k_selection",
+    "k_selection_ranking",
+    "global_topk",
+    "pt_ranking",
+    "pt_topk",
+    "pt_values",
+    "u_rank_assignment",
+    "u_rank_topk",
+    "topk_answer_probability",
+    "u_topk",
+    "u_topk_independent",
+    "u_topk_monte_carlo",
+]

@@ -1,0 +1,87 @@
+"""Internal helpers shared by the baseline ranking functions.
+
+Every baseline accepts either a tuple-independent
+:class:`~repro.core.tuples.ProbabilisticRelation` or a correlated
+:class:`~repro.andxor.tree.AndXorTree`; these helpers hide the dispatch
+so the baseline modules can be written once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..core.possible_worlds import PossibleWorld, sample_worlds
+from ..core.tuples import ProbabilisticRelation, Tuple
+
+__all__ = [
+    "sorted_tuples",
+    "positional_matrix",
+    "marginal_probabilities",
+    "expected_world_size",
+    "draw_worlds",
+    "is_independent",
+]
+
+
+def _as_tree(data):
+    from ..andxor.tree import AndXorTree
+
+    return data if isinstance(data, AndXorTree) else None
+
+
+def is_independent(data) -> bool:
+    """Whether ``data`` is a tuple-independent relation."""
+    return isinstance(data, ProbabilisticRelation)
+
+
+def sorted_tuples(data) -> list[Tuple]:
+    """Score-descending tuples of either a relation or an and/xor tree."""
+    if isinstance(data, ProbabilisticRelation):
+        return data.sorted_by_score()
+    tree = _as_tree(data)
+    if tree is not None:
+        return tree.sorted_tuples()
+    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+
+
+def positional_matrix(data, max_rank: int | None = None) -> tuple[list[Tuple], np.ndarray]:
+    """Positional probabilities ``Pr(r(t_i) = j)`` for either dataset kind."""
+    if isinstance(data, ProbabilisticRelation):
+        from ..algorithms.independent import positional_probabilities
+
+        return positional_probabilities(data, max_rank=max_rank)
+    tree = _as_tree(data)
+    if tree is not None:
+        from ..andxor.generating import positional_probabilities_tree
+
+        return positional_probabilities_tree(tree, max_rank=max_rank)
+    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+
+
+def marginal_probabilities(data) -> dict[Any, float]:
+    """Marginal existence probability per tuple identifier."""
+    if isinstance(data, ProbabilisticRelation):
+        return {t.tid: t.probability for t in data}
+    tree = _as_tree(data)
+    if tree is not None:
+        return tree.marginal_probabilities()
+    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+
+
+def expected_world_size(data) -> float:
+    """Expected number of present tuples."""
+    return float(sum(marginal_probabilities(data).values()))
+
+
+def draw_worlds(
+    data, num_samples: int, rng: np.random.Generator | int | None = None
+) -> Iterator[PossibleWorld]:
+    """Sample possible worlds from either dataset kind."""
+    if isinstance(data, ProbabilisticRelation):
+        return sample_worlds(data, num_samples, rng=rng)
+    tree = _as_tree(data)
+    if tree is not None:
+        return tree.sample_worlds(num_samples, rng=rng)
+    raise TypeError(f"unsupported dataset type {type(data).__name__}")

@@ -1,0 +1,34 @@
+"""Expected-score ranking (E-Score).
+
+Ranks tuples by ``E[score(t)] = Pr(t) * score(t)`` — the simplest way to
+combine scores and probabilities, also expressible as the PRF function
+with ``omega(t, i) = score(t)`` (Section 3.3).  The baseline is invariant
+to correlations because it only uses tuple marginals.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.result import RankingResult
+from ._dispatch import marginal_probabilities, sorted_tuples
+
+__all__ = ["expected_score_values", "expected_score_ranking", "expected_score_topk"]
+
+
+def expected_score_values(data) -> dict[Any, float]:
+    """``Pr(t) * score(t)`` per tuple identifier."""
+    marginals = marginal_probabilities(data)
+    return {t.tid: marginals[t.tid] * t.score for t in sorted_tuples(data)}
+
+
+def expected_score_ranking(data, name: str = "E-Score") -> RankingResult:
+    """Full ranking by decreasing expected score."""
+    ordered = sorted_tuples(data)
+    values = expected_score_values(data)
+    return RankingResult.from_values(ordered, [values[t.tid] for t in ordered], name=name)
+
+
+def expected_score_topk(data, k: int) -> list[Any]:
+    """Identifiers of the ``k`` tuples with the largest expected score."""
+    return expected_score_ranking(data).top_k(k)

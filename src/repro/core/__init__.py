@@ -1,0 +1,62 @@
+"""Core data model and the PRF ranking-function family."""
+
+from .possible_worlds import (
+    PossibleWorld,
+    enumerate_worlds,
+    prf_by_enumeration,
+    rank_distribution_by_enumeration,
+    sample_worlds,
+)
+from .prf import (
+    PRF,
+    LinearCombinationPRFe,
+    PRFe,
+    PRFLinear,
+    PRFOmega,
+    RankingFunction,
+)
+from .ranking import positional_probability, rank, rank_distribution, top_k
+from .result import RankedItem, RankingResult
+from .tuples import ProbabilisticRelation, Tuple
+from .weights import (
+    CallableWeight,
+    ConstantWeight,
+    ExponentialWeight,
+    LinearWeight,
+    NDCGDiscountWeight,
+    PositionWeight,
+    StepWeight,
+    TabulatedWeight,
+    WeightFunction,
+)
+
+__all__ = [
+    "PossibleWorld",
+    "enumerate_worlds",
+    "sample_worlds",
+    "prf_by_enumeration",
+    "rank_distribution_by_enumeration",
+    "PRF",
+    "PRFOmega",
+    "PRFe",
+    "PRFLinear",
+    "LinearCombinationPRFe",
+    "RankingFunction",
+    "rank",
+    "top_k",
+    "rank_distribution",
+    "positional_probability",
+    "RankedItem",
+    "RankingResult",
+    "ProbabilisticRelation",
+    "Tuple",
+    "WeightFunction",
+    "ConstantWeight",
+    "StepWeight",
+    "PositionWeight",
+    "LinearWeight",
+    "ExponentialWeight",
+    "NDCGDiscountWeight",
+    "TabulatedWeight",
+    "CallableWeight",
+]

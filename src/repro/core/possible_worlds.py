@@ -1,0 +1,175 @@
+"""Possible-worlds semantics: enumeration, sampling, and brute-force ranking.
+
+The possible-worlds semantics (Section 3.1 of the paper) interprets a
+probabilistic relation as a distribution over deterministic relations
+("worlds").  This module provides the *reference implementations* used
+throughout the test-suite to validate the fast generating-function
+algorithms:
+
+* exact enumeration of all worlds of an independent relation (exponential,
+  small inputs only),
+* Monte-Carlo sampling of worlds,
+* brute-force computation of rank distributions and PRF values from an
+  explicit world list.
+
+All ranks are 1-based, matching the paper.  A tuple absent from a world
+has rank ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .tuples import ProbabilisticRelation, Tuple
+
+__all__ = [
+    "PossibleWorld",
+    "enumerate_worlds",
+    "sample_worlds",
+    "world_rank",
+    "rank_distribution_by_enumeration",
+    "prf_by_enumeration",
+    "positional_probability_by_enumeration",
+]
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One deterministic world: the present tuples (score-sorted) and its probability."""
+
+    tuples: tuple[Tuple, ...]
+    probability: float
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.tuples, key=lambda t: -t.score))
+        object.__setattr__(self, "tuples", ordered)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, tid: Any) -> bool:
+        return any(t.tid == tid for t in self.tuples)
+
+    def tids(self) -> tuple[Any, ...]:
+        """Tuple identifiers present in this world, in descending score order."""
+        return tuple(t.tid for t in self.tuples)
+
+    def rank_of(self, tid: Any) -> float:
+        """1-based rank of ``tid`` in this world, ``math.inf`` if absent."""
+        for position, t in enumerate(self.tuples, start=1):
+            if t.tid == tid:
+                return float(position)
+        return math.inf
+
+    def top_k(self, k: int) -> tuple[Any, ...]:
+        """Identifiers of the top-``k`` tuples of this world (may be shorter than k)."""
+        return tuple(t.tid for t in self.tuples[:k])
+
+
+def world_rank(world: Sequence[Tuple], tid: Any) -> float:
+    """1-based rank of ``tid`` among ``world`` (score-descending), ``inf`` if absent."""
+    ordered = sorted(world, key=lambda t: -t.score)
+    for position, t in enumerate(ordered, start=1):
+        if t.tid == tid:
+            return float(position)
+    return math.inf
+
+
+def enumerate_worlds(relation: ProbabilisticRelation,
+                     max_tuples: int = 22) -> list[PossibleWorld]:
+    """Enumerate every possible world of an independent relation.
+
+    This is exponential in the relation size and exists only as a
+    correctness oracle; it refuses to run on relations with more than
+    ``max_tuples`` tuples.
+    """
+    n = len(relation)
+    if n > max_tuples:
+        raise ValueError(
+            f"refusing to enumerate 2^{n} worlds; "
+            f"raise max_tuples explicitly if you really mean it"
+        )
+    worlds: list[PossibleWorld] = []
+    tuples = list(relation)
+    for mask in itertools.product((False, True), repeat=n):
+        probability = 1.0
+        present: list[Tuple] = []
+        for t, bit in zip(tuples, mask):
+            if bit:
+                probability *= t.probability
+                present.append(t)
+            else:
+                probability *= 1.0 - t.probability
+        if probability > 0.0:
+            worlds.append(PossibleWorld(tuple(present), probability))
+    return worlds
+
+
+def sample_worlds(
+    relation: ProbabilisticRelation,
+    num_samples: int,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[PossibleWorld]:
+    """Yield ``num_samples`` worlds drawn independently from the relation.
+
+    Each sampled world carries probability ``1 / num_samples`` so that a
+    list of sampled worlds can be fed directly to the brute-force
+    estimators below to obtain Monte-Carlo estimates.
+    """
+    generator = np.random.default_rng(rng)
+    tuples = list(relation)
+    probabilities = relation.probabilities()
+    weight = 1.0 / num_samples
+    for _ in range(num_samples):
+        draws = generator.random(len(tuples)) < probabilities
+        present = tuple(t for t, keep in zip(tuples, draws) if keep)
+        yield PossibleWorld(present, weight)
+
+
+def rank_distribution_by_enumeration(
+    worlds: Iterable[PossibleWorld], tid: Any, n: int
+) -> np.ndarray:
+    """Positional probabilities ``Pr(r(t) = j)`` for ``j = 1..n`` from explicit worlds.
+
+    The returned array has length ``n + 1``; index 0 is unused (kept zero)
+    so that ``result[j]`` is the probability of rank ``j``.
+    """
+    distribution = np.zeros(n + 1, dtype=float)
+    for world in worlds:
+        rank = world.rank_of(tid)
+        if math.isfinite(rank):
+            distribution[int(rank)] += world.probability
+    return distribution
+
+
+def positional_probability_by_enumeration(
+    worlds: Iterable[PossibleWorld], tid: Any, rank: int
+) -> float:
+    """``Pr(r(t) = rank)`` computed from an explicit list of worlds."""
+    total = 0.0
+    for world in worlds:
+        if world.rank_of(tid) == rank:
+            total += world.probability
+    return total
+
+
+def prf_by_enumeration(
+    worlds: Sequence[PossibleWorld],
+    tid: Any,
+    weight: Callable[[int], complex],
+) -> complex:
+    """Brute-force PRF value ``sum_pw w(rank_pw(t)) Pr(pw)`` (Definition 3).
+
+    ``weight`` is the rank-only weight function ``omega(i)`` (1-based).
+    """
+    value: complex = 0.0
+    for world in worlds:
+        rank = world.rank_of(tid)
+        if math.isfinite(rank):
+            value += weight(int(rank)) * world.probability
+    return value

@@ -1,0 +1,120 @@
+"""Unified ranking entry points.
+
+:func:`rank` dispatches on the *correlation model* of the input —
+
+* :class:`~repro.core.tuples.ProbabilisticRelation` (tuple-independent),
+* :class:`~repro.andxor.tree.AndXorTree` (and/xor correlations),
+* :class:`~repro.graphical.model.MarkovNetworkRelation` (arbitrary
+  correlations through a bounded-treewidth graphical model),
+
+and on the *ranking function* — any member of the PRF family defined in
+:mod:`repro.core.prf` — choosing the fastest applicable algorithm per
+Table 3 of the paper.  :func:`rank_distribution` exposes the underlying
+positional-probability features for a single tuple, and :func:`top_k` is
+a convenience wrapper returning just the identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .prf import RankingFunction
+from .result import RankingResult
+from .tuples import ProbabilisticRelation
+
+__all__ = ["rank", "top_k", "rank_distribution", "positional_probability"]
+
+
+def rank(data, rf: RankingFunction, name: str = "") -> RankingResult:
+    """Rank a probabilistic dataset by a PRF-family ranking function.
+
+    Parameters
+    ----------
+    data:
+        A :class:`ProbabilisticRelation`, an
+        :class:`~repro.andxor.tree.AndXorTree`, or a
+        :class:`~repro.graphical.model.MarkovNetworkRelation`.
+    rf:
+        The ranking function (e.g. ``PRFe(0.95)``, ``PRFOmega(weights)``,
+        ``PRF(omega)`` or a ``LinearCombinationPRFe``).
+    name:
+        Optional label attached to the result.
+
+    Returns
+    -------
+    RankingResult
+        The complete ranking, best tuple first.
+    """
+    if isinstance(data, ProbabilisticRelation):
+        from ..algorithms.independent import rank_independent
+
+        return rank_independent(data, rf, name=name)
+
+    from ..andxor.tree import AndXorTree
+
+    if isinstance(data, AndXorTree):
+        from ..andxor.ranking import rank_tree
+
+        return rank_tree(data, rf, name=name)
+
+    from ..graphical.model import MarkovNetworkRelation
+
+    if isinstance(data, MarkovNetworkRelation):
+        from ..graphical.ranking import rank_markov_network
+
+        return rank_markov_network(data, rf, name=name)
+
+    raise TypeError(
+        f"cannot rank objects of type {type(data).__name__}; expected a "
+        "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
+    )
+
+
+def top_k(data, rf: RankingFunction, k: int, name: str = "") -> list[Any]:
+    """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return rank(data, rf, name=name).top_k(k)
+
+
+def rank_distribution(data, tid: Any, max_rank: int | None = None) -> np.ndarray:
+    """Rank distribution ``Pr(r(t) = j)`` of one tuple (index 0 unused).
+
+    This is the feature vector of Section 3.3; the computation is exact
+    for every supported correlation model.
+    """
+    if isinstance(data, ProbabilisticRelation):
+        from ..algorithms.independent import rank_distributions
+
+        distributions = rank_distributions(data, max_rank=max_rank)
+        if tid not in distributions:
+            raise KeyError(f"no tuple with identifier {tid!r}")
+        return distributions[tid]
+
+    from ..andxor.tree import AndXorTree
+
+    if isinstance(data, AndXorTree):
+        from ..andxor.generating import positional_distribution
+
+        return positional_distribution(data, tid, max_rank=max_rank)
+
+    from ..graphical.model import MarkovNetworkRelation
+
+    if isinstance(data, MarkovNetworkRelation):
+        from ..graphical.ranking import rank_distribution_markov
+
+        return rank_distribution_markov(data, tid, max_rank=max_rank)
+
+    raise TypeError(f"cannot compute rank distributions for {type(data).__name__}")
+
+
+def positional_probability(data, tid: Any, position: int) -> float:
+    """``Pr(r(t) = position)`` — a convenience single-entry accessor."""
+    if position < 1:
+        raise ValueError(f"positions are 1-based, got {position}")
+    distribution = rank_distribution(data, tid, max_rank=position)
+    if position >= distribution.size:
+        return 0.0
+    return float(distribution[position])

@@ -1,0 +1,125 @@
+"""Ranking result containers shared by all algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from .tuples import Tuple
+
+__all__ = ["RankedItem", "RankingResult"]
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One entry of a ranked result: the tuple, its ranking value, and its position."""
+
+    position: int
+    item: Tuple
+    value: complex
+
+    @property
+    def tid(self) -> Any:
+        return self.item.tid
+
+    @property
+    def magnitude(self) -> float:
+        """``|value|`` — the quantity the top-k query actually sorts by."""
+        return abs(self.value)
+
+
+class RankingResult:
+    """A full ranking of the tuples of a probabilistic dataset.
+
+    A top-k query over a PRF function returns the ``k`` tuples with the
+    largest ``|Upsilon(t)|`` (Definition 3).  :class:`RankingResult` holds
+    the complete ordering so callers can slice any prefix, compare
+    rankings with the metrics in :mod:`repro.metrics`, or inspect the raw
+    ranking values.
+
+    Items are stored in ranking order (best first).
+    """
+
+    def __init__(self, items: Sequence[RankedItem], name: str = "") -> None:
+        self._items = list(items)
+        self.name = name
+
+    @classmethod
+    def from_values(
+        cls,
+        tuples: Sequence[Tuple],
+        values: Sequence[complex],
+        name: str = "",
+        sort_keys: Sequence[float] | None = None,
+    ) -> "RankingResult":
+        """Build a result by sorting ``tuples`` by decreasing ``|value|``.
+
+        Ties in ``|value|`` are broken by descending score and then by tuple
+        id string to keep results deterministic.
+
+        ``sort_keys`` optionally overrides the quantity used for ordering
+        (larger is better) while ``values`` are still stored verbatim; the
+        PRFe fast path uses this to order by log-magnitudes, which stay
+        finite when the raw values underflow on very large datasets.
+        """
+        if len(tuples) != len(values):
+            raise ValueError("tuples and values must have equal length")
+        if sort_keys is not None and len(sort_keys) != len(values):
+            raise ValueError("sort_keys must have the same length as values")
+        keys = [abs(v) for v in values] if sort_keys is None else list(sort_keys)
+        order = sorted(
+            range(len(tuples)),
+            key=lambda i: (-keys[i], -tuples[i].score, str(tuples[i].tid)),
+        )
+        items = [
+            RankedItem(position=pos + 1, item=tuples[i], value=values[i])
+            for pos, i in enumerate(order)
+        ]
+        return cls(items, name=name)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[RankedItem]:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RankingResult(self._items[index], name=self.name)
+        return self._items[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f" {self.name!r}" if self.name else ""
+        return f"<RankingResult{label} n={len(self)}>"
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def top_k(self, k: int) -> list[Any]:
+        """Identifiers of the top ``k`` tuples (best first)."""
+        return [item.tid for item in self._items[:k]]
+
+    def tids(self) -> list[Any]:
+        """All tuple identifiers in ranking order."""
+        return [item.tid for item in self._items]
+
+    def values(self) -> dict[Any, complex]:
+        """Mapping from tuple id to its ranking value."""
+        return {item.tid: item.value for item in self._items}
+
+    def value_of(self, tid: Any) -> complex:
+        """Ranking value of a specific tuple."""
+        for item in self._items:
+            if item.tid == tid:
+                return item.value
+        raise KeyError(f"tuple {tid!r} not present in result")
+
+    def position_of(self, tid: Any) -> int:
+        """1-based position of a specific tuple in the ranking."""
+        for item in self._items:
+            if item.tid == tid:
+                return item.position
+        raise KeyError(f"tuple {tid!r} not present in result")

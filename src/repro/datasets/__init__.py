@@ -1,0 +1,42 @@
+"""Workload generators (synthetic and IIP-like) and dataset import/export."""
+
+from .iceberg import (
+    CONFIDENCE_LEVELS,
+    CONFIDENCE_PROBABILITIES,
+    generate_iip_like,
+    iip_like,
+)
+from .io import load_relation_csv, load_tree_json, save_relation_csv, save_tree_json
+from .synthetic import (
+    SYNTHETIC_FAMILIES,
+    TreeShape,
+    generate_independent,
+    generate_random_tree,
+    generate_x_tuples,
+    syn_high,
+    syn_ind,
+    syn_low,
+    syn_med,
+    syn_xor,
+)
+
+__all__ = [
+    "CONFIDENCE_LEVELS",
+    "CONFIDENCE_PROBABILITIES",
+    "generate_iip_like",
+    "iip_like",
+    "load_relation_csv",
+    "load_tree_json",
+    "save_relation_csv",
+    "save_tree_json",
+    "SYNTHETIC_FAMILIES",
+    "TreeShape",
+    "generate_independent",
+    "generate_random_tree",
+    "generate_x_tuples",
+    "syn_high",
+    "syn_ind",
+    "syn_low",
+    "syn_med",
+    "syn_xor",
+]

@@ -1,0 +1,127 @@
+"""Import/export of probabilistic relations and and/xor trees.
+
+Relations round-trip through CSV (one row per tuple: id, score,
+probability plus flattened attributes) and and/xor trees through a small
+JSON document; both formats are self-contained so generated workloads can
+be inspected, versioned and reloaded without re-running the generators.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from ..andxor.tree import AndNode, AndXorTree, LeafNode, Node, XorNode
+from ..core.tuples import ProbabilisticRelation, Tuple
+
+__all__ = [
+    "save_relation_csv",
+    "load_relation_csv",
+    "save_tree_json",
+    "load_tree_json",
+]
+
+_RESERVED_COLUMNS = ("tid", "score", "probability")
+
+
+def save_relation_csv(relation: ProbabilisticRelation, path: str | Path) -> Path:
+    """Write a relation to CSV; attribute keys become extra columns."""
+    path = Path(path)
+    attribute_keys: list[str] = []
+    for t in relation:
+        for key in t.attributes:
+            if key not in attribute_keys and key not in _RESERVED_COLUMNS:
+                attribute_keys.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_RESERVED_COLUMNS) + attribute_keys)
+        for t in relation:
+            row = [t.tid, repr(t.score), repr(t.probability)]
+            row.extend(t.attributes.get(key, "") for key in attribute_keys)
+            writer.writerow(row)
+    return path
+
+
+def load_relation_csv(path: str | Path, name: str = "") -> ProbabilisticRelation:
+    """Read a relation previously written by :func:`save_relation_csv`."""
+    path = Path(path)
+    tuples: list[Tuple] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not set(_RESERVED_COLUMNS) <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path} is missing required columns {_RESERVED_COLUMNS}"
+            )
+        extra = [c for c in reader.fieldnames if c not in _RESERVED_COLUMNS]
+        for row in reader:
+            attributes = {key: row[key] for key in extra if row.get(key, "") != ""}
+            tuples.append(
+                Tuple(
+                    tid=row["tid"],
+                    score=float(row["score"]),
+                    probability=float(row["probability"]),
+                    attributes=attributes,
+                )
+            )
+    return ProbabilisticRelation(tuples, name=name or path.stem)
+
+
+def _node_to_dict(node: Node) -> dict[str, Any]:
+    if isinstance(node, LeafNode):
+        return {
+            "kind": "leaf",
+            "tid": node.tid,
+            "score": node.item.score,
+            "probability": node.item.probability,
+            "attributes": dict(node.item.attributes),
+        }
+    if isinstance(node, AndNode):
+        return {"kind": "and", "children": [_node_to_dict(child) for child in node.children]}
+    assert isinstance(node, XorNode)
+    return {
+        "kind": "xor",
+        "children": [
+            {"probability": probability, "node": _node_to_dict(child)}
+            for probability, child in node.children
+        ],
+    }
+
+
+def _node_from_dict(data: dict[str, Any]) -> Node:
+    kind = data.get("kind")
+    if kind == "leaf":
+        return LeafNode(
+            Tuple(
+                tid=data["tid"],
+                score=float(data["score"]),
+                probability=float(data.get("probability", 1.0)),
+                attributes=data.get("attributes", {}),
+            )
+        )
+    if kind == "and":
+        return AndNode([_node_from_dict(child) for child in data["children"]])
+    if kind == "xor":
+        return XorNode(
+            [
+                (float(entry["probability"]), _node_from_dict(entry["node"]))
+                for entry in data["children"]
+            ]
+        )
+    raise ValueError(f"unknown node kind {kind!r}")
+
+
+def save_tree_json(tree: AndXorTree, path: str | Path) -> Path:
+    """Write an and/xor tree to a JSON document."""
+    path = Path(path)
+    document = {"name": tree.name, "root": _node_to_dict(tree.root)}
+    path.write_text(json.dumps(document, indent=2))
+    return path
+
+
+def load_tree_json(path: str | Path) -> AndXorTree:
+    """Read an and/xor tree previously written by :func:`save_tree_json`."""
+    path = Path(path)
+    document = json.loads(path.read_text())
+    return AndXorTree(_node_from_dict(document["root"]), name=document.get("name", ""))

@@ -1,0 +1,21 @@
+"""Experiment modules regenerating every table and figure of the paper's evaluation."""
+
+from . import fig4_5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table3
+from .harness import ExperimentResult, Timer, format_series, format_table, timed
+
+__all__ = [
+    "table1",
+    "fig4_5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table3",
+    "ExperimentResult",
+    "Timer",
+    "timed",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,154 @@
+"""Figures 4 and 5 — approximating weight functions by complex exponentials.
+
+Figure 4 shows the effect of the successive DFT adaptations (pure DFT,
++damping factor, +initial scaling, +extend-and-shift) when approximating
+the step weight function with ``N = 1000`` and ``L = 20`` exponentials.
+Figure 5 shows how the approximation of three weight-function families
+(the step function, a truncated linear function and an arbitrary smooth
+function) improves as the number of exponentials ``L`` grows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..approx import STAGE_SETS, dft_approximation
+from ..core.weights import StepWeight, TabulatedWeight, WeightFunction
+from .harness import ExperimentResult
+
+__all__ = [
+    "step_weight",
+    "truncated_linear_weight",
+    "smooth_weight",
+    "stage_curves",
+    "approximation_error_vs_terms",
+    "run_figure4",
+    "run_figure5",
+    "WEIGHT_FAMILIES",
+]
+
+
+def step_weight(support: int) -> WeightFunction:
+    """``omega(i) = 1`` for ``i <= support`` (the PT(support) weight)."""
+    return StepWeight(support)
+
+
+def truncated_linear_weight(support: int) -> WeightFunction:
+    """``omega(i) = support - i`` for ``i <= support`` and 0 beyond (Figure 5-ii)."""
+    values = np.maximum(float(support) - np.arange(1, support + 1, dtype=float), 0.0)
+    return TabulatedWeight(values)
+
+
+def smooth_weight(support: int) -> WeightFunction:
+    """An arbitrary smooth, decaying weight (Figure 5-iii).
+
+    A raised-cosine taper: flat near rank 1, smoothly decreasing to zero at
+    the end of the support — smooth in the sense the paper uses (bounded
+    first derivative), hence easy to approximate.
+    """
+    positions = np.arange(1, support + 1, dtype=float)
+    values = 0.5 * (1.0 + np.cos(np.pi * (positions - 1.0) / support))
+    return TabulatedWeight(values)
+
+
+#: The three weight families of Figure 5, keyed by the paper's curve labels.
+WEIGHT_FAMILIES: dict[str, Callable[[int], WeightFunction]] = {
+    "step": step_weight,
+    "linear": truncated_linear_weight,
+    "smooth": smooth_weight,
+}
+
+
+def stage_curves(
+    support: int = 1000,
+    num_terms: int = 20,
+    evaluate_upto: int | None = None,
+    weight_factory: Callable[[int], WeightFunction] = step_weight,
+) -> dict[str, np.ndarray]:
+    """Pointwise approximations of the weight under each Figure 4 stage set.
+
+    Returns a mapping from stage label ("DFT", "DFT+DF", ...) to the
+    approximated values on ranks ``1 .. evaluate_upto`` (default
+    ``2.5 * support``, matching the figure's x-range), plus the key
+    ``"target"`` holding the true weight values.
+    """
+    weight = weight_factory(support)
+    limit = evaluate_upto or int(2.5 * support)
+    ranks = np.arange(1, limit + 1)
+    curves: dict[str, np.ndarray] = {
+        "target": np.array([weight(int(i)) for i in ranks], dtype=float)
+    }
+    for label, stages in STAGE_SETS.items():
+        approximation = dft_approximation(
+            weight, num_terms=num_terms, support=support, stages=stages
+        )
+        curves[label] = approximation.evaluate(ranks)
+    return curves
+
+
+def approximation_error_vs_terms(
+    support: int = 1000,
+    term_counts: Sequence[int] = (5, 10, 20, 30, 50, 100),
+    families: dict[str, Callable[[int], WeightFunction]] | None = None,
+    evaluate_upto: int | None = None,
+) -> dict[str, list[tuple[int, float]]]:
+    """Mean absolute approximation error as a function of ``L`` (Figure 5).
+
+    For each weight family and each number of exponentials, the full
+    DFT+DF+IS+ES pipeline is applied and the mean absolute pointwise error
+    over ranks ``1 .. evaluate_upto`` (default ``1.5 * support``) is recorded.
+    """
+    families = families or WEIGHT_FAMILIES
+    limit = evaluate_upto or int(1.5 * support)
+    ranks = np.arange(1, limit + 1)
+    results: dict[str, list[tuple[int, float]]] = {}
+    for family_name, factory in families.items():
+        weight = factory(support)
+        target = np.array([weight(int(i)) for i in ranks], dtype=float)
+        scale = float(np.max(np.abs(target))) or 1.0
+        series: list[tuple[int, float]] = []
+        for num_terms in term_counts:
+            approximation = dft_approximation(weight, num_terms=num_terms, support=support)
+            error = float(np.mean(np.abs(approximation.evaluate(ranks) - target))) / scale
+            series.append((int(num_terms), error))
+        results[family_name] = series
+    return results
+
+
+def run_figure4(support: int = 1000, num_terms: int = 20) -> ExperimentResult:
+    """Regenerate Figure 4 as a table of sampled curve values."""
+    curves = stage_curves(support=support, num_terms=num_terms)
+    sample_points = np.linspace(1, len(curves["target"]), 26, dtype=int)
+    headers = ["rank", "target"] + [label for label in STAGE_SETS]
+    rows = []
+    for point in sample_points:
+        row = [int(point), float(curves["target"][point - 1])]
+        row.extend(float(curves[label][point - 1]) for label in STAGE_SETS)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"Figure 4 — DFT approximation stages (step weight, N={support}, L={num_terms})",
+        headers=headers,
+        rows=rows,
+        metadata={"support": support, "num_terms": num_terms},
+    )
+
+
+def run_figure5(
+    support: int = 1000, term_counts: Sequence[int] = (5, 10, 20, 30, 50, 100)
+) -> ExperimentResult:
+    """Regenerate Figure 5 as a table of mean approximation errors vs L."""
+    errors = approximation_error_vs_terms(support=support, term_counts=term_counts)
+    headers = ["L"] + list(errors)
+    rows = []
+    for index, num_terms in enumerate(term_counts):
+        row = [int(num_terms)]
+        row.extend(errors[family][index][1] for family in errors)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"Figure 5 — approximation error vs number of exponentials (N={support})",
+        headers=headers,
+        rows=rows,
+        metadata={"support": support, "term_counts": list(term_counts)},
+    )

@@ -1,0 +1,131 @@
+"""Figure 8 — ranking quality of the linear-combination-of-PRFe approximation.
+
+Panel (i): the PT(h) ranking (a step weight of support ``h``) is
+approximated by a linear combination of ``L`` PRFe functions under each
+of the four DFT adaptation stages; the Kendall distance between the
+approximate and the exact top-k answers is reported as a function of
+``L``.  Panel (ii): approximation quality versus ``L`` for three weight
+families (PT(h), a smooth weight and a truncated linear weight) on two
+dataset sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..approx import STAGE_SETS, dft_approximation
+from ..core.prf import PRFOmega
+from ..core.ranking import rank
+from ..datasets import generate_iip_like
+from ..metrics import kendall_topk_distance
+from .fig4_5 import WEIGHT_FAMILIES
+from .harness import ExperimentResult
+
+__all__ = ["stage_quality", "term_quality", "run_panel_i", "run_panel_ii"]
+
+
+def _exact_topk(data, weight, k: int) -> list:
+    return rank(data, PRFOmega(weight)).top_k(k)
+
+
+def _approx_topk(data, weight, support: int, num_terms: int, stages, k: int) -> list:
+    approximation = dft_approximation(
+        weight, num_terms=num_terms, support=support, stages=stages
+    )
+    return rank(data, approximation.to_ranking_function()).top_k(k)
+
+
+def stage_quality(
+    data,
+    support: int,
+    k: int,
+    term_counts: Sequence[int] = (10, 20, 50, 100, 200),
+) -> dict[str, list[tuple[int, float]]]:
+    """Kendall distance of the approximate PT(support) top-k per DFT stage set."""
+    weight_factory = WEIGHT_FAMILIES["step"]
+    weight = weight_factory(support)
+    exact = _exact_topk(data, weight, k)
+    curves: dict[str, list[tuple[int, float]]] = {label: [] for label in STAGE_SETS}
+    for label, stages in STAGE_SETS.items():
+        for num_terms in term_counts:
+            approx = _approx_topk(data, weight, support, num_terms, stages, k)
+            curves[label].append(
+                (int(num_terms), kendall_topk_distance(approx, exact, k=k))
+            )
+    return curves
+
+
+def term_quality(
+    datasets: dict[str, object],
+    support: int,
+    k: int,
+    term_counts: Sequence[int] = (10, 20, 50, 100, 200),
+    families: Sequence[str] = ("step", "smooth", "linear"),
+) -> dict[str, list[tuple[int, float]]]:
+    """Kendall distance vs number of terms for several weight families and datasets."""
+    curves: dict[str, list[tuple[int, float]]] = {}
+    for family in families:
+        weight = WEIGHT_FAMILIES[family](support)
+        for dataset_name, data in datasets.items():
+            exact = _exact_topk(data, weight, k)
+            label = f"{family} ({dataset_name})"
+            curves[label] = []
+            for num_terms in term_counts:
+                approx = _approx_topk(
+                    data, weight, support, num_terms, ("dft", "df", "is", "es"), k
+                )
+                curves[label].append(
+                    (int(num_terms), kendall_topk_distance(approx, exact, k=k))
+                )
+    return curves
+
+
+def run_panel_i(
+    n: int = 20_000,
+    support: int = 1000,
+    k: int = 1000,
+    term_counts: Sequence[int] = (10, 20, 50, 100, 200),
+    seed: int = 11,
+) -> ExperimentResult:
+    """Regenerate Figure 8(i): approximating PT(support) on an IIP-like dataset."""
+    data = generate_iip_like(n, rng=seed)
+    curves = stage_quality(data, support=support, k=k, term_counts=term_counts)
+    headers = ["L"] + list(curves)
+    rows = []
+    for index, num_terms in enumerate(term_counts):
+        row = [int(num_terms)]
+        row.extend(curves[label][index][1] for label in curves)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"Figure 8(i) — approximating PT({support}) with L PRFe terms (n={n}, k={k})",
+        headers=headers,
+        rows=rows,
+        metadata={"n": n, "support": support, "k": k},
+    )
+
+
+def run_panel_ii(
+    sizes: Sequence[int] = (20_000, 50_000),
+    support: int = 1000,
+    k: int = 1000,
+    term_counts: Sequence[int] = (10, 20, 50, 100, 200),
+    seed: int = 13,
+) -> ExperimentResult:
+    """Regenerate Figure 8(ii): quality vs L for three weight families, two sizes."""
+    datasets = {
+        f"n={size}": generate_iip_like(size, rng=seed + offset)
+        for offset, size in enumerate(sizes)
+    }
+    curves = term_quality(datasets, support=support, k=k, term_counts=term_counts)
+    headers = ["L"] + list(curves)
+    rows = []
+    for index, num_terms in enumerate(term_counts):
+        row = [int(num_terms)]
+        row.extend(curves[label][index][1] for label in curves)
+        rows.append(row)
+    return ExperimentResult(
+        name=f"Figure 8(ii) — approximation quality vs L (PT({support}), smooth, linear)",
+        headers=headers,
+        rows=rows,
+        metadata={"sizes": list(sizes), "support": support, "k": k},
+    )

@@ -1,0 +1,131 @@
+"""Figure 9 — learning ranking functions from user preferences.
+
+The user's "true" ranking function is taken to be one of PT(h),
+PRFe(0.95), E-Score, U-Rank or E-Rank.  A random sample of the dataset is
+ranked with that function (playing the role of observed user
+preferences); a PRFe(alpha) (panel i) or a PRFomega weight vector
+(panel ii) is fitted to the sample ranking; finally the learned function
+ranks the *full* dataset and the Kendall distance to the true function's
+full-data top-k is reported, as a function of the sample size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.ranking import rank
+from ..core.tuples import ProbabilisticRelation
+from ..datasets import generate_iip_like
+from ..learning import (
+    learn_prfe_alpha,
+    learn_prfomega_weights,
+    pairwise_preferences,
+    user_ranking,
+)
+from ..metrics import kendall_topk_distance
+from .harness import ExperimentResult
+
+__all__ = ["learning_curve_prfe", "learning_curve_prfomega", "run_panel_i", "run_panel_ii"]
+
+_DEFAULT_FUNCTIONS = ("PT(h)", "PRFe(0.95)", "E-Score", "U-Rank", "E-Rank")
+
+
+def _true_topk(data, function_name: str, k: int) -> list:
+    return user_ranking(data, function_name, k)
+
+
+def learning_curve_prfe(
+    relation: ProbabilisticRelation,
+    sample_sizes: Sequence[int],
+    k: int = 100,
+    functions: Sequence[str] = _DEFAULT_FUNCTIONS,
+    seed: int = 17,
+) -> dict[str, list[tuple[int, float]]]:
+    """Panel (i): Kendall distance of the learned PRFe ranking vs sample size."""
+    curves: dict[str, list[tuple[int, float]]] = {name: [] for name in functions}
+    for function_name in functions:
+        true_answer = _true_topk(relation, function_name, k)
+        for index, size in enumerate(sample_sizes):
+            sample = relation.sample(size, rng=seed + index)
+            sample_k = min(k, max(10, size // 5))
+            target = user_ranking(sample, function_name, sample_k)
+            learned = learn_prfe_alpha(sample, target, k=sample_k)
+            learned_answer = rank(relation, learned.ranking_function()).top_k(k)
+            distance = kendall_topk_distance(learned_answer, true_answer, k=k)
+            curves[function_name].append((int(size), distance))
+    return curves
+
+
+def learning_curve_prfomega(
+    relation: ProbabilisticRelation,
+    sample_sizes: Sequence[int],
+    k: int = 100,
+    functions: Sequence[str] = _DEFAULT_FUNCTIONS,
+    h: int | None = None,
+    max_pairs: int = 400,
+    seed: int = 23,
+) -> dict[str, list[tuple[int, float]]]:
+    """Panel (ii): Kendall distance of the learned PRFomega ranking vs sample size."""
+    curves: dict[str, list[tuple[int, float]]] = {name: [] for name in functions}
+    for function_name in functions:
+        true_answer = _true_topk(relation, function_name, k)
+        for index, size in enumerate(sample_sizes):
+            sample = relation.sample(size, rng=seed + index)
+            sample_k = min(k, max(10, size // 2))
+            horizon = h or sample_k
+            target = user_ranking(sample, function_name, sample_k)
+            preferences = pairwise_preferences(target, max_pairs=max_pairs, rng=seed + index)
+            learned = learn_prfomega_weights(sample, preferences, h=horizon, seed=seed)
+            learned_answer = rank(relation, learned.ranking_function()).top_k(k)
+            distance = kendall_topk_distance(learned_answer, true_answer, k=k)
+            curves[function_name].append((int(size), distance))
+    return curves
+
+
+def _to_result(
+    name: str, curves: dict[str, list[tuple[int, float]]], sample_sizes: Sequence[int],
+    metadata: dict,
+) -> ExperimentResult:
+    headers = ["sample_size"] + list(curves)
+    rows = []
+    for index, size in enumerate(sample_sizes):
+        row = [int(size)]
+        row.extend(curves[function][index][1] for function in curves)
+        rows.append(row)
+    return ExperimentResult(name=name, headers=headers, rows=rows, metadata=metadata)
+
+
+def run_panel_i(
+    n: int = 20_000,
+    k: int = 100,
+    sample_sizes: Sequence[int] = (200, 500, 1000, 2000, 5000),
+    seed: int = 17,
+) -> ExperimentResult:
+    """Regenerate Figure 9(i): learning a single PRFe function."""
+    relation = generate_iip_like(n, rng=seed)
+    curves = learning_curve_prfe(relation, sample_sizes, k=k, seed=seed)
+    return _to_result(
+        f"Figure 9(i) — learning PRFe from user preferences (n={n}, k={k})",
+        curves,
+        sample_sizes,
+        {"n": n, "k": k, "sample_sizes": list(sample_sizes)},
+    )
+
+
+def run_panel_ii(
+    n: int = 20_000,
+    k: int = 100,
+    sample_sizes: Sequence[int] = (25, 50, 100, 200),
+    seed: int = 23,
+) -> ExperimentResult:
+    """Regenerate Figure 9(ii): learning a PRFomega weight vector."""
+    relation = generate_iip_like(n, rng=seed)
+    curves = learning_curve_prfomega(relation, sample_sizes, k=k, seed=seed)
+    return _to_result(
+        f"Figure 9(ii) — learning PRFomega from user preferences (n={n}, k={k})",
+        curves,
+        sample_sizes,
+        {"n": n, "k": k, "sample_sizes": list(sample_sizes)},
+    )

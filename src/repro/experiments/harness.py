@@ -1,0 +1,80 @@
+"""Shared utilities for the experiment modules.
+
+Every experiment module in this package regenerates one table or figure
+of the paper's evaluation (Section 8).  The experiments are deliberately
+parameterized by dataset size so that the same code serves three
+purposes: fast smoke tests (tiny sizes), the benchmark harness
+(``benchmarks/``, paper-shaped sizes scaled to pure Python), and ad-hoc
+exploration from the examples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["timed", "Timer", "format_table", "format_series", "ExperimentResult"]
+
+
+def timed(function: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+class Timer:
+    """A tiny context-manager stopwatch."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class ExperimentResult:
+    """A generic experiment result: named rows/series plus free-form metadata."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[Any]]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the result as a fixed-width text table."""
+        return format_table(self.headers, self.rows, title=self.name)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render a list of rows as an aligned text table."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """Render an (x, y) series as two aligned columns (one figure curve)."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table(["x", name], rows)

@@ -1,0 +1,96 @@
+"""Table 3 — empirical scaling check of the ranking algorithms.
+
+Table 3 of the paper summarizes the asymptotic running times of the
+algorithms.  This experiment checks the *empirical* scaling of the
+implementations: each algorithm is timed on a geometric ladder of dataset
+sizes and the log-log slope (the empirical polynomial exponent) is
+fitted, so that the near-linear algorithms (PRFe, E-Rank, PRFomega(h)
+with fixed h) can be distinguished from the quadratic general PRF path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import expected_rank_ranking
+from ..core.prf import PRF, PRFe, PRFOmega
+from ..core.ranking import rank
+from ..core.weights import NDCGDiscountWeight, StepWeight
+from ..datasets import generate_iip_like
+from .harness import ExperimentResult, timed
+
+__all__ = ["fit_exponent", "scaling_rows", "run", "ALGORITHMS"]
+
+
+def _general_prf(data, k: int):
+    return rank(data, PRF(NDCGDiscountWeight())).top_k(k)
+
+
+#: Algorithms timed by the scaling experiment, keyed by Table 3 row label.
+ALGORITHMS: dict[str, Callable] = {
+    "PRFe (O(n log n))": lambda data, k: rank(data, PRFe(0.95)).top_k(k),
+    "PRFomega(h=100) (O(n h))": lambda data, k: rank(data, PRFOmega(StepWeight(100))).top_k(k),
+    "E-Rank (O(n log n))": lambda data, k: expected_rank_ranking(data).top_k(k),
+    "general PRF (O(n^2))": _general_prf,
+}
+
+
+def fit_exponent(sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(n)."""
+    sizes = np.asarray(sizes, dtype=float)
+    times = np.maximum(np.asarray(times, dtype=float), 1e-9)
+    slope, _ = np.polyfit(np.log(sizes), np.log(times), deg=1)
+    return float(slope)
+
+
+def scaling_rows(
+    sizes: Sequence[int],
+    k: int = 100,
+    seed: int = 53,
+    algorithms: dict[str, Callable] | None = None,
+    max_general_prf_size: int = 20_000,
+) -> list[list]:
+    """Per-algorithm timings on each size plus the fitted log-log exponent."""
+    algorithms = algorithms or ALGORITHMS
+    datasets = {size: generate_iip_like(size, rng=seed) for size in sizes}
+    rows: list[list] = []
+    for label, algorithm in algorithms.items():
+        usable_sizes = [
+            size
+            for size in sizes
+            if not (label.startswith("general PRF") and size > max_general_prf_size)
+        ]
+        times = []
+        for size in usable_sizes:
+            _, elapsed = timed(lambda a=algorithm, d=datasets[size]: a(d, k))
+            times.append(elapsed)
+        exponent = fit_exponent(usable_sizes, times) if len(usable_sizes) >= 2 else float("nan")
+        rows.append([label] + [f"{t:.4f}" for t in times] + [round(exponent, 2)])
+    return rows
+
+
+def run(
+    sizes: Sequence[int] = (2_000, 4_000, 8_000, 16_000),
+    k: int = 100,
+    seed: int = 53,
+) -> ExperimentResult:
+    """Regenerate the Table 3 scaling summary."""
+    rows = scaling_rows(sizes, k=k, seed=seed)
+    max_columns = max(len(row) for row in rows)
+    headers = ["algorithm"] + [f"n={size}" for size in sizes] + ["fitted exponent"]
+    normalized_rows = []
+    for row in rows:
+        label, *rest = row
+        exponent = rest[-1]
+        times = rest[:-1]
+        times = times + ["-"] * (len(sizes) - len(times))
+        normalized_rows.append([label] + times + [exponent])
+    del max_columns
+    return ExperimentResult(
+        name="Table 3 — empirical scaling of the ranking algorithms (seconds)",
+        headers=headers,
+        rows=normalized_rows,
+        metadata={"sizes": list(sizes), "k": k},
+    )

@@ -1,0 +1,291 @@
+"""Junction-tree construction and calibration.
+
+Section 9 of the paper assumes a *calibrated* junction tree of the Markov
+network: each clique potential equals the joint marginal over its
+variables.  This module builds such a tree from an arbitrary factor list:
+
+1. moralize — connect every pair of variables sharing a factor;
+2. triangulate with the greedy min-fill heuristic, collecting the
+   elimination cliques;
+3. keep the maximal cliques and connect them with a maximum-weight
+   spanning forest over separator sizes (Kruskal + union-find), which by
+   the standard result yields the running-intersection property per
+   connected component;
+4. assign every factor to one clique covering it and calibrate with
+   two-pass sum-product message passing (Shafer-Shenoy style, memoized
+   per directed edge).
+
+Calibration optionally takes evidence (pinned variables), which is how
+the ranking algorithm conditions on ``X_t = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .factors import Factor
+
+__all__ = ["JunctionTree", "CalibratedTree", "build_junction_tree", "min_fill_order"]
+
+
+# ---------------------------------------------------------------------------
+# Graph construction helpers
+# ---------------------------------------------------------------------------
+def _moral_graph(variables: Sequence[Hashable], factors: Sequence[Factor]) -> dict:
+    adjacency: dict[Hashable, set] = {v: set() for v in variables}
+    for factor in factors:
+        scope = list(factor.variables)
+        for i, u in enumerate(scope):
+            for v in scope[i + 1:]:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return adjacency
+
+
+def min_fill_order(adjacency: Mapping[Hashable, set]) -> tuple[list, list[frozenset]]:
+    """Greedy min-fill elimination order and the elimination cliques it induces."""
+    graph = {v: set(neighbors) for v, neighbors in adjacency.items()}
+    order: list = []
+    cliques: list[frozenset] = []
+    remaining = set(graph)
+    while remaining:
+        best_variable = None
+        best_fill = None
+        for variable in sorted(remaining, key=str):
+            neighbors = graph[variable] & remaining
+            fill = 0
+            neighbor_list = sorted(neighbors, key=str)
+            for i, u in enumerate(neighbor_list):
+                for v in neighbor_list[i + 1:]:
+                    if v not in graph[u]:
+                        fill += 1
+            if best_fill is None or fill < best_fill:
+                best_fill = fill
+                best_variable = variable
+                if fill == 0:
+                    break
+        variable = best_variable
+        neighbors = graph[variable] & remaining
+        cliques.append(frozenset(neighbors | {variable}))
+        neighbor_list = list(neighbors)
+        for i, u in enumerate(neighbor_list):
+            for v in neighbor_list[i + 1:]:
+                graph[u].add(v)
+                graph[v].add(u)
+        order.append(variable)
+        remaining.remove(variable)
+    return order, cliques
+
+
+def _maximal_cliques(cliques: Iterable[frozenset]) -> list[frozenset]:
+    unique = list(dict.fromkeys(cliques))
+    maximal = []
+    for clique in unique:
+        if not any(clique < other for other in unique if other != clique):
+            maximal.append(clique)
+    return maximal
+
+
+class _UnionFind:
+    def __init__(self, items: Iterable[int]) -> None:
+        self.parent = {item: item for item in items}
+
+    def find(self, item: int) -> int:
+        while self.parent[item] != item:
+            self.parent[item] = self.parent[self.parent[item]]
+            item = self.parent[item]
+        return item
+
+    def union(self, a: int, b: int) -> bool:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        self.parent[root_a] = root_b
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Junction tree
+# ---------------------------------------------------------------------------
+class JunctionTree:
+    """The structural part of a junction tree (cliques, edges, factor assignment)."""
+
+    def __init__(
+        self,
+        cliques: Sequence[frozenset],
+        edges: Sequence[tuple[int, int]],
+        factors: Sequence[Factor],
+        variables: Sequence[Hashable],
+    ) -> None:
+        self.cliques = list(cliques)
+        self.edges = list(edges)
+        self.variables = list(variables)
+        self.neighbors: list[list[int]] = [[] for _ in self.cliques]
+        for a, b in self.edges:
+            self.neighbors[a].append(b)
+            self.neighbors[b].append(a)
+        self._base_factors = list(factors)
+        self._assignment = self._assign_factors(self._base_factors)
+
+    # -- structure metrics ------------------------------------------------
+    def treewidth(self) -> int:
+        """Largest clique size minus one."""
+        return max((len(c) for c in self.cliques), default=1) - 1
+
+    def separator(self, a: int, b: int) -> frozenset:
+        return self.cliques[a] & self.cliques[b]
+
+    def components(self) -> list[list[int]]:
+        """Connected components of the junction forest (lists of clique indices)."""
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in range(len(self.cliques)):
+            if start in seen:
+                continue
+            stack = [start]
+            component = []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self.neighbors[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def _assign_factors(self, factors: Sequence[Factor]) -> list[list[Factor]]:
+        assignment: list[list[Factor]] = [[] for _ in self.cliques]
+        for factor in factors:
+            scope = set(factor.variables)
+            home = next(
+                (i for i, clique in enumerate(self.cliques) if scope <= clique), None
+            )
+            if home is None:
+                raise ValueError(
+                    f"no clique covers factor scope {sorted(map(str, scope))}; "
+                    "the junction tree was built for different factors"
+                )
+            assignment[home].append(factor)
+        return assignment
+
+    # -- calibration -------------------------------------------------------
+    def calibrate(self, evidence: Mapping[Hashable, int] | None = None) -> "CalibratedTree":
+        """Run two-pass message passing and return calibrated clique beliefs.
+
+        ``evidence`` pins variables to values (implemented by multiplying
+        indicator factors into the affected cliques).  The returned
+        beliefs are *unnormalized*: each clique belief sums to the
+        probability of the evidence, so both conditional marginals and the
+        evidence probability itself are available.
+        """
+        potentials: list[Factor] = []
+        for index, clique in enumerate(self.cliques):
+            potential = Factor.uniform(sorted(clique, key=str))
+            for factor in self._assignment[index]:
+                potential = potential.multiply(factor)
+            potentials.append(potential)
+        if evidence:
+            for variable, value in evidence.items():
+                if variable not in self.variables:
+                    raise KeyError(f"evidence variable {variable!r} is not in the network")
+                home = next(
+                    i for i, clique in enumerate(self.cliques) if variable in clique
+                )
+                potentials[home] = potentials[home].multiply(Factor.evidence(variable, value))
+
+        messages: dict[tuple[int, int], Factor] = {}
+
+        def message(source: int, target: int) -> Factor:
+            key = (source, target)
+            if key in messages:
+                return messages[key]
+            product = potentials[source]
+            for neighbor in self.neighbors[source]:
+                if neighbor != target:
+                    product = product.multiply(message(neighbor, source))
+            separator = sorted(self.separator(source, target), key=str)
+            result = product.marginalize(separator)
+            messages[key] = result
+            return result
+
+        beliefs: list[Factor] = []
+        for index in range(len(self.cliques)):
+            belief = potentials[index]
+            for neighbor in self.neighbors[index]:
+                belief = belief.multiply(message(neighbor, index))
+            beliefs.append(belief)
+        return CalibratedTree(self, beliefs, dict(evidence or {}))
+
+
+class CalibratedTree:
+    """A junction tree together with calibrated (unnormalized) clique beliefs."""
+
+    def __init__(
+        self,
+        tree: JunctionTree,
+        beliefs: Sequence[Factor],
+        evidence: Mapping[Hashable, int],
+    ) -> None:
+        self.tree = tree
+        self.beliefs = list(beliefs)
+        self.evidence = dict(evidence)
+
+    def component_mass(self, component: Sequence[int]) -> float:
+        """Unnormalized probability mass of one junction-forest component."""
+        return self.beliefs[component[0]].total()
+
+    def evidence_probability(self) -> float:
+        """Probability of the evidence (product over forest components)."""
+        probability = 1.0
+        for component in self.tree.components():
+            mass = self.component_mass(component)
+            probability *= mass
+        return probability
+
+    def clique_marginal(self, index: int) -> Factor:
+        """Normalized joint marginal over one clique, given the evidence."""
+        mass = None
+        for component in self.tree.components():
+            if index in component:
+                mass = self.component_mass(component)
+                break
+        belief = self.beliefs[index]
+        if not mass:
+            return belief.copy()
+        return Factor(belief.variables, belief.table / mass)
+
+    def variable_marginal(self, variable: Hashable) -> float:
+        """``Pr(X = 1 | evidence)`` for a single variable."""
+        for index, clique in enumerate(self.tree.cliques):
+            if variable in clique:
+                marginal = self.clique_marginal(index).marginalize([variable])
+                return float(marginal.table[1])
+        raise KeyError(f"variable {variable!r} is not in the network")
+
+
+def build_junction_tree(
+    variables: Sequence[Hashable], factors: Sequence[Factor]
+) -> JunctionTree:
+    """Build a junction tree (forest) for the given factors."""
+    adjacency = _moral_graph(variables, factors)
+    _, elimination_cliques = min_fill_order(adjacency)
+    cliques = _maximal_cliques(elimination_cliques)
+    if not cliques:
+        cliques = [frozenset(variables)] if variables else [frozenset()]
+    candidate_edges = []
+    for i in range(len(cliques)):
+        for j in range(i + 1, len(cliques)):
+            weight = len(cliques[i] & cliques[j])
+            if weight > 0:
+                candidate_edges.append((weight, i, j))
+    candidate_edges.sort(key=lambda item: -item[0])
+    union_find = _UnionFind(range(len(cliques)))
+    edges: list[tuple[int, int]] = []
+    for weight, i, j in candidate_edges:
+        if union_find.union(i, j):
+            edges.append((i, j))
+    return JunctionTree(cliques, edges, factors, variables)

@@ -1,0 +1,162 @@
+"""Markov-network representation of a correlated probabilistic relation.
+
+A :class:`MarkovNetworkRelation` couples a set of scored tuples with a
+Markov network over their existence indicators ``X_t``: the joint
+distribution is proportional to the product of the supplied factors.
+This is the most general correlation model the paper supports (Section
+9); ranking over it goes through the junction-tree algorithms in
+:mod:`repro.graphical.ranking`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.possible_worlds import PossibleWorld
+from ..core.tuples import ProbabilisticRelation, Tuple
+from .factors import Factor
+
+__all__ = ["MarkovNetworkRelation"]
+
+
+class MarkovNetworkRelation:
+    """Scored tuples whose existence indicators follow a Markov network.
+
+    Parameters
+    ----------
+    tuples:
+        The tuples of the relation.  Tuple probabilities are ignored (the
+        factors define the distribution); tuple identifiers are used as
+        the variable names of the network.
+    factors:
+        Non-negative factors over subsets of tuple identifiers.  Their
+        product, normalized, is the joint distribution of the indicator
+        vector.  Every tuple must appear in at least one factor.
+    name:
+        Optional label.
+    """
+
+    def __init__(
+        self, tuples: Iterable[Tuple], factors: Iterable[Factor], name: str = ""
+    ) -> None:
+        self._tuples = list(tuples)
+        self.factors = [f.copy() for f in factors]
+        self.name = name
+        seen: set[Any] = set()
+        for t in self._tuples:
+            if t.tid in seen:
+                raise ValueError(f"duplicate tuple identifier {t.tid!r}")
+            seen.add(t.tid)
+        covered: set[Any] = set()
+        for factor in self.factors:
+            unknown = set(factor.variables) - seen
+            if unknown:
+                raise ValueError(
+                    f"factor over unknown tuple identifiers {sorted(map(str, unknown))}"
+                )
+            covered |= set(factor.variables)
+        uncovered = seen - covered
+        if uncovered:
+            raise ValueError(
+                "every tuple must appear in at least one factor; "
+                f"missing {sorted(map(str, uncovered))}"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f" {self.name!r}" if self.name else ""
+        return f"<MarkovNetworkRelation{label} n={len(self)} factors={len(self.factors)}>"
+
+    @property
+    def tuples(self) -> Sequence[Tuple]:
+        return tuple(self._tuples)
+
+    def get(self, tid: Any) -> Tuple:
+        for t in self._tuples:
+            if t.tid == tid:
+                return t
+        raise KeyError(f"no tuple with identifier {tid!r}")
+
+    def variables(self) -> list[Any]:
+        """Tuple identifiers, i.e. the variable names of the network."""
+        return [t.tid for t in self._tuples]
+
+    def sorted_tuples(self) -> list[Tuple]:
+        """Tuples sorted by descending score with deterministic tie-breaking."""
+        indexed = list(enumerate(self._tuples))
+        indexed.sort(key=lambda pair: (-pair[1].score, pair[0]))
+        return [t for _, t in indexed]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_independent(
+        cls, relation: ProbabilisticRelation, name: str = ""
+    ) -> "MarkovNetworkRelation":
+        """Wrap an independent relation (one Bernoulli factor per tuple)."""
+        factors = [Factor.bernoulli(t.tid, t.probability) for t in relation]
+        return cls(relation.tuples, factors, name=name or relation.name)
+
+    # ------------------------------------------------------------------
+    # Exact (exponential) oracle
+    # ------------------------------------------------------------------
+    def partition_function(self) -> float:
+        """The normalization constant ``Z`` by brute-force enumeration."""
+        return sum(weight for _, weight in self._enumerate_unnormalized())
+
+    def _enumerate_unnormalized(self):
+        variables = self.variables()
+        if len(variables) > 22:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(variables)} assignments; "
+                "use the junction-tree algorithms instead"
+            )
+        for bits in itertools.product((0, 1), repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            weight = 1.0
+            for factor in self.factors:
+                weight *= factor.value(assignment)
+                if weight == 0.0:
+                    break
+            yield assignment, weight
+
+    def enumerate_worlds(self) -> list[PossibleWorld]:
+        """All possible worlds with exact probabilities (test oracle)."""
+        by_tid = {t.tid: t for t in self._tuples}
+        partition = 0.0
+        raw: list[tuple[tuple[Tuple, ...], float]] = []
+        for assignment, weight in self._enumerate_unnormalized():
+            partition += weight
+            if weight > 0.0:
+                present = tuple(by_tid[tid] for tid, bit in assignment.items() if bit)
+                raw.append((present, weight))
+        if partition <= 0.0:
+            raise ValueError("the factor product is identically zero")
+        return [PossibleWorld(items, weight / partition) for items, weight in raw]
+
+    def marginal_probabilities_bruteforce(self) -> dict[Any, float]:
+        """Exact marginals ``Pr(X_t = 1)`` by enumeration (test oracle)."""
+        totals = {tid: 0.0 for tid in self.variables()}
+        partition = 0.0
+        for assignment, weight in self._enumerate_unnormalized():
+            partition += weight
+            for tid, bit in assignment.items():
+                if bit:
+                    totals[tid] += weight
+        if partition <= 0.0:
+            raise ValueError("the factor product is identically zero")
+        return {tid: total / partition for tid, total in totals.items()}
+
+    def condition_factors(self, evidence: Mapping[Any, int]) -> list[Factor]:
+        """The factor list augmented with indicator factors for ``evidence``."""
+        extra = [Factor.evidence(var, value) for var, value in evidence.items()]
+        return [f.copy() for f in self.factors] + extra

@@ -1,0 +1,17 @@
+"""Learning ranking functions from user preferences."""
+
+from .preferences import USER_FUNCTIONS, pairwise_preferences, user_ranking
+from .prfe import LearnedAlpha, alpha_distance_profile, learn_prfe_alpha
+from .prfomega import LearnedOmega, PairwiseLinearRanker, learn_prfomega_weights
+
+__all__ = [
+    "USER_FUNCTIONS",
+    "pairwise_preferences",
+    "user_ranking",
+    "LearnedAlpha",
+    "alpha_distance_profile",
+    "learn_prfe_alpha",
+    "LearnedOmega",
+    "PairwiseLinearRanker",
+    "learn_prfomega_weights",
+]

@@ -1,0 +1,85 @@
+"""User-preference generation for the learning experiments (Section 5.2).
+
+The paper assumes the learner is handed a *small sample* of the dataset
+together with the user's ranking of that sample.  Positional-probability
+features are then computed as if the sample were the whole relation.
+Lacking real user data, the experiments synthesize the user ranking by
+applying one of the known ranking functions to the sample — this module
+provides that synthesis plus the pairwise-preference extraction used by
+the PRFomega learner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..baselines.expected_rank import expected_rank_ranking
+from ..baselines.expected_score import expected_score_ranking
+from ..baselines.pt_topk import pt_ranking
+from ..baselines.urank import u_rank_topk
+from ..core.prf import PRFe
+from ..core.ranking import rank
+
+__all__ = [
+    "user_ranking",
+    "pairwise_preferences",
+    "USER_FUNCTIONS",
+]
+
+
+def _prfe_ranking(data, k: int, alpha: float = 0.95) -> list[Any]:
+    return rank(data, PRFe(alpha)).top_k(k)
+
+
+#: The candidate "true" user ranking functions of the Figure 9 experiments,
+#: keyed by the label used in the paper's plots.
+USER_FUNCTIONS: dict[str, Callable[..., list[Any]]] = {
+    "E-Score": lambda data, k: expected_score_ranking(data).top_k(k),
+    "E-Rank": lambda data, k: expected_rank_ranking(data).top_k(k),
+    "PT(h)": lambda data, k, h=None: pt_ranking(data, h or k).top_k(k),
+    "U-Rank": lambda data, k: u_rank_topk(data, k),
+    "PRFe(0.95)": lambda data, k: _prfe_ranking(data, k, alpha=0.95),
+}
+
+
+def user_ranking(data, function_name: str, k: int, h: int | None = None) -> list[Any]:
+    """Synthesize a user ranking of ``data`` using a named ranking function.
+
+    ``function_name`` must be one of :data:`USER_FUNCTIONS`; ``h`` is only
+    used by ``"PT(h)"`` and defaults to ``k``.
+    """
+    if function_name not in USER_FUNCTIONS:
+        raise KeyError(
+            f"unknown user ranking function {function_name!r}; "
+            f"choose one of {sorted(USER_FUNCTIONS)}"
+        )
+    if function_name == "PT(h)":
+        return USER_FUNCTIONS[function_name](data, k, h)
+    return USER_FUNCTIONS[function_name](data, k)
+
+
+def pairwise_preferences(
+    ranking: Sequence[Any],
+    max_pairs: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> list[tuple[Any, Any]]:
+    """Extract ``(preferred, other)`` pairs from a ranked list.
+
+    Every ordered pair ``(ranking[i], ranking[j])`` with ``i < j`` is a
+    preference; when ``max_pairs`` is given a uniform subsample of the
+    pairs is returned (used to keep the pairwise learner's training set
+    small, mirroring the paper's small-sample regime).
+    """
+    items = list(ranking)
+    pairs = [
+        (items[i], items[j])
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    ]
+    if max_pairs is None or len(pairs) <= max_pairs:
+        return pairs
+    generator = np.random.default_rng(rng)
+    indices = generator.choice(len(pairs), size=max_pairs, replace=False)
+    return [pairs[i] for i in sorted(indices.tolist())]

@@ -1,0 +1,23 @@
+"""Distances between rankings and top-k answers."""
+
+from .kendall import (
+    kendall_full_distance,
+    kendall_topk_distance,
+    kendall_topk_distance_reference,
+    set_overlap,
+)
+from .set_distances import (
+    expected_distance,
+    symmetric_difference,
+    weighted_symmetric_difference,
+)
+
+__all__ = [
+    "kendall_topk_distance",
+    "kendall_topk_distance_reference",
+    "kendall_full_distance",
+    "set_overlap",
+    "symmetric_difference",
+    "weighted_symmetric_difference",
+    "expected_distance",
+]

@@ -1,0 +1,187 @@
+"""Kendall tau distance between top-k answers (Fagin, Kumar, Sivakumar).
+
+The paper compares ranking functions with the *normalized Kendall
+distance* between their top-k lists (Section 3.2): for two top-k lists
+``K1`` and ``K2`` drawn from full rankings ``R1`` and ``R2``, every
+unordered pair of items from ``K1 union K2`` contributes 1 when the two
+rankings can be inferred to order the pair oppositely, and the sum is
+divided by ``k^2`` so the result lies in ``[0, 1]``.
+
+The "can be inferred" cases follow Fagin et al.'s optimistic treatment of
+items missing from one of the two lists (their ``K^(0)`` variant, which
+the paper adopts):
+
+1. both items appear in both lists — count 1 iff their relative order
+   differs;
+2. both items appear in one list while only one of them appears in the
+   other — count 1 iff the item that is *absent* from the second list is
+   ranked above the present one in the first list's order... more
+   precisely, if ``i`` is ahead of ``j`` in ``K1`` and only ``j`` appears
+   in ``K2``, then ``R2`` must rank ``j`` above ``i`` (``i`` fell outside
+   the top-k), an inversion;
+3. ``i`` appears only in ``K1`` and ``j`` appears only in ``K2`` — they
+   are ordered oppositely by necessity, count 1;
+4. both items appear in only one of the lists (same list) — nothing can
+   be inferred, count 0.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "kendall_topk_distance",
+    "kendall_topk_distance_reference",
+    "kendall_full_distance",
+    "set_overlap",
+]
+
+
+def _position_index(items: Sequence[Any]) -> dict[Any, int]:
+    index: dict[Any, int] = {}
+    for position, item in enumerate(items):
+        if item in index:
+            raise ValueError(f"duplicate item {item!r} in ranked list")
+        index[item] = position
+    return index
+
+
+def kendall_topk_distance(
+    first: Sequence[Any],
+    second: Sequence[Any],
+    k: int | None = None,
+    normalized: bool = True,
+) -> float:
+    """Normalized Kendall distance between two top-k lists.
+
+    This is the vectorized implementation: items absent from a list are
+    treated as tied at a virtual position beyond the list, and a pair
+    counts as an inversion exactly when the two (possibly virtual)
+    position differences have strictly opposite signs — which reproduces
+    the four Fagin cases above.  The case-by-case implementation is kept
+    as :func:`kendall_topk_distance_reference` and the test-suite checks
+    they agree.
+
+    Parameters
+    ----------
+    first, second:
+        Ranked lists of item identifiers (best first).  Only the first
+        ``k`` entries of each are used.
+    k:
+        The nominal list length; defaults to ``max(len(first), len(second))``.
+        The normalization always divides by ``k**2``.
+    normalized:
+        When False the raw inversion count is returned.
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1]`` when normalized: 0 for identical lists and 1
+        for disjoint lists.
+    """
+    if k is None:
+        k = max(len(first), len(second))
+    if k <= 0:
+        return 0.0
+    top1 = list(first[:k])
+    top2 = list(second[:k])
+    _position_index(top1)  # duplicate detection
+    _position_index(top2)
+    union = list(dict.fromkeys(top1 + top2))
+    beyond = float(len(union) + 1)
+    index1 = {item: float(position) for position, item in enumerate(top1)}
+    index2 = {item: float(position) for position, item in enumerate(top2)}
+    positions1 = np.array([index1.get(item, beyond) for item in union])
+    positions2 = np.array([index2.get(item, beyond) for item in union])
+    difference1 = positions1[:, None] - positions1[None, :]
+    difference2 = positions2[:, None] - positions2[None, :]
+    # Each unordered pair appears twice in the sign-product matrix.
+    inversions = int(np.count_nonzero(difference1 * difference2 < 0) // 2)
+    if not normalized:
+        return float(inversions)
+    return inversions / float(k * k)
+
+
+def kendall_topk_distance_reference(
+    first: Sequence[Any],
+    second: Sequence[Any],
+    k: int | None = None,
+    normalized: bool = True,
+) -> float:
+    """Case-by-case implementation of the top-k Kendall distance (reference)."""
+    if k is None:
+        k = max(len(first), len(second))
+    if k <= 0:
+        return 0.0
+    top1 = list(first[:k])
+    top2 = list(second[:k])
+    pos1 = _position_index(top1)
+    pos2 = _position_index(top2)
+    union = list(dict.fromkeys(top1 + top2))
+
+    inversions = 0
+    for i, j in combinations(union, 2):
+        in1_i, in1_j = i in pos1, j in pos1
+        in2_i, in2_j = i in pos2, j in pos2
+        if in1_i and in1_j and in2_i and in2_j:
+            # Case 1: both in both lists.
+            if (pos1[i] - pos1[j]) * (pos2[i] - pos2[j]) < 0:
+                inversions += 1
+        elif in1_i and in1_j:
+            # Case 2: pair ordered by list 1, only one of them in list 2.
+            ahead = i if pos1[i] < pos1[j] else j
+            behind = j if ahead is i else i
+            if behind in pos2 and ahead not in pos2:
+                inversions += 1
+        elif in2_i and in2_j:
+            # Case 2 with the roles of the lists swapped.
+            ahead = i if pos2[i] < pos2[j] else j
+            behind = j if ahead is i else i
+            if behind in pos1 and ahead not in pos1:
+                inversions += 1
+        else:
+            # Each item appears in exactly one list.
+            only1 = i if in1_i else (j if in1_j else None)
+            only2 = i if in2_i else (j if in2_j else None)
+            if only1 is not None and only2 is not None and only1 != only2:
+                # Case 3: i in K1 only and j in K2 only (or vice versa).
+                inversions += 1
+            # Case 4 (both in the same single list) contributes nothing and
+            # cannot occur here because the pair comes from the union.
+    if not normalized:
+        return float(inversions)
+    return inversions / float(k * k)
+
+
+def kendall_full_distance(first: Sequence[Any], second: Sequence[Any]) -> float:
+    """Classical (normalized) Kendall tau distance between two full rankings.
+
+    Both lists must be permutations of the same item set.  The result is
+    the fraction of discordant pairs, in ``[0, 1]``.
+    """
+    if set(first) != set(second):
+        raise ValueError("full Kendall distance requires permutations of the same items")
+    n = len(first)
+    if n < 2:
+        return 0.0
+    pos2 = _position_index(second)
+    sequence = [pos2[item] for item in first]
+    discordant = 0
+    for i, j in combinations(range(n), 2):
+        if sequence[i] > sequence[j]:
+            discordant += 1
+    return discordant / (n * (n - 1) / 2.0)
+
+
+def set_overlap(first: Sequence[Any], second: Sequence[Any], k: int | None = None) -> float:
+    """Fraction of shared items between two top-k lists (the intersection metric)."""
+    if k is None:
+        k = max(len(first), len(second))
+    if k <= 0:
+        return 1.0
+    set1 = set(first[:k])
+    set2 = set(second[:k])
+    return len(set1 & set2) / float(k)

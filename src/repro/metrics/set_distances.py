@@ -1,0 +1,74 @@
+"""Set-based distances between top-k answers.
+
+These distances underpin the consensus-answer view of PRFomega
+(Section 6 of the paper): ranking by PT(k) minimizes the expected
+*symmetric difference* to the per-world top-k answers (Theorem 2), and
+ranking by a general PRFomega minimizes the expected *weighted symmetric
+difference* (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "symmetric_difference",
+    "weighted_symmetric_difference",
+    "expected_distance",
+]
+
+
+def symmetric_difference(first: Iterable[Any], second: Iterable[Any]) -> float:
+    """``|A \\ B| + |B \\ A|`` over the two answer sets (order ignored)."""
+    set1 = set(first)
+    set2 = set(second)
+    return float(len(set1 ^ set2))
+
+
+def weighted_symmetric_difference(
+    answer: Iterable[Any],
+    world_topk: Sequence[Any],
+    weight: Callable[[int], float],
+) -> float:
+    """Weighted symmetric difference ``dis_omega`` of Definition 5.
+
+    For every position ``i`` of the *world's* top-k list whose item is not
+    contained in ``answer``, a penalty ``omega(i)`` is paid.  With a
+    constant weight of 1 this reduces (up to the symmetric term, which is
+    constant for fixed list lengths) to the plain symmetric difference.
+
+    Parameters
+    ----------
+    answer:
+        The candidate top-k answer (a set; order is irrelevant).
+    world_topk:
+        The top-k answer of a possible world, best first.
+    weight:
+        ``omega(i)`` over 1-based positions.
+    """
+    chosen = set(answer)
+    penalty = 0.0
+    for position, item in enumerate(world_topk, start=1):
+        if item not in chosen:
+            penalty += weight(position)
+    return penalty
+
+
+def expected_distance(
+    answer: Iterable[Any],
+    worlds,
+    k: int,
+    distance: Callable[[Sequence[Any], Sequence[Any]], float],
+) -> float:
+    """Expected distance of ``answer`` to the top-k answers of a world collection.
+
+    ``worlds`` is an iterable of :class:`~repro.core.possible_worlds.PossibleWorld`
+    (exact enumeration or Monte-Carlo samples); ``distance(answer_list,
+    world_topk)`` is evaluated per world and weighted by the world
+    probability.
+    """
+    answer_list = list(answer)
+    total = 0.0
+    for world in worlds:
+        total += world.probability * distance(answer_list, list(world.top_k(k)))
+    return total

@@ -1,0 +1,120 @@
+"""Tests for the ranking algorithms over and/xor trees."""
+
+import numpy as np
+import pytest
+
+from repro import PRF, PRFOmega, PRFe, ProbabilisticRelation, rank
+from repro.andxor.ranking import (
+    prf_values_tree,
+    prfe_values_tree,
+    prfe_values_tree_recompute,
+    rank_tree,
+)
+from repro.andxor.tree import AndXorTree
+from repro.core.possible_worlds import enumerate_worlds, prf_by_enumeration
+from repro.core.weights import NDCGDiscountWeight, StepWeight
+from tests.conftest import random_relation, random_small_tree
+
+
+class TestPRFeOnTrees:
+    @pytest.mark.parametrize("alpha", [0.2, 0.6, 0.95, 1.0])
+    def test_incremental_matches_bruteforce(self, figure1_tree, alpha):
+        worlds = figure1_tree.enumerate_worlds()
+        ordered, values = prfe_values_tree(figure1_tree, alpha)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, lambda i, a=alpha: a ** i)
+            assert value == pytest.approx(exact, abs=1e-10), t.tid
+
+    def test_incremental_matches_recompute(self, rng):
+        for _ in range(5):
+            tree = random_small_tree(rng, num_leaves=9)
+            _, incremental = prfe_values_tree(tree, 0.8)
+            _, recomputed = prfe_values_tree_recompute(tree, 0.8)
+            assert np.allclose(incremental, recomputed, atol=1e-10)
+
+    def test_complex_alpha(self, figure1_tree):
+        worlds = figure1_tree.enumerate_worlds()
+        alpha = 0.5 + 0.4j
+        ordered, values = prfe_values_tree(figure1_tree, alpha)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, lambda i: alpha ** i)
+            assert value == pytest.approx(exact, abs=1e-10)
+
+    def test_certain_and_impossible_edges(self):
+        """Probabilities of exactly 0 and 1 must not break the guarded products."""
+        from repro import AndNode, LeafNode, Tuple, XorNode
+
+        tree = AndXorTree(
+            AndNode(
+                [
+                    XorNode([(1.0, LeafNode(Tuple("a", 5, 1.0)))]),
+                    XorNode([(0.0, LeafNode(Tuple("b", 4, 1.0))), (0.5, LeafNode(Tuple("c", 3, 1.0)))]),
+                    XorNode([(0.7, LeafNode(Tuple("d", 2, 1.0)))]),
+                ]
+            )
+        )
+        worlds = tree.enumerate_worlds()
+        ordered, values = prfe_values_tree(tree, 0.9)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, lambda i: 0.9 ** i)
+            assert value == pytest.approx(exact, abs=1e-10)
+
+
+class TestGeneralPRFOnTrees:
+    def test_general_weight_matches_bruteforce(self, figure1_tree):
+        worlds = figure1_tree.enumerate_worlds()
+        rf = PRF(NDCGDiscountWeight())
+        ordered, values = prf_values_tree(figure1_tree, rf)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, NDCGDiscountWeight())
+            assert value == pytest.approx(exact, abs=1e-10)
+
+    def test_step_weight_tree(self, rng):
+        tree = random_small_tree(rng, num_leaves=8)
+        worlds = tree.enumerate_worlds()
+        rf = PRFOmega(StepWeight(3))
+        ordered, values = prf_values_tree(tree, rf)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, StepWeight(3))
+            assert value == pytest.approx(exact, abs=1e-10)
+
+    def test_tuple_factor_on_tree(self, figure1_tree):
+        from repro.core.weights import PositionWeight
+
+        rf = PRF(PositionWeight(1), tuple_factor=lambda t: t.score)
+        ordered, values = prf_values_tree(figure1_tree, rf)
+        worlds = figure1_tree.enumerate_worlds()
+        for t, value in zip(ordered, values):
+            exact = t.score * prf_by_enumeration(worlds, t.tid, PositionWeight(1))
+            assert value == pytest.approx(exact, abs=1e-10)
+
+
+class TestConsistencyWithIndependentAlgorithms:
+    def test_independent_tree_equals_flat_relation(self, rng):
+        relation = random_relation(10, rng, allow_certain=False)
+        tree = AndXorTree.from_independent(relation)
+        for rf in (PRFe(0.8), PRFOmega(StepWeight(4)), PRF(NDCGDiscountWeight())):
+            flat = rank(relation, rf)
+            nested = rank(tree, rf)
+            assert flat.tids() == nested.tids(), type(rf).__name__
+
+    def test_rank_tree_dispatch_linear_combination(self, figure1_tree):
+        from repro import LinearCombinationPRFe
+
+        rf = LinearCombinationPRFe([0.7, 0.3], [0.9, 0.5])
+        result = rank_tree(figure1_tree, rf)
+        _, a = prfe_values_tree(figure1_tree, 0.9)
+        _, b = prfe_values_tree(figure1_tree, 0.5)
+        combined = 0.7 * a + 0.3 * b
+        ordered = figure1_tree.sorted_tuples()
+        expected_order = [
+            t.tid
+            for t, _ in sorted(
+                zip(ordered, combined), key=lambda pair: -abs(pair[1])
+            )
+        ]
+        assert result.tids() == expected_order
+
+    def test_rank_tree_result_is_complete(self, figure1_tree):
+        result = rank_tree(figure1_tree, PRFe(0.9))
+        assert sorted(result.tids()) == sorted(t.tid for t in figure1_tree.tuples())

@@ -1,0 +1,150 @@
+"""Tests for the and/xor tree model (construction, worlds, marginals)."""
+
+import numpy as np
+import pytest
+
+from repro import AndNode, AndXorTree, LeafNode, ProbabilisticRelation, Tuple, XorNode
+from repro.core.possible_worlds import PossibleWorld
+from tests.conftest import random_small_tree
+
+
+class TestConstruction:
+    def test_leaf_count_and_height(self, figure1_tree):
+        assert len(figure1_tree) == 6
+        assert figure1_tree.height() == 3
+
+    def test_duplicate_leaf_ids_rejected(self):
+        with pytest.raises(ValueError):
+            AndXorTree(AndNode([LeafNode(Tuple("a", 1, 1.0)), LeafNode(Tuple("a", 2, 1.0))]))
+
+    def test_xor_probabilities_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            XorNode([(0.7, LeafNode(Tuple("a", 1, 1.0))), (0.6, LeafNode(Tuple("b", 2, 1.0)))])
+
+    def test_xor_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            XorNode([(-0.1, LeafNode(Tuple("a", 1, 1.0)))])
+
+    def test_and_node_requires_children(self):
+        with pytest.raises(ValueError):
+            AndNode([])
+
+    def test_leaf_depths(self, figure1_tree):
+        depths = figure1_tree.leaf_depths()
+        assert set(depths.values()) == {2}
+
+    def test_sorted_tuples_descending_scores(self, figure1_tree):
+        scores = [t.score for t in figure1_tree.sorted_tuples()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_get_leaf(self, figure1_tree):
+        assert figure1_tree.get("t4").score == 95.0
+        with pytest.raises(KeyError):
+            figure1_tree.get("zzz")
+
+
+class TestWorlds:
+    def test_figure1_world_probabilities(self, figure1_tree):
+        worlds = {w.tids(): w.probability for w in figure1_tree.enumerate_worlds()}
+        # Figure 1 lists pw1 = {t2, t1, t6, t4} with probability .112 and
+        # pw6 = {t2, t5, t6} with probability .252 (tuples sorted by speed).
+        assert worlds[("t2", "t1", "t6", "t4")] == pytest.approx(0.112)
+        assert worlds[("t2", "t5", "t6")] == pytest.approx(0.252)
+        assert len(worlds) == 8
+        assert sum(worlds.values()) == pytest.approx(1.0)
+
+    def test_figure2_world_probabilities(self, figure2_tree):
+        worlds = {w.tids(): w.probability for w in figure2_tree.enumerate_worlds()}
+        assert worlds[("t3@2", "t1@2")] == pytest.approx(0.3)
+        assert worlds[("t2@3", "t4@3", "t5@3")] == pytest.approx(0.4)
+        assert len(worlds) == 3
+
+    def test_enumeration_merges_identical_worlds(self):
+        leaf = LeafNode(Tuple("a", 1, 1.0))
+        tree = AndXorTree(XorNode([(0.4, leaf)]))
+        worlds = tree.enumerate_worlds()
+        assert len(worlds) == 2  # {a} and {}
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_enumeration_limit(self, rng):
+        tree = random_small_tree(rng, num_leaves=6)
+        with pytest.raises(ValueError):
+            tree.enumerate_worlds(max_worlds=1)
+
+    def test_sampling_matches_enumeration(self, figure1_tree):
+        exact = {w.tids(): w.probability for w in figure1_tree.enumerate_worlds()}
+        counts: dict = {}
+        for world in figure1_tree.sample_worlds(6000, rng=3):
+            counts[world.tids()] = counts.get(world.tids(), 0.0) + world.probability
+        for key, probability in exact.items():
+            assert counts.get(key, 0.0) == pytest.approx(probability, abs=0.04)
+
+    def test_sample_world_single(self, figure1_tree):
+        world = figure1_tree.sample_world(rng=1)
+        assert "t6" in world  # t6 is certain
+
+
+class TestMarginalsAndViews:
+    def test_figure1_marginals(self, figure1_tree):
+        marginals = figure1_tree.marginal_probabilities()
+        assert marginals["t1"] == pytest.approx(0.4)
+        assert marginals["t2"] == pytest.approx(0.7)
+        assert marginals["t6"] == pytest.approx(1.0)
+
+    def test_marginals_match_enumeration(self, rng):
+        for _ in range(5):
+            tree = random_small_tree(rng, num_leaves=7)
+            worlds = tree.enumerate_worlds()
+            marginals = tree.marginal_probabilities()
+            for t in tree.tuples():
+                exact = sum(w.probability for w in worlds if t.tid in w)
+                assert marginals[t.tid] == pytest.approx(exact, abs=1e-9), t.tid
+
+    def test_to_relation_keeps_scores_and_marginals(self, figure1_tree):
+        relation = figure1_tree.to_relation()
+        assert len(relation) == 6
+        assert relation.get("t5").probability == pytest.approx(0.6)
+        assert relation.get("t5").score == 110.0
+
+
+class TestConstructors:
+    def test_from_independent_equivalence(self, rng):
+        relation = ProbabilisticRelation.from_pairs([(5, 0.3), (4, 0.8), (3, 0.5)])
+        tree = AndXorTree.from_independent(relation)
+        marginals = tree.marginal_probabilities()
+        for t in relation:
+            assert marginals[t.tid] == pytest.approx(t.probability)
+        worlds = tree.enumerate_worlds()
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_from_x_tuples_mutual_exclusion(self):
+        groups = [
+            [Tuple("a1", 5, 0.4), Tuple("a2", 4, 0.5)],
+            [Tuple("b1", 3, 0.9)],
+        ]
+        tree = AndXorTree.from_x_tuples(groups)
+        for world in tree.enumerate_worlds():
+            assert not ("a1" in world and "a2" in world)
+
+    def test_from_x_tuples_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            AndXorTree.from_x_tuples([[]])
+
+    def test_from_possible_worlds_roundtrip(self):
+        worlds = [
+            PossibleWorld((Tuple("x", 5, 1.0), Tuple("y", 3, 1.0)), 0.25),
+            PossibleWorld((Tuple("x", 5, 1.0),), 0.35),
+            PossibleWorld((), 0.4),
+        ]
+        tree = AndXorTree.from_possible_worlds(worlds)
+        rebuilt = tree.enumerate_worlds()
+        probabilities = sorted(w.probability for w in rebuilt)
+        assert probabilities == pytest.approx([0.25, 0.35, 0.4])
+
+    def test_from_possible_worlds_overweight_rejected(self):
+        worlds = [
+            PossibleWorld((Tuple("x", 5, 1.0),), 0.8),
+            PossibleWorld((Tuple("y", 5, 1.0),), 0.6),
+        ]
+        with pytest.raises(ValueError):
+            AndXorTree.from_possible_worlds(worlds)

@@ -1,0 +1,192 @@
+"""Tests for the baseline ranking functions (E-Score, E-Rank, PT(h), U-Rank, k-selection)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PRFLinear, ProbabilisticRelation, Tuple, rank
+from repro.andxor.tree import AndXorTree
+from repro.baselines import (
+    expected_best_score,
+    expected_rank_ranking,
+    expected_rank_values,
+    expected_score_ranking,
+    expected_score_topk,
+    expected_score_values,
+    global_topk,
+    greedy_k_selection,
+    k_selection,
+    k_selection_ranking,
+    pt_ranking,
+    pt_topk,
+    pt_values,
+    u_rank_assignment,
+    u_rank_topk,
+)
+from repro.core.possible_worlds import enumerate_worlds
+from tests.conftest import random_relation, random_small_tree
+
+
+@pytest.fixture
+def relation():
+    return ProbabilisticRelation.from_pairs(
+        [(10, 0.3), (9, 0.9), (8, 0.5), (7, 0.8), (6, 0.2)]
+    )
+
+
+class TestExpectedScore:
+    def test_values(self, relation):
+        values = expected_score_values(relation)
+        assert values["t1"] == pytest.approx(3.0)
+        assert values["t2"] == pytest.approx(8.1)
+
+    def test_topk_order(self, relation):
+        assert expected_score_topk(relation, 2) == ["t2", "t4"]
+
+    def test_invariant_to_correlations(self, figure1_tree):
+        tree_ranking = expected_score_ranking(figure1_tree).tids()
+        flat_ranking = expected_score_ranking(figure1_tree.to_relation()).tids()
+        assert tree_ranking == flat_ranking
+
+
+class TestExpectedRank:
+    def test_matches_enumeration_independent(self, rng):
+        relation = random_relation(7, rng)
+        worlds = enumerate_worlds(relation)
+        values = expected_rank_values(relation)
+        for t in relation:
+            exact = sum(
+                w.probability * (w.rank_of(t.tid) if t.tid in w else len(w))
+                for w in worlds
+            )
+            assert values[t.tid] == pytest.approx(exact, abs=1e-9), t.tid
+
+    def test_matches_enumeration_tree(self, rng):
+        tree = random_small_tree(rng, num_leaves=7)
+        worlds = tree.enumerate_worlds()
+        values = expected_rank_values(tree)
+        for t in tree.tuples():
+            exact = sum(
+                w.probability * (w.rank_of(t.tid) if t.tid in w else len(w))
+                for w in worlds
+            )
+            assert values[t.tid] == pytest.approx(exact, abs=1e-9), t.tid
+
+    def test_ranking_is_increasing_in_expected_rank(self, relation):
+        result = expected_rank_ranking(relation)
+        values = expected_rank_values(relation)
+        ordered_values = [values[tid] for tid in result.tids()]
+        assert ordered_values == sorted(ordered_values)
+
+    def test_er1_equals_negated_prf_linear(self, rng):
+        """The decomposition of Section 3.3: er1(t) = -PRF_l(t)."""
+        relation = random_relation(6, rng)
+        worlds = enumerate_worlds(relation)
+        prfl = rank(relation, PRFLinear())
+        for t in relation:
+            er1 = sum(
+                w.probability * w.rank_of(t.tid) for w in worlds if t.tid in w
+            )
+            assert -prfl.value_of(t.tid) == pytest.approx(er1, abs=1e-9)
+
+
+class TestPTTopk:
+    def test_pt_values_are_prefix_sums(self, relation):
+        from repro.algorithms.independent import positional_probabilities
+
+        values = pt_values(relation, 2)
+        ordered, matrix = positional_probabilities(relation, max_rank=2)
+        for i, t in enumerate(ordered):
+            assert values[t.tid] == pytest.approx(matrix[i].sum())
+
+    def test_pt_h_one_equals_top1_probability(self, relation):
+        values = pt_values(relation, 1)
+        # Highest-score tuple: Pr(rank 1) is just its probability.
+        assert values["t1"] == pytest.approx(0.3)
+
+    def test_pt_ranking_monotone_in_h(self, relation):
+        # With h = n every tuple's value equals its probability.
+        values = pt_values(relation, len(relation))
+        for t in relation:
+            assert values[t.tid] == pytest.approx(t.probability)
+
+    def test_global_topk_is_pt_with_h_equal_k(self, relation):
+        assert global_topk(relation, 3) == pt_topk(relation, 3, h=3)
+
+    def test_pt_on_tree_matches_enumeration(self, figure1_tree):
+        worlds = figure1_tree.enumerate_worlds()
+        values = pt_values(figure1_tree, 2)
+        for t in figure1_tree.tuples():
+            exact = sum(w.probability for w in worlds if w.rank_of(t.tid) <= 2)
+            assert values[t.tid] == pytest.approx(exact, abs=1e-9)
+
+    def test_invalid_h(self, relation):
+        with pytest.raises(ValueError):
+            pt_values(relation, 0)
+        with pytest.raises(ValueError):
+            pt_ranking(relation, 0)
+
+
+class TestURank:
+    def test_assignment_probabilities_match_enumeration(self, relation):
+        worlds = enumerate_worlds(relation)
+        assignment = u_rank_assignment(relation, 3, distinct=False)
+        for position, (tid, probability) in enumerate(assignment, start=1):
+            best = max(
+                (
+                    sum(w.probability for w in worlds if w.rank_of(t.tid) == position)
+                    for t in relation
+                ),
+            )
+            assert probability == pytest.approx(best, abs=1e-9)
+
+    def test_distinct_mode_has_no_duplicates(self, rng):
+        relation = random_relation(12, rng)
+        answer = u_rank_topk(relation, 8)
+        assert len(answer) == len(set(answer)) == 8
+
+    def test_non_distinct_mode_can_repeat(self):
+        relation = ProbabilisticRelation.from_pairs([(10, 0.99), (9, 0.1), (8, 0.1)])
+        answer = u_rank_topk(relation, 2, distinct=False)
+        assert answer[0] == "t1"
+
+    def test_k_validation(self, relation):
+        with pytest.raises(ValueError):
+            u_rank_topk(relation, 0)
+
+    def test_works_on_trees(self, figure1_tree):
+        answer = u_rank_topk(figure1_tree, 3)
+        assert len(answer) == 3
+        assert set(answer) <= {t.tid for t in figure1_tree.tuples()}
+
+
+class TestKSelection:
+    def test_ranking_values(self, relation):
+        result = k_selection_ranking(relation)
+        # Highest-score tuple: value = score * probability of being top-1.
+        assert result.value_of("t1") == pytest.approx(10 * 0.3)
+
+    def test_k_selection_subset_size(self, relation):
+        assert len(k_selection(relation, 3)) == 3
+
+    def test_expected_best_score_manual(self, relation):
+        # S = {t1, t2}: E[max] = 10*0.3 + 9*0.9*0.7
+        assert expected_best_score(relation, ["t1", "t2"]) == pytest.approx(
+            10 * 0.3 + 9 * 0.9 * 0.7
+        )
+
+    def test_greedy_matches_bruteforce_on_small_inputs(self, rng):
+        relation = random_relation(6, rng)
+        import itertools
+
+        best = max(
+            (expected_best_score(relation, subset), subset)
+            for subset in itertools.combinations([t.tid for t in relation], 2)
+        )[0]
+        greedy = expected_best_score(relation, greedy_k_selection(relation, 2))
+        assert greedy >= (1 - 1 / math.e) * best - 1e-9
+
+    def test_greedy_k_validation(self, relation):
+        with pytest.raises(ValueError):
+            greedy_k_selection(relation, -1)

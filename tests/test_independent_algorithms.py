@@ -1,0 +1,177 @@
+"""Tests for the generating-function algorithms on tuple-independent relations."""
+
+import numpy as np
+import pytest
+
+from repro import PRF, PRFOmega, PRFe, ProbabilisticRelation, Tuple
+from repro.algorithms.independent import (
+    expected_world_size_excluding,
+    positional_probabilities,
+    prf_values,
+    prfe_log_values,
+    prfe_values,
+    rank_distributions,
+    rank_independent,
+)
+from repro.core.possible_worlds import (
+    enumerate_worlds,
+    prf_by_enumeration,
+    rank_distribution_by_enumeration,
+)
+from repro.core.weights import ConstantWeight, NDCGDiscountWeight, StepWeight
+from tests.conftest import random_relation
+
+
+class TestPositionalProbabilities:
+    def test_example1_values(self, example1_relation):
+        ordered, matrix = positional_probabilities(example1_relation)
+        assert [t.tid for t in ordered] == ["t1", "t2", "t3"]
+        # Example 1: Pr(r(t3) = 1..3) = .08, .2, .12
+        assert np.allclose(matrix[2], [0.08, 0.2, 0.12])
+
+    def test_rows_sum_to_tuple_probability(self, example1_relation):
+        ordered, matrix = positional_probabilities(example1_relation)
+        for row, t in zip(matrix, ordered):
+            assert row.sum() == pytest.approx(t.probability)
+
+    def test_matches_enumeration_on_random_relations(self, rng):
+        for _ in range(5):
+            relation = random_relation(7, rng)
+            worlds = enumerate_worlds(relation)
+            ordered, matrix = positional_probabilities(relation)
+            for i, t in enumerate(ordered):
+                exact = rank_distribution_by_enumeration(worlds, t.tid, len(relation))
+                assert np.allclose(matrix[i], exact[1:]), t.tid
+
+    def test_max_rank_truncation_consistency(self, rng):
+        relation = random_relation(12, rng)
+        _, full = positional_probabilities(relation)
+        _, truncated = positional_probabilities(relation, max_rank=4)
+        assert truncated.shape == (12, 4)
+        assert np.allclose(truncated, full[:, :4])
+
+    def test_zero_and_one_probability_tuples(self):
+        relation = ProbabilisticRelation(
+            [Tuple("a", 3, 1.0), Tuple("b", 2, 0.0), Tuple("c", 1, 0.5)]
+        )
+        ordered, matrix = positional_probabilities(relation)
+        assert matrix[0, 0] == pytest.approx(1.0)  # certain tuple always rank 1
+        assert np.allclose(matrix[1], 0.0)  # impossible tuple never ranked
+        assert matrix[2, 1] == pytest.approx(0.5)  # c always behind a
+
+    def test_empty_relation(self):
+        relation = ProbabilisticRelation([])
+        ordered, matrix = positional_probabilities(relation)
+        assert ordered == [] and matrix.shape == (0, 0)
+
+    def test_negative_max_rank_rejected(self, example1_relation):
+        with pytest.raises(ValueError):
+            positional_probabilities(example1_relation, max_rank=-1)
+
+    def test_rank_distributions_dict(self, example1_relation):
+        distributions = rank_distributions(example1_relation)
+        assert distributions["t3"][2] == pytest.approx(0.2)
+        assert distributions["t3"][0] == 0.0
+
+
+class TestPRFeValues:
+    def test_example5_value(self, example1_relation):
+        ordered, values = prfe_values(example1_relation, 0.6)
+        by_tid = {t.tid: v for t, v in zip(ordered, values)}
+        assert by_tid["t3"] == pytest.approx(0.14592)
+
+    def test_matches_bruteforce(self, rng):
+        relation = random_relation(8, rng)
+        worlds = enumerate_worlds(relation)
+        for alpha in (0.3, 0.95, 1.0):
+            ordered, values = prfe_values(relation, alpha)
+            for t, value in zip(ordered, values):
+                exact = prf_by_enumeration(worlds, t.tid, lambda i, a=alpha: a ** i)
+                assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_complex_alpha_matches_bruteforce(self, rng):
+        relation = random_relation(6, rng)
+        worlds = enumerate_worlds(relation)
+        alpha = 0.4 + 0.3j
+        ordered, values = prfe_values(relation, alpha)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, lambda i: alpha ** i)
+            assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_log_values_consistent_with_plain_values(self, rng):
+        relation = random_relation(10, rng, allow_certain=False)
+        ordered, log_values = prfe_log_values(relation, 0.8)
+        _, values = prfe_values(relation, 0.8)
+        assert np.allclose(np.exp(log_values), values)
+
+    def test_log_values_reject_bad_alpha(self, example1_relation):
+        with pytest.raises(ValueError):
+            prfe_log_values(example1_relation, 0.0)
+        with pytest.raises(ValueError):
+            prfe_log_values(example1_relation, 1.5)
+
+    def test_alpha_one_ranks_by_probability(self, rng):
+        relation = random_relation(15, rng, allow_certain=False)
+        result = rank_independent(relation, PRFe(1.0))
+        by_probability = sorted(relation, key=lambda t: -t.probability)
+        assert result.tids()[:5] == [t.tid for t in by_probability[:5]]
+
+
+class TestGeneralPRF:
+    def test_general_path_matches_bruteforce(self, rng):
+        relation = random_relation(7, rng)
+        worlds = enumerate_worlds(relation)
+        rf = PRF(NDCGDiscountWeight())
+        ordered, values, _ = prf_values(relation, rf)
+        for t, value in zip(ordered, values):
+            exact = prf_by_enumeration(worlds, t.tid, NDCGDiscountWeight())
+            assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_horizon_path_matches_general(self, rng):
+        relation = random_relation(10, rng)
+        step = PRFOmega(StepWeight(4))
+        unbounded_equivalent = PRF(lambda i: 1.0 if i <= 4 else 0.0)
+        _, horizon_values, _ = prf_values(relation, step)
+        _, general_values, _ = prf_values(relation, unbounded_equivalent)
+        assert np.allclose(horizon_values, general_values)
+
+    def test_tuple_factor_expected_score(self, rng):
+        relation = random_relation(9, rng)
+        rf = PRF(ConstantWeight(), tuple_factor=lambda t: t.score)
+        ordered, values, _ = prf_values(relation, rf)
+        for t, value in zip(ordered, values):
+            assert value == pytest.approx(t.score * t.probability)
+
+    def test_prf_values_linear_combination_matches_sum(self, rng):
+        from repro import LinearCombinationPRFe
+
+        relation = random_relation(8, rng)
+        rf = LinearCombinationPRFe([0.5, 0.25], [0.9, 0.3])
+        _, combined, _ = prf_values(relation, rf)
+        _, a = prfe_values(relation, 0.9)
+        _, b = prfe_values(relation, 0.3)
+        assert np.allclose(combined, 0.5 * a + 0.25 * b)
+
+    def test_rank_independent_result_order(self, example1_relation):
+        result = rank_independent(example1_relation, PRFe(0.6))
+        values = [item.magnitude for item in result]
+        assert values == sorted(values, reverse=True)
+
+    def test_expected_world_size_excluding(self, example1_relation):
+        er2 = expected_world_size_excluding(example1_relation)
+        total = example1_relation.expected_world_size()
+        for t in example1_relation:
+            assert er2[t.tid] == pytest.approx((1 - t.probability) * (total - t.probability))
+
+
+class TestLargeScaleStability:
+    def test_prfe_log_ranking_handles_underflow(self):
+        rng = np.random.default_rng(0)
+        n = 3000
+        scores = rng.permutation(n).astype(float)
+        probabilities = rng.uniform(0.3, 0.9, size=n)
+        relation = ProbabilisticRelation.from_arrays(scores, probabilities)
+        result = rank_independent(relation, PRFe(0.5))
+        # With alpha = 0.5 the raw values underflow far down the list, but the
+        # ranking must still be a permutation with deterministic order.
+        assert len(set(result.tids())) == n

@@ -1,0 +1,134 @@
+"""Tests for learning PRFe / PRFomega ranking functions from preferences."""
+
+import numpy as np
+import pytest
+
+from repro import PRFe, PRFOmega, rank
+from repro.core.weights import StepWeight
+from repro.learning import (
+    USER_FUNCTIONS,
+    PairwiseLinearRanker,
+    alpha_distance_profile,
+    learn_prfe_alpha,
+    learn_prfomega_weights,
+    pairwise_preferences,
+    user_ranking,
+)
+from repro.metrics import kendall_topk_distance
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def relation(rng):
+    return random_relation(150, rng, allow_certain=False)
+
+
+class TestPreferences:
+    def test_user_ranking_known_functions(self, relation):
+        for name in USER_FUNCTIONS:
+            answer = user_ranking(relation, name, 10)
+            assert len(answer) == 10
+
+    def test_user_ranking_unknown_function(self, relation):
+        with pytest.raises(KeyError):
+            user_ranking(relation, "nope", 5)
+
+    def test_pairwise_preferences_all_pairs(self):
+        pairs = pairwise_preferences(["a", "b", "c"])
+        assert ("a", "b") in pairs and ("a", "c") in pairs and ("b", "c") in pairs
+        assert len(pairs) == 3
+
+    def test_pairwise_preferences_subsampling(self):
+        pairs = pairwise_preferences(list(range(30)), max_pairs=50, rng=1)
+        assert len(pairs) == 50
+        assert all(first < second for first, second in pairs)
+
+
+class TestLearnPRFe:
+    def test_recovers_planted_alpha_ranking(self, relation):
+        target_alpha = 0.85
+        k = 30
+        target = rank(relation, PRFe(target_alpha)).top_k(k)
+        learned = learn_prfe_alpha(relation, target, k=k)
+        assert learned.distance <= 0.02
+        learned_answer = rank(relation, learned.ranking_function()).top_k(k)
+        assert kendall_topk_distance(learned_answer, target, k=k) <= 0.02
+
+    def test_learns_pt_reasonably(self, relation):
+        k = 30
+        target = user_ranking(relation, "PT(h)", k)
+        learned = learn_prfe_alpha(relation, target, k=k)
+        assert learned.distance < 0.35
+
+    def test_empty_target_rejected(self, relation):
+        with pytest.raises(ValueError):
+            learn_prfe_alpha(relation, [])
+
+    def test_invalid_interval_rejected(self, relation):
+        with pytest.raises(ValueError):
+            learn_prfe_alpha(relation, ["t1"], lower=0.9, upper=0.2)
+
+    def test_distance_profile_shape(self, relation):
+        target = rank(relation, PRFe(0.9)).top_k(20)
+        profile = alpha_distance_profile(relation, target, alphas=[0.1, 0.5, 0.9], k=20)
+        assert len(profile) == 3
+        assert all(0.0 <= distance <= 1.0 for _, distance in profile)
+        # The planted alpha should be the best of the three probes.
+        assert min(profile, key=lambda pair: pair[1])[0] == 0.9
+
+
+class TestPairwiseLinearRanker:
+    def test_separable_problem(self):
+        rng = np.random.default_rng(0)
+        true_weights = np.array([3.0, 2.0, 1.0, 0.0])
+        features = rng.uniform(size=(40, 4))
+        scores = features @ true_weights
+        order = np.argsort(-scores)
+        differences = np.array(
+            [
+                features[order[i]] - features[order[j]]
+                for i in range(len(order))
+                for j in range(i + 1, len(order))
+            ]
+        )
+        ranker = PairwiseLinearRanker(iterations=100, seed=1).fit(differences)
+        assert ranker.violations(differences) <= 0.03 * len(differences)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            PairwiseLinearRanker().fit(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            PairwiseLinearRanker(iterations=0)
+        with pytest.raises(ValueError):
+            PairwiseLinearRanker(regularization=-1)
+
+    def test_objective_requires_fit(self):
+        ranker = PairwiseLinearRanker()
+        with pytest.raises(RuntimeError):
+            ranker.objective(np.ones((1, 2)))
+
+
+class TestLearnPRFOmega:
+    def test_learns_step_function_ranking(self, relation):
+        k, h = 20, 20
+        target = rank(relation, PRFOmega(StepWeight(h))).top_k(k)
+        preferences = pairwise_preferences(target, max_pairs=150, rng=2)
+        learned = learn_prfomega_weights(relation, preferences, h=h, seed=3)
+        learned_answer = rank(relation, learned.ranking_function()).top_k(k)
+        assert kendall_topk_distance(learned_answer, target, k=k) < 0.3
+
+    def test_validation(self, relation):
+        with pytest.raises(ValueError):
+            learn_prfomega_weights(relation, [], h=5)
+        with pytest.raises(ValueError):
+            learn_prfomega_weights(relation, [("t1", "t2")], h=0)
+        with pytest.raises(KeyError):
+            learn_prfomega_weights(relation, [("t1", "bogus")], h=5)
+
+    def test_learned_object_fields(self, relation):
+        target = rank(relation, PRFe(0.9)).top_k(10)
+        preferences = pairwise_preferences(target, max_pairs=30, rng=4)
+        learned = learn_prfomega_weights(relation, preferences, h=10, seed=5)
+        assert learned.weights.shape == (10,)
+        assert learned.objective >= 0.0
+        assert isinstance(learned.ranking_function(), PRFOmega)

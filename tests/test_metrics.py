@@ -1,0 +1,98 @@
+"""Tests for the ranking-comparison metrics."""
+
+import pytest
+
+from repro.metrics import (
+    kendall_full_distance,
+    kendall_topk_distance,
+    set_overlap,
+    symmetric_difference,
+    weighted_symmetric_difference,
+)
+
+
+class TestKendallTopK:
+    def test_identical_lists(self):
+        assert kendall_topk_distance(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_disjoint_lists_distance_one(self):
+        assert kendall_topk_distance(["a", "b"], ["c", "d"]) == pytest.approx(1.0)
+
+    def test_reversed_lists(self):
+        # All 3 pairs inverted out of k^2 = 9.
+        assert kendall_topk_distance(["a", "b", "c"], ["c", "b", "a"]) == pytest.approx(3 / 9)
+
+    def test_single_swap(self):
+        assert kendall_topk_distance(["a", "b", "c"], ["a", "c", "b"]) == pytest.approx(1 / 9)
+
+    def test_partial_overlap_case2(self):
+        # k = 2; lists share "a"; "b" only in first, "c" only in second.
+        # Pairs: (a,b): b in K1 behind a, b not in K2, a in K2 -> no inversion.
+        #        (a,c): symmetric, no inversion.  (b,c): case 3 -> inversion.
+        assert kendall_topk_distance(["a", "b"], ["a", "c"]) == pytest.approx(1 / 4)
+
+    def test_case2_inversion(self):
+        # "b" ranked above "a" in K1, but only "a" survives into K2.
+        assert kendall_topk_distance(["b", "a"], ["a", "c"]) == pytest.approx(2 / 4)
+
+    def test_k_parameter_truncates(self):
+        first = ["a", "b", "c", "d"]
+        second = ["a", "b", "x", "y"]
+        assert kendall_topk_distance(first, second, k=2) == 0.0
+
+    def test_unnormalized_counts(self):
+        assert kendall_topk_distance(["a", "b"], ["c", "d"], normalized=False) == 4
+
+    def test_symmetry(self):
+        first, second = ["a", "b", "c"], ["b", "d", "a"]
+        assert kendall_topk_distance(first, second) == kendall_topk_distance(second, first)
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_topk_distance(["a", "a"], ["b", "c"])
+
+    def test_empty_lists(self):
+        assert kendall_topk_distance([], []) == 0.0
+
+    def test_overlap_bound_from_distance(self):
+        """If the distance is delta, the lists share at least 1 - sqrt(delta) of items."""
+        first = ["a", "b", "c", "d", "e"]
+        second = ["a", "c", "b", "f", "e"]
+        delta = kendall_topk_distance(first, second)
+        overlap = set_overlap(first, second)
+        assert overlap >= 1 - delta ** 0.5 - 1e-9
+
+
+class TestKendallFull:
+    def test_identical(self):
+        assert kendall_full_distance(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_reversed(self):
+        assert kendall_full_distance(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+    def test_requires_same_items(self):
+        with pytest.raises(ValueError):
+            kendall_full_distance(["a", "b"], ["a", "c"])
+
+    def test_single_item(self):
+        assert kendall_full_distance(["a"], ["a"]) == 0.0
+
+
+class TestSetDistances:
+    def test_symmetric_difference(self):
+        assert symmetric_difference(["a", "b"], ["b", "c"]) == 2.0
+        assert symmetric_difference(["a"], ["a"]) == 0.0
+
+    def test_weighted_symmetric_difference(self):
+        weight = lambda i: 1.0 / i
+        # "x" at position 1 and "y" at position 2 are missing from the answer.
+        assert weighted_symmetric_difference(["a"], ["x", "y", "a"], weight) == pytest.approx(
+            1.0 + 0.5
+        )
+
+    def test_weighted_difference_zero_when_covered(self):
+        assert weighted_symmetric_difference(["a", "b"], ["a", "b"], lambda i: 1.0) == 0.0
+
+    def test_set_overlap(self):
+        assert set_overlap(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+        assert set_overlap([], [], k=0) == 1.0

@@ -1,0 +1,65 @@
+"""Tests for the Monte-Carlo estimators."""
+
+import numpy as np
+import pytest
+
+from repro import PRFe, ProbabilisticRelation
+from repro.algorithms.independent import positional_probabilities, prfe_values
+from repro.algorithms.montecarlo import (
+    estimate_prf_values,
+    estimate_rank_distributions,
+    estimate_topk_set_probabilities,
+    rank_by_monte_carlo,
+    standard_error,
+)
+from repro.core.possible_worlds import enumerate_worlds, sample_worlds
+
+
+@pytest.fixture
+def relation():
+    return ProbabilisticRelation.from_pairs(
+        [(10, 0.8), (9, 0.4), (8, 0.6), (7, 0.3), (6, 0.9)]
+    )
+
+
+class TestEstimators:
+    def test_rank_distribution_estimates_close_to_exact(self, relation):
+        worlds = list(sample_worlds(relation, 8000, rng=5))
+        estimates = estimate_rank_distributions(worlds, [t.tid for t in relation], max_rank=5)
+        ordered, exact = positional_probabilities(relation)
+        for i, t in enumerate(ordered):
+            assert np.allclose(estimates[t.tid][1:], exact[i], atol=0.04)
+
+    def test_exact_worlds_give_exact_estimates(self, relation):
+        worlds = enumerate_worlds(relation)
+        estimates = estimate_rank_distributions(worlds, ["t1"], max_rank=5)
+        _, exact = positional_probabilities(relation)
+        assert np.allclose(estimates["t1"][1:], exact[0], atol=1e-12)
+
+    def test_prf_value_estimates(self, relation):
+        worlds = enumerate_worlds(relation)
+        values = estimate_prf_values(worlds, list(relation), PRFe(0.7))
+        ordered, exact = prfe_values(relation, 0.7)
+        for t, value in zip(ordered, exact):
+            assert values[t.tid] == pytest.approx(value, abs=1e-12)
+
+    def test_rank_by_monte_carlo_recovers_exact_order(self, relation):
+        worlds = enumerate_worlds(relation)
+        result = rank_by_monte_carlo(worlds, list(relation), PRFe(0.7))
+        from repro import rank
+
+        exact = rank(relation, PRFe(0.7))
+        assert result.tids() == exact.tids()
+
+    def test_topk_set_probabilities_sum_to_one(self, relation):
+        worlds = enumerate_worlds(relation)
+        totals = estimate_topk_set_probabilities(worlds, 2)
+        assert sum(totals.values()) == pytest.approx(1.0)
+
+    def test_topk_set_requires_positive_k(self, relation):
+        with pytest.raises(ValueError):
+            estimate_topk_set_probabilities(enumerate_worlds(relation), 0)
+
+    def test_standard_error(self):
+        assert standard_error(0.5, 100) == pytest.approx(0.05)
+        assert standard_error(0.5, 0) == float("inf")

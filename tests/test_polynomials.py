@@ -1,0 +1,122 @@
+"""Tests for the polynomial-expansion toolbox (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.polynomials import (
+    PolynomialExpression,
+    evaluate,
+    expand_expression,
+    multiply,
+    multiply_fft,
+    multiply_naive,
+    product_divide_and_conquer,
+    product_naive,
+    trim,
+)
+
+
+class TestBasicOperations:
+    def test_trim_removes_trailing_zeros(self):
+        assert trim(np.array([1.0, 2.0, 0.0, 0.0])).tolist() == [1.0, 2.0]
+
+    def test_trim_all_zero(self):
+        assert trim(np.array([0.0, 0.0])).tolist() == [0.0]
+
+    def test_trim_empty(self):
+        assert trim(np.array([])).tolist() == [0.0]
+
+    def test_multiply_naive_known_product(self):
+        # (1 + x)(2 + 3x) = 2 + 5x + 3x^2
+        assert multiply_naive([1, 1], [2, 3]).tolist() == [2, 5, 3]
+
+    def test_multiply_fft_matches_naive(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=40)
+        b = rng.normal(size=70)
+        assert np.allclose(multiply_fft(a, b), multiply_naive(a, b))
+
+    def test_multiply_fft_complex(self):
+        a = np.array([1 + 1j, 2])
+        b = np.array([0.5, -1j])
+        assert np.allclose(multiply_fft(a, b), np.convolve(a, b))
+
+    def test_multiply_dispatch(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=100)
+        b = rng.normal(size=3)
+        assert np.allclose(multiply(a, b), np.convolve(a, b))
+
+    def test_evaluate_horner(self):
+        # 1 + 2x + 3x^2 at x = 2 -> 17
+        assert evaluate(np.array([1.0, 2.0, 3.0]), 2.0) == pytest.approx(17.0)
+
+
+class TestProducts:
+    def test_product_naive_and_dc_agree(self):
+        rng = np.random.default_rng(3)
+        polys = [rng.normal(size=rng.integers(1, 6)) for _ in range(12)]
+        assert np.allclose(product_naive(polys), product_divide_and_conquer(polys), atol=1e-8)
+
+    def test_product_of_bernoulli_factors_is_distribution(self):
+        probabilities = [0.2, 0.5, 0.9, 0.4]
+        polys = [np.array([1 - p, p]) for p in probabilities]
+        product = product_divide_and_conquer(polys)
+        assert product.sum() == pytest.approx(1.0)
+        assert product.size == len(probabilities) + 1
+
+    def test_product_empty_list(self):
+        assert product_divide_and_conquer([]).tolist() == [1.0]
+        assert product_naive([]).tolist() == [1.0]
+
+    def test_product_single_factor(self):
+        assert product_divide_and_conquer([np.array([1.0, 2.0])]).tolist() == [1.0, 2.0]
+
+    def test_product_with_one_dominant_factor(self):
+        rng = np.random.default_rng(4)
+        big = rng.normal(size=50)
+        small = [np.array([1.0, p]) for p in rng.uniform(size=5)]
+        assert np.allclose(
+            product_divide_and_conquer([big] + small),
+            product_naive([big] + small),
+            atol=1e-8,
+        )
+
+
+class TestExpressionExpansion:
+    def test_simple_expression(self):
+        x = PolynomialExpression.variable()
+        expr = (PolynomialExpression.constant(1) + x) * (x * x)
+        assert np.allclose(expand_expression(expr), [0, 0, 1, 1])
+
+    def test_nested_expression_matches_numpy(self):
+        x = PolynomialExpression.variable()
+        # ((1 + x + x^2)(x^2 + 2x^3) + x^3 (2 + 3x^4))(1 + 2x)
+        expr = (
+            (1 + x + x * x) * (x * x + 2 * (x * x * x))
+            + (x * x * x) * (2 + 3 * (x * x * x * x))
+        ) * (1 + 2 * x)
+        coefficients = expand_expression(expr)
+        p1 = np.polynomial.polynomial.polymul([1, 1, 1], [0, 0, 1, 2])
+        p2 = np.polynomial.polynomial.polymul([0, 0, 0, 1], [2, 0, 0, 0, 3])
+        total = np.polynomial.polynomial.polyadd(p1, p2)
+        expected = np.polynomial.polynomial.polymul(total, [1, 2])
+        assert np.allclose(coefficients[: expected.size], expected, atol=1e-8)
+
+    def test_degree_bound(self):
+        x = PolynomialExpression.variable()
+        expr = (x + 1) * (x + 1) * (x + 1)
+        assert expr.degree_bound() == 3
+
+    def test_callable_requires_max_degree(self):
+        with pytest.raises(ValueError):
+            expand_expression(lambda z: z + 1)
+
+    def test_callable_with_max_degree(self):
+        coefficients = expand_expression(lambda z: (1 + z) ** 3, max_degree=3)
+        assert np.allclose(coefficients, [1, 3, 3, 1], atol=1e-8)
+
+    def test_type_error_on_bad_operand(self):
+        x = PolynomialExpression.variable()
+        with pytest.raises(TypeError):
+            x + "not a number"  # type: ignore[operator]

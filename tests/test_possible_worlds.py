@@ -1,0 +1,101 @@
+"""Unit tests for possible-world enumeration, sampling and brute-force ranking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ProbabilisticRelation
+from repro.core.possible_worlds import (
+    PossibleWorld,
+    enumerate_worlds,
+    positional_probability_by_enumeration,
+    prf_by_enumeration,
+    rank_distribution_by_enumeration,
+    sample_worlds,
+    world_rank,
+)
+from repro.core.tuples import Tuple
+
+
+class TestPossibleWorld:
+    def test_world_sorts_tuples_by_score(self):
+        world = PossibleWorld((Tuple("a", 1, 1.0), Tuple("b", 5, 1.0)), 0.5)
+        assert world.tids() == ("b", "a")
+
+    def test_rank_of_present_and_absent(self):
+        world = PossibleWorld((Tuple("a", 1, 1.0), Tuple("b", 5, 1.0)), 0.5)
+        assert world.rank_of("b") == 1
+        assert world.rank_of("a") == 2
+        assert world.rank_of("zzz") == math.inf
+
+    def test_top_k_prefix(self):
+        world = PossibleWorld((Tuple("a", 1, 1.0), Tuple("b", 5, 1.0), Tuple("c", 3, 1.0)), 1.0)
+        assert world.top_k(2) == ("b", "c")
+        assert world.top_k(10) == ("b", "c", "a")
+
+    def test_contains_and_len(self):
+        world = PossibleWorld((Tuple("a", 1, 1.0),), 1.0)
+        assert "a" in world and "b" not in world
+        assert len(world) == 1
+
+    def test_world_rank_helper(self):
+        tuples = [Tuple("a", 1, 1.0), Tuple("b", 5, 1.0)]
+        assert world_rank(tuples, "b") == 1
+        assert world_rank(tuples, "missing") == math.inf
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self, example1_relation):
+        worlds = enumerate_worlds(example1_relation)
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_number_of_worlds(self, example1_relation):
+        worlds = enumerate_worlds(example1_relation)
+        assert len(worlds) == 8  # all probabilities strictly inside (0, 1)
+
+    def test_zero_probability_tuples_prune_worlds(self):
+        relation = ProbabilisticRelation.from_pairs([(2, 0.0), (1, 0.5)])
+        worlds = enumerate_worlds(relation)
+        assert all("t1" not in w for w in worlds)
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_refuses_large_relations(self):
+        relation = ProbabilisticRelation.from_pairs([(i, 0.5) for i in range(30)])
+        with pytest.raises(ValueError):
+            enumerate_worlds(relation)
+
+    def test_example1_rank_distribution(self, example1_relation):
+        worlds = enumerate_worlds(example1_relation)
+        distribution = rank_distribution_by_enumeration(worlds, "t3", 3)
+        assert distribution[1] == pytest.approx(0.08)
+        assert distribution[2] == pytest.approx(0.2)
+        assert distribution[3] == pytest.approx(0.12)
+
+    def test_positional_probability_single_entry(self, example1_relation):
+        worlds = enumerate_worlds(example1_relation)
+        assert positional_probability_by_enumeration(worlds, "t3", 2) == pytest.approx(0.2)
+
+    def test_prf_by_enumeration_expected_score_equivalence(self, example1_relation):
+        worlds = enumerate_worlds(example1_relation)
+        # With omega == 1 the PRF value is the existence probability.
+        for t in example1_relation:
+            value = prf_by_enumeration(worlds, t.tid, lambda i: 1.0)
+            assert value == pytest.approx(t.probability)
+
+
+class TestSampling:
+    def test_sample_count_and_weights(self, example1_relation):
+        worlds = list(sample_worlds(example1_relation, 100, rng=1))
+        assert len(worlds) == 100
+        assert all(w.probability == pytest.approx(0.01) for w in worlds)
+
+    def test_sampling_estimates_marginals(self, example1_relation):
+        worlds = list(sample_worlds(example1_relation, 4000, rng=2))
+        estimate = sum(w.probability for w in worlds if "t1" in w)
+        assert estimate == pytest.approx(0.5, abs=0.05)
+
+    def test_sampling_deterministic_given_seed(self, example1_relation):
+        first = [w.tids() for w in sample_worlds(example1_relation, 20, rng=7)]
+        second = [w.tids() for w in sample_worlds(example1_relation, 20, rng=7)]
+        assert first == second

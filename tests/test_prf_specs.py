@@ -1,0 +1,94 @@
+"""Unit tests for the PRF ranking-function specification classes."""
+
+import numpy as np
+import pytest
+
+from repro import PRF, LinearCombinationPRFe, PRFLinear, PRFOmega, PRFe
+from repro.core.weights import ConstantWeight, LinearWeight, StepWeight
+
+
+class TestPRF:
+    def test_accepts_weight_function(self):
+        rf = PRF(StepWeight(5))
+        assert rf.weight.horizon == 5
+
+    def test_accepts_callable(self):
+        rf = PRF(lambda i: 1.0 / i)
+        assert rf.weight(2) == pytest.approx(0.5)
+        assert rf.weight.horizon is None
+
+    def test_accepts_table(self):
+        rf = PRF([3.0, 2.0, 1.0])
+        assert rf.weight(2) == 2.0
+        assert rf.weight.horizon == 3
+
+    def test_tuple_factor(self):
+        from repro import Tuple
+
+        rf = PRF(ConstantWeight(), tuple_factor=lambda t: t.score)
+        assert rf.factor(Tuple("a", 7.0, 0.5)) == 7.0
+        assert PRF(ConstantWeight()).factor(Tuple("a", 7.0, 0.5)) == 1.0
+
+    def test_weight_array(self):
+        rf = PRF(StepWeight(2))
+        assert np.allclose(rf.weight_array(4), [0, 1, 1, 0, 0])
+
+
+class TestPRFOmega:
+    def test_from_table(self):
+        rf = PRFOmega([1.0, 0.5, 0.25])
+        assert rf.h == 3
+        assert rf.weight(2) == 0.5
+
+    def test_from_bounded_weight_function(self):
+        rf = PRFOmega(StepWeight(4))
+        assert rf.h == 4
+
+    def test_unbounded_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PRFOmega(LinearWeight())
+
+
+class TestPRFe:
+    def test_alpha_property(self):
+        assert PRFe(0.7).alpha == 0.7
+        assert PRFe(0.5 + 0.5j).alpha == 0.5 + 0.5j
+
+    def test_weight_is_exponential(self):
+        assert PRFe(0.5).weight(3) == pytest.approx(0.125)
+
+    def test_real_detection(self):
+        assert PRFe(0.9).is_real()
+        assert not PRFe(0.9j).is_real()
+
+
+class TestPRFLinear:
+    def test_weight(self):
+        rf = PRFLinear()
+        assert rf.weight(5) == -5
+
+
+class TestLinearCombinationPRFe:
+    def test_terms_and_len(self):
+        rf = LinearCombinationPRFe([1.0, 2.0], [0.5, 0.25])
+        assert len(rf) == 2
+        assert rf.terms() == [(1.0 + 0j, 0.5 + 0j), (2.0 + 0j, 0.25 + 0j)]
+
+    def test_omega_matches_manual_sum(self):
+        rf = LinearCombinationPRFe([1.0, -0.5], [0.5, 0.9])
+        ranks = np.array([1, 2, 3])
+        expected = 1.0 * 0.5 ** ranks + (-0.5) * 0.9 ** ranks
+        assert np.allclose(rf.omega(ranks), expected)
+
+    def test_weight_callable_consistency(self):
+        rf = LinearCombinationPRFe([1.0], [0.5])
+        assert rf.weight(3) == pytest.approx(0.125)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearCombinationPRFe([1.0, 2.0], [0.5])
+        with pytest.raises(ValueError):
+            LinearCombinationPRFe([], [])
+
+    def test_not_real(self):
+        assert not LinearCombinationPRFe([1.0], [0.5]).is_real()

@@ -1,0 +1,71 @@
+"""Tests for the structural properties of PRFe (Section 7, Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro import PRFe, ProbabilisticRelation, rank
+from repro.experiments.fig6 import count_order_changes, example7_relation, prfe_curves
+from tests.conftest import random_relation
+
+
+class TestBoundaryBehaviour:
+    def test_alpha_one_ranks_by_probability(self, rng):
+        relation = random_relation(20, rng, allow_certain=False)
+        ranking = rank(relation, PRFe(1.0)).tids()
+        probabilities = {t.tid: t.probability for t in relation}
+        values = [probabilities[tid] for tid in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_alpha_near_zero_ranks_by_top1_probability(self, rng):
+        relation = random_relation(12, rng, allow_certain=False)
+        ranking = rank(relation, PRFe(1e-6)).tids()
+        from repro.algorithms.independent import positional_probabilities
+
+        ordered, matrix = positional_probabilities(relation, max_rank=1)
+        top1 = {t.tid: matrix[i, 0] for i, t in enumerate(ordered)}
+        values = [top1[tid] for tid in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_dominated_tuple_never_ranked_above(self, rng):
+        """If t1 dominates t2 (higher score and probability), t1 ranks above t2 for all alpha."""
+        relation = ProbabilisticRelation.from_pairs(
+            [(10, 0.8), (9, 0.5), (8, 0.7), (7, 0.3)]
+        )
+        for alpha in np.linspace(0.01, 1.0, 25):
+            ranking = rank(relation, PRFe(float(alpha))).tids()
+            assert ranking.index("t1") < ranking.index("t2")
+            assert ranking.index("t3") < ranking.index("t4")
+
+
+class TestSingleCrossing:
+    def test_example7_pairs_swap_at_most_once(self):
+        relation = example7_relation()
+        changes = count_order_changes(relation, np.linspace(0.001, 1.0, 300))
+        assert max(changes.values()) <= 1
+
+    def test_random_relations_swap_at_most_once(self, rng):
+        for _ in range(3):
+            relation = random_relation(8, rng, allow_certain=False)
+            changes = count_order_changes(relation, np.linspace(0.001, 1.0, 120))
+            assert max(changes.values()) <= 1
+
+    def test_example7_curves_shape(self):
+        relation = example7_relation()
+        curves = prfe_curves(relation, np.linspace(0.0, 1.0, 11))
+        assert set(curves) == {"t1", "t2", "t3", "t4"}
+        # At alpha = 1 the PRFe value equals the existence probability.
+        assert curves["t4"][-1] == pytest.approx(0.9)
+        assert curves["t1"][-1] == pytest.approx(0.4)
+
+    def test_ratio_monotonicity(self, rng):
+        """The ratio Upsilon(t_j)/Upsilon(t_i) for j > i is non-decreasing in alpha."""
+        from repro.algorithms.independent import prfe_values
+
+        relation = random_relation(6, rng, allow_certain=False)
+        alphas = np.linspace(0.05, 1.0, 30)
+        ratios = []
+        for alpha in alphas:
+            ordered, values = prfe_values(relation, float(alpha))
+            ratios.append(values[4] / values[1])
+        differences = np.diff(ratios)
+        assert np.all(differences >= -1e-9)

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for and/xor trees and their ranking algorithms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import AndNode, AndXorTree, LeafNode, Tuple, XorNode
+from repro.andxor.generating import positional_distribution, world_size_distribution
+from repro.andxor.ranking import prfe_values_tree, prfe_values_tree_recompute
+from repro.core.possible_worlds import prf_by_enumeration, rank_distribution_by_enumeration
+
+
+@st.composite
+def small_trees(draw, max_leaves=7):
+    """Random and/xor trees with up to ``max_leaves`` leaves."""
+    num_leaves = draw(st.integers(min_value=1, max_value=max_leaves))
+    scores = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=num_leaves,
+            max_size=num_leaves,
+        )
+    )
+    nodes = [LeafNode(Tuple(f"t{i}", float(scores[i]), 1.0)) for i in range(num_leaves)]
+    while len(nodes) > 1:
+        take = draw(st.integers(min_value=2, max_value=min(3, len(nodes))))
+        children, nodes = nodes[:take], nodes[take:]
+        make_xor = draw(st.booleans())
+        if make_xor:
+            raw = draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=1.0),
+                    min_size=take,
+                    max_size=take,
+                )
+            )
+            scale = draw(st.floats(min_value=0.3, max_value=1.0))
+            total = sum(raw)
+            probabilities = [value / total * scale for value in raw]
+            nodes.append(XorNode(list(zip(probabilities, children))))
+        else:
+            nodes.append(AndNode(children))
+    return AndXorTree(nodes[0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_trees())
+def test_world_probabilities_sum_to_one(tree):
+    worlds = tree.enumerate_worlds()
+    assert abs(sum(w.probability for w in worlds) - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_trees())
+def test_marginals_match_enumeration(tree):
+    worlds = tree.enumerate_worlds()
+    marginals = tree.marginal_probabilities()
+    for t in tree.tuples():
+        exact = sum(w.probability for w in worlds if t.tid in w)
+        assert abs(marginals[t.tid] - exact) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_trees())
+def test_world_size_distribution_matches_enumeration(tree):
+    sizes = world_size_distribution(tree)
+    worlds = tree.enumerate_worlds()
+    for size in range(len(tree) + 1):
+        exact = sum(w.probability for w in worlds if len(w) == size)
+        assert abs(sizes[size] - exact) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_trees())
+def test_positional_distribution_matches_enumeration(tree):
+    worlds = tree.enumerate_worlds()
+    for t in tree.tuples():
+        exact = rank_distribution_by_enumeration(worlds, t.tid, len(tree))
+        computed = positional_distribution(tree, t.tid)
+        assert np.allclose(computed, exact, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_trees(), st.floats(min_value=0.05, max_value=1.0))
+def test_incremental_prfe_matches_enumeration_and_recompute(tree, alpha):
+    worlds = tree.enumerate_worlds()
+    ordered, incremental = prfe_values_tree(tree, alpha)
+    _, recomputed = prfe_values_tree_recompute(tree, alpha)
+    assert np.allclose(incremental, recomputed, atol=1e-9)
+    for t, value in zip(ordered, incremental):
+        exact = prf_by_enumeration(worlds, t.tid, lambda i: alpha ** i)
+        assert abs(value - exact) < 1e-9

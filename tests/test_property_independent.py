@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for the independent-tuple algorithms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import PRF, PRFe, ProbabilisticRelation, Tuple, rank
+from repro.algorithms.independent import positional_probabilities, prfe_values
+from repro.core.possible_worlds import (
+    enumerate_worlds,
+    prf_by_enumeration,
+    rank_distribution_by_enumeration,
+)
+from repro.core.weights import NDCGDiscountWeight
+
+
+@st.composite
+def relations(draw, min_size=1, max_size=7):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    probabilities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    scores = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50), min_size=size, max_size=size
+        )
+    )
+    tuples = [
+        Tuple(f"t{i}", float(scores[i]), float(probabilities[i])) for i in range(size)
+    ]
+    return ProbabilisticRelation(tuples)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_rank_distribution_sums_to_probability(relation):
+    """sum_j Pr(r(t) = j) == Pr(t) for every tuple."""
+    ordered, matrix = positional_probabilities(relation)
+    for row, t in zip(matrix, ordered):
+        assert abs(row.sum() - t.probability) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_rank_distribution_matches_enumeration(relation):
+    worlds = enumerate_worlds(relation)
+    ordered, matrix = positional_probabilities(relation)
+    for i, t in enumerate(ordered):
+        exact = rank_distribution_by_enumeration(worlds, t.tid, len(relation))
+        assert np.allclose(matrix[i], exact[1:], atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(), st.floats(min_value=0.01, max_value=1.0))
+def test_prfe_fast_path_matches_enumeration(relation, alpha):
+    worlds = enumerate_worlds(relation)
+    ordered, values = prfe_values(relation, alpha)
+    for t, value in zip(ordered, values):
+        exact = prf_by_enumeration(worlds, t.tid, lambda i: alpha ** i)
+        assert abs(value - exact) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations())
+def test_general_prf_matches_enumeration(relation):
+    worlds = enumerate_worlds(relation)
+    weight = NDCGDiscountWeight()
+    result = rank(relation, PRF(weight))
+    for t in relation:
+        exact = prf_by_enumeration(worlds, t.tid, weight)
+        assert abs(result.value_of(t.tid) - exact) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(min_size=2), st.data())
+def test_prfe_ranking_is_permutation(relation, data):
+    alpha = data.draw(st.floats(min_value=0.05, max_value=1.0))
+    result = rank(relation, PRFe(alpha))
+    assert sorted(str(t) for t in result.tids()) == sorted(str(t.tid) for t in relation)

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the ranking metrics and consensus theorems."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ProbabilisticRelation, Tuple
+from repro.baselines import expected_symmetric_difference, pt_topk
+from repro.core.possible_worlds import enumerate_worlds
+from repro.metrics import (
+    kendall_topk_distance,
+    kendall_topk_distance_reference,
+    set_overlap,
+)
+
+
+@st.composite
+def two_topk_lists(draw, universe_size=12, k_max=6):
+    universe = [f"item{i}" for i in range(universe_size)]
+    k = draw(st.integers(min_value=1, max_value=k_max))
+    first = draw(st.permutations(universe))[:k]
+    second = draw(st.permutations(universe))[:k]
+    return list(first), list(second), k
+
+
+@settings(max_examples=100, deadline=None)
+@given(two_topk_lists())
+def test_kendall_distance_is_bounded_and_symmetric(data):
+    first, second, k = data
+    distance = kendall_topk_distance(first, second, k=k)
+    assert 0.0 <= distance <= 1.0
+    assert distance == kendall_topk_distance(second, first, k=k)
+
+
+@settings(max_examples=100, deadline=None)
+@given(two_topk_lists())
+def test_vectorized_kendall_matches_case_based_reference(data):
+    first, second, k = data
+    fast = kendall_topk_distance(first, second, k=k)
+    reference = kendall_topk_distance_reference(first, second, k=k)
+    assert fast == pytest.approx(reference, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(two_topk_lists())
+def test_kendall_identity_of_indiscernibles(data):
+    first, _, k = data
+    assert kendall_topk_distance(first, first, k=k) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(two_topk_lists())
+def test_kendall_overlap_bound(data):
+    """Distance delta implies the lists share at least a 1 - sqrt(delta) fraction."""
+    first, second, k = data
+    delta = kendall_topk_distance(first, second, k=k)
+    assert set_overlap(first, second, k=k) >= 1 - delta ** 0.5 - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(two_topk_lists())
+def test_disjoint_lists_have_distance_one(data):
+    first, second, k = data
+    disjoint_second = [f"other{i}" for i in range(k)]
+    assert kendall_topk_distance(first, disjoint_second, k=k) == 1.0
+
+
+@st.composite
+def small_relations(draw):
+    size = draw(st.integers(min_value=2, max_value=6))
+    probabilities = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=0.95),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    tuples = [Tuple(f"t{i}", float(size - i), probabilities[i]) for i in range(size)]
+    return ProbabilisticRelation(tuples)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_relations(), st.integers(min_value=1, max_value=3))
+def test_pt_topk_is_consensus_answer(relation, k):
+    """Theorem 2 as a property: no candidate set beats PT(k) on expected symmetric difference."""
+    k = min(k, len(relation))
+    worlds = enumerate_worlds(relation)
+    answer = pt_topk(relation, k, h=k)
+    best = expected_symmetric_difference(worlds, answer, k)
+    for candidate in itertools.combinations([t.tid for t in relation], k):
+        assert best <= expected_symmetric_difference(worlds, candidate, k) + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for the unified rank() / rank_distribution() entry points."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PRFe,
+    PRFOmega,
+    ProbabilisticRelation,
+    Tuple,
+    positional_probability,
+    rank,
+    rank_distribution,
+    top_k,
+)
+from repro.andxor.tree import AndXorTree
+from repro.core.weights import StepWeight
+from repro.graphical import Factor, MarkovNetworkRelation
+from tests.conftest import random_relation
+
+
+class TestDispatch:
+    def test_rank_on_relation_tree_and_network(self, rng, figure1_tree):
+        relation = random_relation(6, rng)
+        network = MarkovNetworkRelation.from_independent(relation)
+        for data in (relation, figure1_tree, network):
+            result = rank(data, PRFe(0.9))
+            assert len(result) > 0
+
+    def test_rank_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            rank([1, 2, 3], PRFe(0.5))
+
+    def test_top_k_length_and_validation(self, rng):
+        relation = random_relation(10, rng)
+        assert len(top_k(relation, PRFe(0.9), 4)) == 4
+        with pytest.raises(ValueError):
+            top_k(relation, PRFe(0.9), -1)
+
+    def test_rank_distribution_relation(self, example1_relation):
+        distribution = rank_distribution(example1_relation, "t3")
+        assert distribution[2] == pytest.approx(0.2)
+        with pytest.raises(KeyError):
+            rank_distribution(example1_relation, "bogus")
+
+    def test_rank_distribution_tree(self, figure1_tree):
+        distribution = rank_distribution(figure1_tree, "t4")
+        assert distribution[3] == pytest.approx(0.216)
+
+    def test_rank_distribution_network(self, rng):
+        relation = random_relation(5, rng)
+        network = MarkovNetworkRelation.from_independent(relation)
+        tid = relation[0].tid
+        assert np.allclose(
+            rank_distribution(network, tid), rank_distribution(relation, tid), atol=1e-9
+        )
+
+    def test_rank_distribution_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            rank_distribution({"not": "supported"}, "t1")
+
+    def test_positional_probability(self, example1_relation):
+        assert positional_probability(example1_relation, "t3", 2) == pytest.approx(0.2)
+        assert positional_probability(example1_relation, "t3", 50) == 0.0
+        with pytest.raises(ValueError):
+            positional_probability(example1_relation, "t3", 0)
+
+    def test_same_function_same_answer_across_models(self, rng):
+        """An independent relation must rank identically under all three models."""
+        relation = random_relation(6, rng, allow_certain=False)
+        tree = AndXorTree.from_independent(relation)
+        network = MarkovNetworkRelation.from_independent(relation)
+        rf = PRFOmega(StepWeight(3))
+        expected = rank(relation, rf).tids()
+        assert rank(tree, rf).tids() == expected
+        assert rank(network, rf).tids() == expected

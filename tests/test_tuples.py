@@ -1,0 +1,121 @@
+"""Unit tests for the core tuple / relation data model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ProbabilisticRelation, Tuple
+
+
+class TestTuple:
+    def test_basic_construction(self):
+        t = Tuple("a", 10.0, 0.5, {"color": "red"})
+        assert t.tid == "a"
+        assert t.score == 10.0
+        assert t.probability == 0.5
+        assert t.attributes["color"] == "red"
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Tuple("a", 1.0, 1.5)
+        with pytest.raises(ValueError):
+            Tuple("a", 1.0, -0.2)
+
+    def test_probability_small_overshoot_clamped(self):
+        assert Tuple("a", 1.0, 1.0 + 1e-12).probability == 1.0
+        assert Tuple("a", 1.0, -1e-12).probability == 0.0
+
+    def test_non_finite_score_rejected(self):
+        with pytest.raises(ValueError):
+            Tuple("a", math.nan, 0.5)
+        with pytest.raises(ValueError):
+            Tuple("a", math.inf, 0.5)
+
+    def test_with_probability_and_score(self):
+        t = Tuple("a", 10.0, 0.5)
+        assert t.with_probability(0.9).probability == 0.9
+        assert t.with_probability(0.9).tid == "a"
+        assert t.with_score(3.0).score == 3.0
+        assert t.with_score(3.0).probability == 0.5
+
+    def test_tuples_are_hashable_and_frozen(self):
+        t = Tuple("a", 10.0, 0.5)
+        with pytest.raises(Exception):
+            t.score = 5.0  # type: ignore[misc]
+
+
+class TestProbabilisticRelation:
+    def test_container_protocol(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1), (2, 0.2)])
+        assert len(relation) == 2
+        assert [t.tid for t in relation] == ["t1", "t2"]
+        assert relation[0].tid == "t1"
+        assert "t1" in relation and "zzz" not in relation
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticRelation([Tuple("a", 1, 0.5), Tuple("a", 2, 0.5)])
+
+    def test_non_tuple_elements_rejected(self):
+        with pytest.raises(TypeError):
+            ProbabilisticRelation([("a", 1, 0.5)])  # type: ignore[list-item]
+
+    def test_get_and_missing(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1)])
+        assert relation.get("t1").score == 3
+        with pytest.raises(KeyError):
+            relation.get("nope")
+
+    def test_scores_probabilities_arrays(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1), (2, 0.2), (5, 0.3)])
+        assert np.allclose(relation.scores(), [3, 2, 5])
+        assert np.allclose(relation.probabilities(), [0.1, 0.2, 0.3])
+        assert relation.expected_world_size() == pytest.approx(0.6)
+
+    def test_sorted_by_score_descending(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1), (9, 0.2), (5, 0.3)])
+        assert [t.score for t in relation.sorted_by_score()] == [9, 5, 3]
+
+    def test_sorted_tie_break_by_insertion_order(self):
+        relation = ProbabilisticRelation(
+            [Tuple("a", 5, 0.1), Tuple("b", 5, 0.2), Tuple("c", 7, 0.3)]
+        )
+        assert [t.tid for t in relation.sorted_by_score()] == ["c", "a", "b"]
+
+    def test_score_rank_index(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1), (9, 0.2), (5, 0.3)])
+        index = relation.score_rank_index()
+        assert index["t2"] == 0 and index["t3"] == 1 and index["t1"] == 2
+
+    def test_subset_preserves_order(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1), (9, 0.2), (5, 0.3)])
+        sub = relation.subset(["t3", "t1"])
+        assert [t.tid for t in sub] == ["t1", "t3"]
+
+    def test_subset_unknown_id(self):
+        relation = ProbabilisticRelation.from_pairs([(3, 0.1)])
+        with pytest.raises(KeyError):
+            relation.subset(["bogus"])
+
+    def test_sample_size_and_determinism(self):
+        relation = ProbabilisticRelation.from_pairs([(i, 0.5) for i in range(50)])
+        sample_a = relation.sample(10, rng=3)
+        sample_b = relation.sample(10, rng=3)
+        assert len(sample_a) == 10
+        assert [t.tid for t in sample_a] == [t.tid for t in sample_b]
+
+    def test_sample_invalid_size(self):
+        relation = ProbabilisticRelation.from_pairs([(1, 0.5)])
+        with pytest.raises(ValueError):
+            relation.sample(5)
+        with pytest.raises(ValueError):
+            relation.sample(-1)
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ProbabilisticRelation.from_arrays([1, 2], [0.5])
+
+    def test_from_pairs_generates_sequential_ids(self):
+        relation = ProbabilisticRelation.from_pairs([(1, 0.5), (2, 0.6)], tid_prefix="x")
+        assert [t.tid for t in relation] == ["x1", "x2"]

@@ -1,0 +1,140 @@
+"""Tests for U-Top and the consensus-answer view of PRFomega (Theorems 2 and 3)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import ProbabilisticRelation
+from repro.baselines import (
+    consensus_topk,
+    expected_symmetric_difference,
+    expected_weighted_distance,
+    pt_topk,
+    topk_answer_probability,
+    u_topk,
+    u_topk_independent,
+    u_topk_monte_carlo,
+)
+from repro.core.possible_worlds import enumerate_worlds
+from tests.conftest import random_relation, random_small_tree
+
+
+def _bruteforce_u_topk(relation: ProbabilisticRelation, k: int):
+    """Most probable top-k prefix set by explicit world enumeration."""
+    worlds = enumerate_worlds(relation)
+    totals: dict = {}
+    for world in worlds:
+        prefix = world.top_k(k)
+        if len(prefix) == k:
+            totals[prefix] = totals.get(prefix, 0.0) + world.probability
+    return max(totals.items(), key=lambda pair: pair[1])
+
+
+class TestUTopIndependent:
+    def test_matches_bruteforce_on_random_relations(self, rng):
+        for _ in range(8):
+            relation = random_relation(8, rng, allow_certain=False)
+            for k in (1, 2, 3):
+                answer, probability = u_topk_independent(relation, k)
+                exact_answer, exact_probability = _bruteforce_u_topk(relation, k)
+                assert probability == pytest.approx(exact_probability, abs=1e-9)
+                assert tuple(answer) == exact_answer
+
+    def test_answer_probability_helper(self, rng):
+        relation = random_relation(6, rng, allow_certain=False)
+        answer, probability = u_topk_independent(relation, 2)
+        assert topk_answer_probability(relation, answer) == pytest.approx(probability)
+
+    def test_k_validation(self, rng):
+        relation = random_relation(4, rng)
+        with pytest.raises(ValueError):
+            u_topk_independent(relation, 0)
+        with pytest.raises(ValueError):
+            u_topk_independent(relation, 10)
+
+    def test_certain_prefix_is_the_answer(self):
+        relation = ProbabilisticRelation.from_pairs([(5, 1.0), (4, 1.0), (3, 0.2)])
+        answer, probability = u_topk_independent(relation, 2)
+        assert answer == ["t1", "t2"]
+        assert probability == pytest.approx(1.0)
+
+    def test_unknown_answer_member_rejected(self, rng):
+        relation = random_relation(4, rng)
+        with pytest.raises(KeyError):
+            topk_answer_probability(relation, ["bogus"])
+
+
+class TestUTopCorrelated:
+    def test_monte_carlo_matches_enumeration_mode(self, rng):
+        tree = random_small_tree(rng, num_leaves=6)
+        worlds = tree.enumerate_worlds()
+        totals: dict = {}
+        for world in worlds:
+            totals[world.top_k(2)] = totals.get(world.top_k(2), 0.0) + world.probability
+        exact_best = max(totals.values())
+        answer, probability = u_topk_monte_carlo(tree, 2, num_samples=8000, rng=5)
+        assert probability == pytest.approx(totals.get(tuple(answer), 0.0), abs=0.05)
+        assert totals.get(tuple(answer), 0.0) >= exact_best - 0.05
+
+    def test_u_topk_dispatch(self, rng):
+        relation = random_relation(6, rng)
+        tree = random_small_tree(rng, num_leaves=6)
+        assert isinstance(u_topk(relation, 2), list)
+        assert isinstance(u_topk(tree, 2, num_samples=500, rng=1), list)
+
+
+class TestConsensusTheorems:
+    def test_theorem2_pt_k_minimizes_symmetric_difference(self, rng):
+        """PT(k) is the consensus top-k under symmetric difference (Theorem 2)."""
+        for _ in range(5):
+            relation = random_relation(6, rng, allow_certain=False)
+            k = 2
+            worlds = enumerate_worlds(relation)
+            optimal = set(pt_topk(relation, k, h=k))
+            optimal_cost = expected_symmetric_difference(worlds, optimal, k)
+            for candidate in itertools.combinations([t.tid for t in relation], k):
+                cost = expected_symmetric_difference(worlds, candidate, k)
+                assert optimal_cost <= cost + 1e-9
+
+    def test_theorem3_prfomega_minimizes_weighted_difference(self, rng):
+        """PRFomega's top-k minimizes the expected weighted symmetric difference."""
+        weights = [5.0, 2.0, 0.5]
+        for _ in range(5):
+            relation = random_relation(6, rng, allow_certain=False)
+            k = len(weights)
+            worlds = enumerate_worlds(relation)
+            optimal = consensus_topk(relation, k, weights=weights)
+            optimal_cost = expected_weighted_distance(worlds, optimal, k, weights)
+            for candidate in itertools.combinations([t.tid for t in relation], k):
+                cost = expected_weighted_distance(worlds, candidate, k, weights)
+                assert optimal_cost <= cost + 1e-9
+
+    def test_consensus_defaults_to_pt(self, rng):
+        relation = random_relation(8, rng)
+        assert set(consensus_topk(relation, 3)) == set(pt_topk(relation, 3, h=3))
+
+    def test_consensus_weight_validation(self, rng):
+        relation = random_relation(5, rng)
+        with pytest.raises(ValueError):
+            consensus_topk(relation, 3, weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            consensus_topk(relation, 2, weights=[1.0, -2.0])
+
+    def test_example6_expected_distance(self, figure1_tree):
+        """Example 6 of the paper: E[dis_Delta({t2, t5}, topk(pw))] for k = 2.
+
+        The paper sums .072 * 4 for world pw4 = {t1, t5, t6, t3}, but the top-2
+        of that world is {t1, t5} which shares t5 with the answer, so its
+        symmetric difference is 2 (the printed 4 is a typo in the example);
+        the corrected expectation is 1.736.
+        """
+        worlds = figure1_tree.enumerate_worlds()
+        cost = expected_symmetric_difference(worlds, ["t2", "t5"], 2)
+        expected = (
+            0.112 * 2 + 0.168 * 2 + 0.048 * 4 + 0.072 * 2
+            + 0.168 * 2 + 0.252 * 0 + 0.072 * 4 + 0.108 * 2
+        )
+        assert cost == pytest.approx(expected, abs=1e-9)
+        # {t2, t5} is indeed the consensus answer: it coincides with PT(2).
+        assert set(pt_topk(figure1_tree, 2, h=2)) == {"t2", "t5"}

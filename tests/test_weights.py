@@ -1,0 +1,115 @@
+"""Unit tests for the weight-function family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    CallableWeight,
+    ConstantWeight,
+    ExponentialWeight,
+    LinearWeight,
+    NDCGDiscountWeight,
+    PositionWeight,
+    StepWeight,
+    TabulatedWeight,
+)
+
+
+class TestConstantWeight:
+    def test_values(self):
+        w = ConstantWeight(2.5)
+        assert w(1) == 2.5 and w(100) == 2.5
+
+    def test_rank_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantWeight()(0)
+
+    def test_as_array(self):
+        array = ConstantWeight(1.0).as_array(3)
+        assert np.allclose(array, [0, 1, 1, 1])
+
+
+class TestStepWeight:
+    def test_values_and_horizon(self):
+        w = StepWeight(3)
+        assert [w(i) for i in range(1, 6)] == [1, 1, 1, 0, 0]
+        assert w.horizon == 3
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            StepWeight(0)
+
+
+class TestPositionWeight:
+    def test_indicator_behaviour(self):
+        w = PositionWeight(2)
+        assert [w(i) for i in range(1, 5)] == [0, 1, 0, 0]
+        assert w.horizon == 2
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            PositionWeight(0)
+
+
+class TestLinearWeight:
+    def test_negated_rank(self):
+        w = LinearWeight()
+        assert w(1) == -1 and w(10) == -10
+        assert w.horizon is None
+
+
+class TestExponentialWeight:
+    def test_real_alpha(self):
+        w = ExponentialWeight(0.5)
+        assert w(3) == pytest.approx(0.125)
+        assert w.is_real()
+
+    def test_complex_alpha(self):
+        w = ExponentialWeight(0.5j)
+        assert w(2) == pytest.approx(-0.25 + 0j)
+        assert not w.is_real()
+
+    def test_as_array_complex_dtype(self):
+        array = ExponentialWeight(1j).as_array(2)
+        assert np.iscomplexobj(array)
+
+
+class TestNDCGDiscountWeight:
+    def test_values(self):
+        w = NDCGDiscountWeight()
+        assert w(1) == pytest.approx(1.0)
+        assert w(3) == pytest.approx(math.log(2) / math.log(4))
+        assert w(1) > w(2) > w(10)
+
+
+class TestTabulatedWeight:
+    def test_values_within_and_beyond_table(self):
+        w = TabulatedWeight([0.5, 0.25])
+        assert w(1) == 0.5 and w(2) == 0.25 and w(3) == 0.0
+        assert w.horizon == 2
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedWeight([])
+
+    def test_complex_table(self):
+        w = TabulatedWeight(np.array([1 + 1j]))
+        assert not w.is_real()
+        assert w(1) == 1 + 1j
+
+
+class TestCallableWeight:
+    def test_wraps_function(self):
+        w = CallableWeight(lambda i: 1.0 / i, horizon=None)
+        assert w(4) == pytest.approx(0.25)
+        assert w.is_real()
+
+    def test_horizon_passthrough(self):
+        w = CallableWeight(lambda i: 1.0, horizon=7)
+        assert w.horizon == 7
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            CallableWeight(lambda i: 1.0)(0)
