@@ -38,11 +38,14 @@ from .core import (
     top_k,
 )
 from .andxor import AndNode, AndXorTree, LeafNode, XorNode
+from .engine import Engine, default_engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "Engine",
+    "default_engine",
     "PRF",
     "PRFOmega",
     "PRFe",

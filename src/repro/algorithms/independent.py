@@ -20,12 +20,11 @@ present".
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 
 from ..core.prf import (
-    PRF,
     LinearCombinationPRFe,
     PRFe,
     RankingFunction,
@@ -35,14 +34,71 @@ from ..core.tuples import ProbabilisticRelation, Tuple
 
 __all__ = [
     "positional_probabilities",
+    "prefix_polynomial_matrix",
     "rank_distributions",
     "prf_values",
     "prfe_values",
     "prfe_log_values",
     "rank_independent",
+    "uses_log_space",
 ]
 
 _LOG_EPS = 1e-300
+
+
+def uses_log_space(rf: RankingFunction) -> bool:
+    """Whether ``rf`` is a PRFe spec evaluated on the log-space fast path.
+
+    The single source of truth for this dispatch decision — the engine's
+    batched paths must route exactly the specs that :func:`prf_values`
+    routes, or their orderings diverge on underflowing datasets.
+    """
+    if not isinstance(rf, PRFe):
+        return False
+    alpha = rf.alpha
+    return isinstance(alpha, float) and 0.0 < alpha <= 1.0
+
+
+def _resolve_limit(n: int, max_rank: int | None) -> int:
+    """Number of rank columns to materialize: ``min(max_rank, n)``, validated."""
+    if max_rank is None:
+        return n
+    limit = int(max_rank)
+    if limit != max_rank:
+        raise ValueError(f"max_rank must be an integer, got {max_rank!r}")
+    if limit < 0:
+        raise ValueError(f"max_rank must be non-negative, got {max_rank}")
+    return min(limit, n)
+
+
+def prefix_polynomial_matrix(probabilities: np.ndarray, limit: int) -> np.ndarray:
+    """Prefix generating-function coefficients for every score-sorted prefix.
+
+    Row ``i`` holds the coefficients of ``F^i(x) = prod_{l < i}
+    (1 - p_l + p_l x)`` (Equation 2) truncated to degree ``limit - 1``, so
+    ``matrix[i, m] = Pr(exactly m of the i higher-score tuples are present)``.
+    The positional-probability matrix of :func:`positional_probabilities` is
+    ``prefix_polynomial_matrix(p, limit) * p[:, None]``; the general PRF
+    evaluation is a weighted row sum.  This is the shared hot intermediate
+    cached and batched by :mod:`repro.engine`.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    n = probabilities.size
+    matrix = np.zeros((n, limit), dtype=float)
+    if n == 0 or limit == 0:
+        return matrix
+    prefix = np.zeros(limit, dtype=float)
+    prefix[0] = 1.0
+    shifted = np.empty_like(prefix)
+    for i, p in enumerate(probabilities):
+        matrix[i] = prefix
+        # prefix <- prefix * (1 - p + p x), truncated.  When p == 0 the
+        # polynomial is unchanged, so the update can be skipped.
+        if p != 0.0:
+            shifted[0] = 0.0
+            shifted[1:] = prefix[:-1]
+            prefix = (1.0 - p) * prefix + p * shifted
+    return matrix
 
 
 def positional_probabilities(
@@ -65,37 +121,20 @@ def positional_probabilities(
     (sorted_tuples, matrix):
         ``sorted_tuples`` is the score-descending tuple order and
         ``matrix[i, j - 1] = Pr(r(sorted_tuples[i]) = j)`` for
-        ``j = 1 .. max_rank``.
+        ``j = 1 .. min(max_rank, n)``.  The matrix always has exactly
+        ``min(max_rank, n)`` columns (``n`` when ``max_rank`` is omitted):
+        an empty relation yields shape ``(0, 0)``, ``max_rank=0`` yields
+        ``(n, 0)``, and all-zero-probability tuples yield an all-zero
+        matrix — none of these degenerate inputs warn or raise.
     """
     ordered = relation.sorted_by_score()
     n = len(ordered)
-    limit = n if max_rank is None else min(int(max_rank), n)
-    if limit < 0:
-        raise ValueError(f"max_rank must be non-negative, got {max_rank}")
-    matrix = np.zeros((n, limit), dtype=float)
-    if n == 0 or limit == 0:
-        return ordered, matrix
-
+    limit = _resolve_limit(n, max_rank)
     probabilities = np.array([t.probability for t in ordered], dtype=float)
-    # prefix[m] = coefficient of x^m in prod_{l < i} (1 - p_l + p_l x),
-    # truncated to degree limit - 1 (higher terms never contribute).
-    prefix = np.zeros(limit, dtype=float)
-    prefix[0] = 1.0
-    for i, p in enumerate(probabilities):
-        upto = min(i, limit - 1) + 1
-        matrix[i, :upto] = p * prefix[:upto]
-        #
-
-        # prefix <- prefix * (1 - p + p x), truncated.
-        if p != 0.0:
-            shifted = np.empty_like(prefix)
-            shifted[0] = 0.0
-            shifted[1:] = prefix[:-1]
-            prefix = (1.0 - p) * prefix + p * shifted
-        else:
-            # Tuple never present: the prefix polynomial is unchanged.
-            pass
-    return ordered, matrix
+    prefix = prefix_polynomial_matrix(probabilities, limit)
+    if n == 0 or limit == 0:
+        return ordered, prefix
+    return ordered, prefix * probabilities[:, None]
 
 
 def rank_distributions(
@@ -208,7 +247,7 @@ def prf_values(
     """
     if isinstance(rf, PRFe):
         alpha = rf.alpha
-        if isinstance(alpha, float) and 0.0 < alpha <= 1.0:
+        if uses_log_space(rf):
             ordered, log_values = prfe_log_values(relation, alpha)
             with np.errstate(over="ignore", under="ignore"):
                 values = np.exp(log_values)

@@ -26,7 +26,7 @@ import numpy as np
 from ..core.prf import LinearCombinationPRFe, PRFe, RankingFunction
 from ..core.result import RankingResult
 from ..core.tuples import Tuple
-from .generating import generating_function, positional_probabilities_tree
+from .generating import positional_probabilities_tree
 from .tree import AndNode, AndXorTree, LeafNode, Node, XorNode
 
 __all__ = [

@@ -47,11 +47,16 @@ def sorted_tuples(data) -> list[Tuple]:
 
 
 def positional_matrix(data, max_rank: int | None = None) -> tuple[list[Tuple], np.ndarray]:
-    """Positional probabilities ``Pr(r(t_i) = j)`` for either dataset kind."""
-    if isinstance(data, ProbabilisticRelation):
-        from ..algorithms.independent import positional_probabilities
+    """Positional probabilities ``Pr(r(t_i) = j)`` for either dataset kind.
 
-        return positional_probabilities(data, max_rank=max_rank)
+    Independent relations are served by the shared engine cache, so the
+    baselines (PT(h), U-Rank, the learning features) computing features on
+    the same relation share one prefix generating-function computation.
+    """
+    if isinstance(data, ProbabilisticRelation):
+        from ..engine import default_engine
+
+        return default_engine().positional_matrix(data, max_rank=max_rank)
     tree = _as_tree(data)
     if tree is not None:
         from ..andxor.generating import positional_probabilities_tree

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
 from ._dispatch import positional_matrix
 
 __all__ = ["u_rank_topk", "u_rank_assignment"]

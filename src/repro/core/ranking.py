@@ -48,9 +48,12 @@ def rank(data, rf: RankingFunction, name: str = "") -> RankingResult:
         The complete ranking, best tuple first.
     """
     if isinstance(data, ProbabilisticRelation):
-        from ..algorithms.independent import rank_independent
+        # Independent relations route through the shared engine so repeated
+        # rankings of the same relation reuse its cached intermediates; the
+        # engine reproduces ``rank_independent`` results exactly.
+        from ..engine import default_engine
 
-        return rank_independent(data, rf, name=name)
+        return default_engine().rank(data, rf, name=name)
 
     from ..andxor.tree import AndXorTree
 
@@ -86,12 +89,15 @@ def rank_distribution(data, tid: Any, max_rank: int | None = None) -> np.ndarray
     for every supported correlation model.
     """
     if isinstance(data, ProbabilisticRelation):
-        from ..algorithms.independent import rank_distributions
+        from ..engine import default_engine
 
-        distributions = rank_distributions(data, max_rank=max_rank)
-        if tid not in distributions:
-            raise KeyError(f"no tuple with identifier {tid!r}")
-        return distributions[tid]
+        ordered, matrix = default_engine().positional_matrix(data, max_rank=max_rank)
+        for i, t in enumerate(ordered):
+            if t.tid == tid:
+                padded = np.zeros(matrix.shape[1] + 1, dtype=float)
+                padded[1:] = matrix[i]
+                return padded
+        raise KeyError(f"no tuple with identifier {tid!r}")
 
     from ..andxor.tree import AndXorTree
 

@@ -29,8 +29,6 @@ applications resemble the real schema.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from ..core.tuples import ProbabilisticRelation, Tuple

@@ -17,8 +17,6 @@ The tree generators follow the paper's parameterization: the tree height
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
-
 import numpy as np
 
 from ..andxor.tree import AndNode, AndXorTree, LeafNode, Node, XorNode

@@ -1,0 +1,34 @@
+"""Batched, cached, shardable ranking engine (the scaling seam of the repo).
+
+The engine evaluates PRF-family ranking functions over many
+tuple-independent relations (or one relation under many ranking
+functions) in single vectorized passes, sharing the score sort and the
+prefix generating-function matrix — the O(n * max_rank) hot intermediate
+of Algorithm 1 — across the whole batch, with an LRU cache keyed on
+relation content fingerprints and an optional process-pool sharding
+layer for very large batches.
+
+Quickstart::
+
+    from repro import ProbabilisticRelation, PRFe
+    from repro.engine import Engine
+
+    engine = Engine()
+    relations = [ProbabilisticRelation.from_pairs([(10, 0.9), (5, 0.4)])
+                 for _ in range(100)]
+    results = engine.rank_batch(relations, PRFe(0.95))
+    sweeps = engine.rank_many(relations[0], [PRFe(a) for a in (0.5, 0.9, 0.99)])
+"""
+
+from .cache import CachedRelation, CacheStats, RelationCache, relation_fingerprint
+from .facade import Engine, default_engine, set_default_engine
+
+__all__ = [
+    "Engine",
+    "default_engine",
+    "set_default_engine",
+    "RelationCache",
+    "CachedRelation",
+    "CacheStats",
+    "relation_fingerprint",
+]

@@ -1,0 +1,257 @@
+"""Relation fingerprinting and the LRU intermediate cache of the engine.
+
+The batched engine reuses two intermediates across calls: the canonical
+score-descending tuple order of a relation and the prefix
+generating-function matrix of :func:`repro.algorithms.independent.
+prefix_polynomial_matrix` (the O(n * max_rank) hot intermediate behind
+positional probabilities, PT(h), U-Rank and every general-weight PRF
+evaluation).  Both are keyed on a *content fingerprint* of the relation —
+a hash of its scores, probabilities and tuple identifiers — so that
+logically equal relations share cache entries regardless of object
+identity, and a relation rebuilt from the same data still hits.
+
+The cache is a bounded LRU with an element budget: matrices are evicted
+least-recently-used once the total number of cached float64 elements
+exceeds ``max_elements``.  A matrix computed at limit ``L`` serves every
+request with ``limit <= L`` by slicing, because truncating the prefix
+polynomial only drops coefficients that never feed back into lower
+degrees (the recurrence ``c_m <- (1 - p) c_m + p c_{m-1}`` is lower
+triangular).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.tuples import ProbabilisticRelation, Tuple
+
+__all__ = ["relation_fingerprint", "CachedRelation", "RelationCache", "CacheStats"]
+
+_FINGERPRINT_ATTR = "_engine_fingerprint"
+
+
+def relation_fingerprint(relation: ProbabilisticRelation) -> str:
+    """A stable content hash of a relation (scores, probabilities, tids).
+
+    The fingerprint is memoized on the relation object, which is safe
+    because :class:`ProbabilisticRelation` exposes no mutation API.
+    """
+    cached = getattr(relation, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(relation)).encode())
+    digest.update(relation.scores().tobytes())
+    digest.update(relation.probabilities().tobytes())
+    for t in relation:
+        digest.update(repr(t.tid).encode())
+        digest.update(b"\x00")
+        # Attributes feed tuple_factor ranking functions and ride along on
+        # cached Tuple objects, so they must distinguish relations too.  A
+        # repr that varies between equal payloads only costs a cache miss.
+        if t.attributes:
+            digest.update(repr(t.attributes).encode())
+        digest.update(b"\x01")
+    fingerprint = digest.hexdigest()
+    try:
+        setattr(relation, _FINGERPRINT_ATTR, fingerprint)
+    except AttributeError:  # pragma: no cover - slotted subclasses
+        pass
+    return fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`RelationCache` (observability hook)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+@dataclass
+class CachedRelation:
+    """The cached intermediates of one relation."""
+
+    ordered: list[Tuple]
+    probabilities: np.ndarray  # score-descending order, aligned with ``ordered``
+    prefix: np.ndarray | None = None  # (n, limit_computed) or None
+    extras: dict[Any, Any] = field(default_factory=dict)
+    #: Weak reference to the relation the ``ordered`` Tuple objects came
+    #: from, so a content-equal but distinct relation gets results carrying
+    #: its *own* tuples (legacy identity semantics) instead of aliases.
+    source: weakref.ref | None = field(default=None, repr=False)
+    #: Guards prefix growth: concurrent growers at different limits must
+    #: not overwrite a wide matrix with a narrow one.
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.ordered)
+
+    def elements(self) -> int:
+        """Cached size in float64-equivalent elements (for the eviction budget).
+
+        Counts the probability vector, the prefix matrix and any array
+        payloads stashed in ``extras`` (e.g. the sort columns, whose
+        unicode tid array can dominate), normalizing by 8 bytes/element.
+        """
+        total_bytes = self.probabilities.nbytes
+        if self.prefix is not None:
+            total_bytes += self.prefix.nbytes
+        for value in self.extras.values():
+            parts = value if isinstance(value, (tuple, list)) else (value,)
+            for part in parts:
+                if isinstance(part, np.ndarray):
+                    total_bytes += part.nbytes
+        return total_bytes // 8
+
+    def prefix_matrix(self, limit: int) -> np.ndarray:
+        """The prefix polynomial matrix truncated to ``limit`` columns.
+
+        Grows (recomputes at the larger limit) when a wider matrix is
+        requested than previously cached; narrower requests are served by
+        slicing, which is exact (see module docstring).  Growth happens
+        under the entry lock and the result is a slice of a locally
+        captured array, so concurrent growers and a budget-driven
+        ``prefix = None`` wipe can never yield a too-narrow or ``None``
+        matrix to a caller.
+        """
+        from ..algorithms.independent import prefix_polynomial_matrix
+
+        with self.lock:
+            prefix = self.prefix
+            if prefix is None or prefix.shape[1] < limit:
+                prefix = prefix_polynomial_matrix(self.probabilities, limit)
+                self.prefix = prefix
+        return prefix[:, :limit]
+
+    def store_prefix(self, matrix: np.ndarray) -> None:
+        """Adopt an externally computed prefix matrix if wider than the cached one."""
+        with self.lock:
+            if self.prefix is None or self.prefix.shape[1] < matrix.shape[1]:
+                self.prefix = matrix
+
+    def positional_matrix(self, limit: int) -> np.ndarray:
+        """``Pr(r(t_i) = j)`` for ``j = 1 .. limit`` from the cached prefix."""
+        prefix = self.prefix_matrix(limit)
+        if self.n == 0 or limit == 0:
+            return prefix
+        return prefix * self.probabilities[:, None]
+
+
+class RelationCache:
+    """A bounded LRU cache of :class:`CachedRelation` entries.
+
+    Parameters
+    ----------
+    max_relations:
+        Maximum number of relations tracked.
+    max_elements:
+        Soft budget on the total number of cached float64-equivalent
+        elements across all entries (8 bytes each); least-recently-used
+        entries are evicted until the budget holds.  An entry whose matrix
+        alone exceeds the budget is still served but not retained.  The
+        budget covers the array payloads (probabilities, prefix matrices,
+        sort columns); the Python-object overhead of the retained ``Tuple``
+        lists is not counted and is bounded only by ``max_relations``.
+
+    The cache is protected by a lock, so concurrent ``rank()`` calls from
+    multiple threads are safe; entry matrices may be computed redundantly
+    under contention but never corrupt (assignments are atomic and both
+    computations produce identical arrays).
+    """
+
+    def __init__(self, max_relations: int = 64, max_elements: int = 32_000_000) -> None:
+        if max_relations < 1:
+            raise ValueError(f"max_relations must be >= 1, got {max_relations}")
+        self.max_relations = max_relations
+        self.max_elements = max_elements
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CachedRelation]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def total_elements(self) -> int:
+        with self._lock:
+            return self._total_elements_locked()
+
+    def _total_elements_locked(self) -> int:
+        return sum(entry.elements() for entry in self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get(self, relation: ProbabilisticRelation, store: bool = True) -> CachedRelation:
+        """The cached entry for ``relation``, creating it on a miss.
+
+        With ``store=False`` a miss builds a transient entry that is not
+        inserted — used by large batches whose single-use relations would
+        otherwise flush every genuinely reused entry out of the LRU.
+        """
+        key = relation_fingerprint(relation)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if entry is not None:
+            if entry.source is None or entry.source() is not relation:
+                # Content-equal but distinct relation: rebind the tuple
+                # objects so results carry the caller's own tuples.
+                entry.ordered = [relation.get(t.tid) for t in entry.ordered]
+                entry.source = weakref.ref(relation)
+            return entry
+        with self._lock:
+            self.stats.misses += 1
+        ordered = relation.sorted_by_score()
+        probabilities = np.array([t.probability for t in ordered], dtype=float)
+        entry = CachedRelation(
+            ordered=ordered,
+            probabilities=probabilities,
+            source=weakref.ref(relation),
+        )
+        if store:
+            with self._lock:
+                self._entries[key] = entry
+                self._evict_locked()
+        return entry
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_relations:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._enforce_budget_locked()
+
+    def enforce_budget(self) -> None:
+        """Evict LRU entries until the element budget holds.
+
+        Called after matrix growth (``CachedRelation.prefix_matrix`` widens
+        entries in place, outside ``get``).
+        """
+        with self._lock:
+            self._enforce_budget_locked()
+
+    def _enforce_budget_locked(self) -> None:
+        while len(self._entries) > 1 and self._total_elements_locked() > self.max_elements:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        # A single over-budget entry: drop its matrix but keep the cheap
+        # sorted order, so repeated huge-limit requests degrade gracefully
+        # to the uncached behaviour instead of pinning a giant allocation.
+        if len(self._entries) == 1 and self._total_elements_locked() > self.max_elements:
+            (entry,) = self._entries.values()
+            entry.prefix = None

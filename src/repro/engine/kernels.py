@@ -1,0 +1,154 @@
+"""Batched numpy kernels of the ranking engine.
+
+Every kernel operates on a stack of ``B`` equal-length relations at once:
+``P`` is the ``(B, n)`` matrix of existence probabilities in score-
+descending order, one row per relation.  The per-row arithmetic mirrors
+the single-relation implementations in :mod:`repro.algorithms.
+independent` operation for operation — cumulative sums/products run
+sequentially along the last axis exactly as their 1-D counterparts do —
+so a batch of size one reproduces the legacy values bit for bit and
+larger batches only amortize Python and dispatch overhead across rows.
+
+The general-weight kernel additionally produces the stacked prefix
+generating-function matrices ``(B, n, limit)``; callers are expected to
+chunk the batch so that this allocation respects their memory budget
+(see ``Engine.max_batch_elements``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "batched_prefix_matrices",
+    "batched_general_values",
+    "batched_prfe_log_values",
+    "batched_prfe_values",
+    "batched_lincomb_values",
+]
+
+_LOG_EPS = 1e-300
+
+
+def batched_prefix_matrices(P: np.ndarray, limit: int) -> np.ndarray:
+    """Stacked prefix polynomial matrices, shape ``(B, n, limit)``.
+
+    ``out[b, i, m]`` is the coefficient of ``x^m`` in ``F^i(x)`` of
+    relation ``b`` — the probability that exactly ``m`` of its ``i``
+    higher-score tuples are present.  One pass over the shared tuple axis
+    updates all ``B`` recurrences simultaneously.
+    """
+    P = np.asarray(P, dtype=float)
+    B, n = P.shape
+    out = np.zeros((B, n, limit), dtype=float)
+    if n == 0 or limit == 0 or B == 0:
+        return out
+    prefix = np.zeros((B, limit), dtype=float)
+    prefix[:, 0] = 1.0
+    shifted = np.zeros_like(prefix)
+    for i in range(n):
+        out[:, i, :] = prefix
+        p = P[:, i][:, None]
+        shifted[:, 0] = 0.0
+        shifted[:, 1:] = prefix[:, :-1]
+        prefix = (1.0 - p) * prefix + p * shifted
+    return out
+
+
+def batched_general_values(
+    P: np.ndarray,
+    prefix: np.ndarray,
+    weights: np.ndarray,
+    factors: np.ndarray | None = None,
+) -> np.ndarray:
+    """General PRF values ``Upsilon(t) = g(t) p_t sum_m w(m+1) F^t_m`` per row.
+
+    ``prefix`` is the ``(B, n, limit)`` output of
+    :func:`batched_prefix_matrices`, ``weights`` the tabulated
+    ``[w(1), ..., w(limit)]`` (real or complex) and ``factors`` the
+    optional ``(B, n)`` per-tuple multipliers ``g(t)``.
+    """
+    weights = np.asarray(weights)
+    values = prefix @ weights  # (B, n) — one fused weighted row-sum
+    values = values * P
+    if factors is not None:
+        values = values * factors
+    return values
+
+
+def batched_prfe_log_values(P: np.ndarray, alpha) -> np.ndarray:
+    """Log-magnitudes of PRFe(alpha) per row for real ``alpha`` in (0, 1].
+
+    Mirrors :func:`repro.algorithms.independent.prfe_log_values` row-wise.
+    ``alpha`` is either one scalar shared by every row or a length-``B``
+    vector giving each row its own alpha (the Figure 7 sweep: one relation
+    broadcast across the rows, one alpha per row).
+    """
+    P = np.asarray(P, dtype=float)
+    alphas = np.asarray(alpha, dtype=float)
+    scalar = alphas.ndim == 0
+    if not scalar and alphas.shape != (P.shape[0],):
+        raise ValueError(
+            f"alpha must be a scalar or one value per row; got shape "
+            f"{alphas.shape} for {P.shape[0]} rows"
+        )
+    if np.any(alphas <= 0.0) or np.any(alphas > 1.0):
+        raise ValueError(f"log-space PRFe evaluation requires 0 < alpha <= 1, got {alpha}")
+    column = alphas if scalar else alphas[:, None]
+    factors = 1.0 - P + P * column
+    log_factors = np.log(np.maximum(factors, _LOG_EPS))
+    prefix_log = np.zeros_like(factors)
+    if P.shape[1] > 1:
+        prefix_log[:, 1:] = np.cumsum(log_factors, axis=1)[:, :-1]
+    with np.errstate(divide="ignore"):
+        log_probabilities = np.where(
+            P > 0.0, np.log(np.maximum(P, _LOG_EPS)), -np.inf
+        )
+    # math.log per alpha keeps the additive constant bit-identical to the
+    # single-relation implementation.
+    if scalar:
+        log_alpha = math.log(max(float(alphas), _LOG_EPS))
+    else:
+        log_alpha = np.array(
+            [math.log(max(a, _LOG_EPS)) for a in alphas.tolist()]
+        )[:, None]
+    return prefix_log + log_probabilities + log_alpha
+
+
+def batched_prfe_values(P: np.ndarray, alpha: complex) -> np.ndarray:
+    """PRFe(alpha) values ``F^i(alpha)`` per row (complex ``alpha`` allowed).
+
+    Mirrors :func:`repro.algorithms.independent.prfe_values` row-wise.
+    """
+    P = np.asarray(P, dtype=float)
+    is_complex = isinstance(alpha, complex) and alpha.imag != 0.0
+    dtype = complex if is_complex else float
+    alpha_value = complex(alpha) if is_complex else float(np.real(alpha))
+    factors = ((1.0 - P) + P * alpha_value).astype(dtype)
+    prefix = np.ones_like(factors)
+    if P.shape[1] > 1:
+        prefix[:, 1:] = np.cumprod(factors, axis=1)[:, :-1]
+    return prefix * P * alpha_value
+
+
+def batched_lincomb_values(
+    P: np.ndarray, coefficients: np.ndarray, alphas: np.ndarray
+) -> np.ndarray:
+    """``sum_l u_l PRFe(alpha_l)`` values per row, shape ``(B, n)``.
+
+    Mirrors the LinearCombinationPRFe fast path of
+    :func:`repro.algorithms.independent.prf_values`: each exponential term
+    is a cumulative product along the tuple axis, evaluated for all terms
+    and all relations in one ``(B, n, L)`` pass.
+    """
+    P = np.asarray(P, dtype=float)
+    coefficients = np.asarray(coefficients, dtype=complex)
+    alphas = np.asarray(alphas, dtype=complex)
+    factors = (1.0 - P)[:, :, None] + P[:, :, None] * alphas[None, None, :]
+    prefix = np.ones_like(factors)
+    if P.shape[1] > 1:
+        prefix[:, 1:, :] = np.cumprod(factors[:, :-1, :], axis=1)
+    term_values = prefix * P[:, :, None] * alphas[None, None, :]
+    return term_values @ coefficients

@@ -1,0 +1,139 @@
+"""Process-pool sharding of large ranking batches.
+
+A batch of relations is partitioned into contiguous shards, each shipped
+to a worker process as *chunked numpy payloads* — per-relation
+``(tids, scores, probabilities, name)`` records whose numeric columns are
+contiguous float64 arrays, which pickle as flat buffers instead of
+per-tuple Python objects.  Workers rebuild the relations, rank their
+shard with a private serial :class:`~repro.engine.facade.Engine`, and
+return only the ranked ``(tid, value)`` pairs; the parent reattaches its
+own :class:`~repro.core.tuples.Tuple` objects (including any
+``attributes`` payload, which never crosses the process boundary) to
+produce full :class:`~repro.core.result.RankingResult`\\ s.
+
+Ranking functions carrying a ``tuple_factor`` callable depend on the
+tuples themselves, so those batches fall back to pickling whole
+relations; ranking functions that cannot be pickled at all (e.g. lambda
+weights) make :func:`shard_rank_batch` return ``None``, signalling the
+caller to rank serially in-process.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from ..core.prf import RankingFunction
+from ..core.result import RankedItem, RankingResult
+from ..core.tuples import ProbabilisticRelation, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .facade import Engine
+
+__all__ = ["shard_rank_batch", "shard_payloads"]
+
+
+def shard_payloads(
+    relations: Sequence[ProbabilisticRelation], num_shards: int
+) -> list[list[tuple[Any, ...]]]:
+    """Contiguous shard payloads with chunked-array tuple columns.
+
+    Each payload record is ``(tids, scores, probabilities, name)`` where
+    the numeric columns are float64 arrays in relation insertion order.
+    """
+    num_shards = max(1, min(num_shards, len(relations)))
+    bounds = np.linspace(0, len(relations), num_shards + 1, dtype=int)
+    shards: list[list[tuple[Any, ...]]] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        shard = []
+        for relation in relations[lo:hi]:
+            shard.append(
+                (
+                    [t.tid for t in relation],
+                    relation.scores(),
+                    relation.probabilities(),
+                    relation.name,
+                )
+            )
+        shards.append(shard)
+    return [shard for shard in shards if shard]
+
+
+def _rebuild_relation(record: tuple[Any, ...]) -> ProbabilisticRelation:
+    tids, scores, probabilities, name = record
+    tuples = [
+        Tuple(tid, float(score), float(probability))
+        for tid, score, probability in zip(tids, scores, probabilities)
+    ]
+    return ProbabilisticRelation(tuples, name=name)
+
+
+def _rank_shard(rf: RankingFunction, shard: list) -> list[list[tuple[Any, Any]]]:
+    """Worker entry point: rank one shard serially, return ``(tid, value)`` pairs.
+
+    Shard records are either array payloads (rebuilt into relations here)
+    or whole pickled :class:`ProbabilisticRelation` objects (the
+    ``tuple_factor`` path, where ranking needs the full tuples).
+    """
+    from .facade import Engine
+
+    engine = Engine(workers=None)
+    relations = [
+        record if isinstance(record, ProbabilisticRelation) else _rebuild_relation(record)
+        for record in shard
+    ]
+    results = engine.rank_batch(relations, rf)
+    return [
+        [(item.tid, item.value) for item in result] for result in results
+    ]
+
+
+def shard_rank_batch(
+    engine: "Engine",
+    relations: Sequence[ProbabilisticRelation],
+    rf: RankingFunction,
+    workers: int,
+) -> list[RankingResult] | None:
+    """Rank ``relations`` across ``workers`` processes, or ``None`` if not shardable.
+
+    ``None`` (rather than an exception) is returned when the ranking
+    function cannot cross a process boundary or no pool can be started,
+    so the engine can transparently fall back to the serial batched path.
+    """
+    try:
+        pickle.dumps(rf)
+    except Exception:
+        return None
+
+    if rf.tuple_factor is None:
+        payloads = shard_payloads(relations, workers)
+    else:
+        num_shards = max(1, min(workers, len(relations)))
+        bounds = np.linspace(0, len(relations), num_shards + 1, dtype=int)
+        payloads = [
+            list(relations[lo:hi]) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+
+    try:
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            shard_results = list(pool.map(_rank_shard, [rf] * len(payloads), payloads))
+    except Exception:
+        return None
+
+    results: list[RankingResult] = []
+    index = 0
+    for shard in shard_results:
+        for ranked in shard:
+            relation = relations[index]
+            items = [
+                RankedItem(position=position + 1, item=relation.get(tid), value=value)
+                for position, (tid, value) in enumerate(ranked)
+            ]
+            results.append(RankingResult(items, name=relation.name))
+            index += 1
+    if index != len(relations):  # pragma: no cover - defensive
+        return None
+    return results

@@ -11,7 +11,7 @@ compares PRFe(0.9), PT(100) and U-Rank across the datasets.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 

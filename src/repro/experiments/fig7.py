@@ -9,7 +9,7 @@ PRFe agree closely with each prior function.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -22,8 +22,9 @@ from ..baselines import (
 )
 from ..core.prf import PRFe
 from ..core.ranking import rank
+from ..core.tuples import ProbabilisticRelation
 from ..metrics import kendall_topk_distance
-from .harness import ExperimentResult
+from .harness import ExperimentResult, shared_engine
 
 __all__ = ["reference_answers", "prfe_distance_curves", "run", "alpha_grid"]
 
@@ -66,8 +67,14 @@ def prfe_distance_curves(
     alphas = alpha_grid() if alphas is None else np.asarray(alphas, dtype=float)
     references = references or reference_answers(data, k)
     curves: dict[str, list[tuple[float, float]]] = {name: [] for name in references}
-    for alpha in alphas:
-        prfe_topk = rank(data, PRFe(float(alpha))).top_k(k)
+    specs = [PRFe(float(alpha)) for alpha in alphas]
+    if isinstance(data, ProbabilisticRelation):
+        # One batched engine sweep: the relation is sorted once and every
+        # real-alpha PRFe evaluation shares the stacked log-space kernel.
+        answers = [result.top_k(k) for result in shared_engine().rank_many(data, specs)]
+    else:
+        answers = [rank(data, spec).top_k(k) for spec in specs]
+    for alpha, prfe_topk in zip(alphas, answers):
         for name, answer in references.items():
             distance = kendall_topk_distance(prfe_topk, answer, k=k)
             curves[name].append((float(alpha), distance))

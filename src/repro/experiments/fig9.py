@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from ..core.ranking import rank
 from ..core.tuples import ProbabilisticRelation
 from ..datasets import generate_iip_like

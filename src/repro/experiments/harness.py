@@ -11,10 +11,51 @@ exploration from the examples.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
-__all__ = ["timed", "Timer", "format_table", "format_series", "ExperimentResult"]
+from ..engine import Engine, default_engine, set_default_engine
+
+__all__ = [
+    "timed",
+    "Timer",
+    "format_table",
+    "format_series",
+    "ExperimentResult",
+    "shared_engine",
+    "fresh_engine",
+]
+
+
+def shared_engine() -> Engine:
+    """The engine shared by all experiment modules.
+
+    Every experiment ranks the same relation many times under different
+    ranking functions (Figure 7 sweeps alphas, Figure 11 compares
+    algorithms, the learning experiments recompute features), so they all
+    draw from the process-wide engine whose cache keeps one sorted order
+    and one positional matrix per relation.
+    """
+    return default_engine()
+
+
+@contextmanager
+def fresh_engine() -> Iterator[Engine]:
+    """Swap in a cache-cold default engine for the duration of the block.
+
+    The timing experiments (Table 3 scaling, Figure 11) measure individual
+    algorithm costs, so each timed call must start from a cold cache —
+    otherwise whichever algorithm runs second gets the previous one's
+    positional matrix for free.  Swapping (rather than clearing) keeps the
+    shared engine's cache intact for everything outside the timed region.
+    """
+    engine = Engine()
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)
 
 
 def timed(function: Callable[[], Any]) -> tuple[Any, float]:

@@ -18,7 +18,6 @@ from ..baselines import (
     u_rank_topk,
     u_topk,
 )
-from ..core.tuples import ProbabilisticRelation
 from ..datasets import generate_iip_like, syn_ind
 from ..metrics import kendall_topk_distance
 from .harness import ExperimentResult

@@ -21,9 +21,7 @@ the ranking algorithm conditions on ``X_t = 1``.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Mapping, Sequence
-
-import numpy as np
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from .factors import Factor
 

@@ -13,8 +13,6 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Mapping, Sequence
 
-import numpy as np
-
 from ..core.possible_worlds import PossibleWorld
 from ..core.tuples import ProbabilisticRelation, Tuple
 from .factors import Factor

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import PRF, PRFOmega, PRFe, ProbabilisticRelation, rank
+from repro import PRF, PRFOmega, PRFe, rank
 from repro.andxor.ranking import (
     prf_values_tree,
     prfe_values_tree,
@@ -11,7 +11,7 @@ from repro.andxor.ranking import (
     rank_tree,
 )
 from repro.andxor.tree import AndXorTree
-from repro.core.possible_worlds import enumerate_worlds, prf_by_enumeration
+from repro.core.possible_worlds import prf_by_enumeration
 from repro.core.weights import NDCGDiscountWeight, StepWeight
 from tests.conftest import random_relation, random_small_tree
 

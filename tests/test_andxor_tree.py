@@ -1,6 +1,5 @@
 """Tests for the and/xor tree model (construction, worlds, marginals)."""
 
-import numpy as np
 import pytest
 
 from repro import AndNode, AndXorTree, LeafNode, ProbabilisticRelation, Tuple, XorNode

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import PRFOmega, ProbabilisticRelation, rank
+from repro import PRFOmega, rank
 from repro.approx import STAGE_SETS, approximate_weight_function, dft_approximation
 from repro.core.weights import StepWeight, TabulatedWeight
 from repro.metrics import kendall_topk_distance

@@ -1,6 +1,5 @@
 """Tests for ranking with uncertain scores (Section 4.4)."""
 
-import numpy as np
 import pytest
 
 from repro import PRFe, PRFOmega

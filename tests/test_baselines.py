@@ -2,11 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro import PRFLinear, ProbabilisticRelation, Tuple, rank
-from repro.andxor.tree import AndXorTree
+from repro import PRFLinear, ProbabilisticRelation, rank
 from repro.baselines import (
     expected_best_score,
     expected_rank_ranking,

@@ -1,0 +1,301 @@
+"""Tests for the batched vectorized ranking engine.
+
+The core contract: every engine entry point (``rank``, ``rank_batch``,
+``rank_many``, sharded or serial) must produce rankings identical to the
+per-relation :func:`repro.algorithms.independent.rank_independent` path
+for every member of the PRF family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PRF,
+    Engine,
+    LinearCombinationPRFe,
+    PRFOmega,
+    PRFe,
+    ProbabilisticRelation,
+    rank,
+)
+from repro.algorithms.independent import positional_probabilities, rank_independent
+from repro.core.weights import NDCGDiscountWeight, StepWeight
+from repro.engine import RelationCache, relation_fingerprint
+
+
+def make_relations(count: int, rng: np.random.Generator) -> list[ProbabilisticRelation]:
+    """Synthetic relations of mixed sizes, with degenerate cases sprinkled in."""
+    relations = []
+    for index in range(count):
+        n = int(rng.integers(2, 40))
+        relations.append(
+            ProbabilisticRelation.from_arrays(
+                rng.uniform(0.0, 1000.0, size=n),
+                rng.uniform(0.0, 1.0, size=n),
+                name=f"syn-{index}",
+            )
+        )
+    relations.append(ProbabilisticRelation([], name="empty"))
+    relations.append(
+        ProbabilisticRelation.from_pairs([(5.0, 0.0), (4.0, 1.0), (3.0, 0.0)], name="degenerate")
+    )
+    return relations
+
+
+FAMILY = [
+    pytest.param(PRFe(0.95), id="PRFe-real"),
+    pytest.param(PRFe(0.5 + 0.25j), id="PRFe-complex"),
+    pytest.param(PRFe(0.0), id="PRFe-zero"),
+    pytest.param(PRFOmega(StepWeight(10)), id="PRFomega-step"),
+    pytest.param(PRFOmega([0.9, 0.5, 0.25, 0.1]), id="PRFomega-tabulated"),
+    pytest.param(PRF(NDCGDiscountWeight()), id="PRF-general"),
+    pytest.param(
+        PRF(NDCGDiscountWeight(), tuple_factor=lambda t: t.score),
+        id="PRF-tuple-factor",
+    ),
+    pytest.param(
+        LinearCombinationPRFe([0.6, 0.4j], [0.9, 0.4 + 0.1j]), id="LinearCombinationPRFe"
+    ),
+]
+
+
+def assert_same_ranking(result, reference, context=""):
+    assert result.tids() == reference.tids(), context
+    values = np.asarray([item.value for item in result], dtype=complex)
+    expected = np.asarray([item.value for item in reference], dtype=complex)
+    assert np.allclose(values, expected, rtol=1e-9, atol=1e-12), context
+
+
+class TestBatchVersusSingle:
+    @pytest.mark.parametrize("rf", FAMILY)
+    def test_rank_batch_matches_rank_independent(self, rf):
+        rng = np.random.default_rng(7)
+        relations = make_relations(100, rng)
+        engine = Engine()
+        results = engine.rank_batch(relations, rf)
+        assert len(results) == len(relations)
+        for relation, result in zip(relations, results):
+            reference = rank_independent(relation, rf)
+            assert_same_ranking(result, reference, context=relation.name)
+            assert result.name == relation.name
+
+    @pytest.mark.parametrize("rf", FAMILY)
+    def test_engine_rank_matches_rank_independent(self, rf):
+        rng = np.random.default_rng(11)
+        for relation in make_relations(10, rng):
+            result = Engine().rank(relation, rf)
+            assert_same_ranking(result, rank_independent(relation, rf), relation.name)
+
+    def test_prfe_real_path_is_bitwise_identical(self):
+        rng = np.random.default_rng(3)
+        relations = make_relations(20, rng)
+        engine = Engine()
+        for relation, result in zip(relations, engine.rank_batch(relations, PRFe(0.95))):
+            reference = rank_independent(relation, PRFe(0.95))
+            assert [item.value for item in result] == [item.value for item in reference]
+
+    def test_batch_results_preserve_input_order_across_mixed_sizes(self):
+        rng = np.random.default_rng(5)
+        relations = make_relations(30, rng)
+        engine = Engine()
+        results = engine.rank_batch(relations, PRFe(0.9))
+        assert [result.name for result in results] == [r.name for r in relations]
+
+    def test_empty_batch(self):
+        assert Engine().rank_batch([], PRFe(0.9)) == []
+
+    def test_rejects_non_relations(self):
+        with pytest.raises(TypeError, match="ProbabilisticRelation"):
+            Engine().rank_batch([object()], PRFe(0.9))
+
+
+class TestRankMany:
+    def test_rank_many_matches_per_spec_ranking(self):
+        rng = np.random.default_rng(13)
+        relation = make_relations(1, rng)[0]
+        specs = [
+            PRFe(0.99),
+            PRFe(0.5),
+            PRFe(0.0),
+            PRFe(0.3 + 0.4j),
+            PRFOmega(StepWeight(5)),
+            PRF(NDCGDiscountWeight()),
+            LinearCombinationPRFe([1.0], [0.8]),
+        ]
+        results = Engine().rank_many(relation, specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert_same_ranking(result, rank_independent(relation, spec), repr(spec))
+
+    def test_alpha_sweep_is_bitwise_identical_to_legacy(self):
+        rng = np.random.default_rng(17)
+        relation = make_relations(1, rng)[0]
+        alphas = 1.0 - 0.9 ** np.arange(1, 30)
+        specs = [PRFe(float(alpha)) for alpha in alphas]
+        results = Engine().rank_many(relation, specs)
+        for spec, result in zip(specs, results):
+            reference = rank_independent(relation, spec)
+            assert [item.value for item in result] == [item.value for item in reference]
+
+    def test_empty_spec_list(self):
+        relation = ProbabilisticRelation.from_pairs([(1.0, 0.5)])
+        assert Engine().rank_many(relation, []) == []
+
+
+class TestCache:
+    def test_fingerprint_is_content_based(self):
+        pairs = [(3.0, 0.5), (2.0, 0.6)]
+        a = ProbabilisticRelation.from_pairs(pairs)
+        b = ProbabilisticRelation.from_pairs(pairs)
+        assert a is not b
+        assert relation_fingerprint(a) == relation_fingerprint(b)
+        c = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.7)])
+        assert relation_fingerprint(a) != relation_fingerprint(c)
+
+    def test_fingerprint_distinguishes_tuple_attributes(self):
+        from repro import Tuple
+
+        base = [("a", 10.0, 0.5), ("b", 5.0, 0.4)]
+        plain = ProbabilisticRelation([Tuple(*spec) for spec in base])
+        weighted = ProbabilisticRelation(
+            [Tuple(tid, score, p, attributes={"w": 50.0}) for tid, score, p in base]
+        )
+        assert relation_fingerprint(plain) != relation_fingerprint(weighted)
+        # The default-engine routed rank() must therefore never serve one
+        # relation's tuples (and tuple_factor inputs) for the other.
+        rf = PRF([1.0, 0.5], tuple_factor=lambda t: t.attributes.get("w", 1.0))
+        engine = Engine()
+        engine.rank(plain, rf)
+        result = engine.rank(weighted, rf)
+        reference = rank_independent(weighted, rf)
+        assert result.tids() == reference.tids()
+        assert [item.value for item in result] == pytest.approx(
+            [item.value for item in reference]
+        )
+
+    def test_repeated_rankings_hit_the_cache(self):
+        engine = Engine()
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.6), (1.0, 0.4)])
+        engine.rank(relation, PRFOmega(StepWeight(2)))
+        engine.rank(relation, PRFOmega(StepWeight(2)))
+        stats = engine.cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["misses"] == 1
+
+    def test_results_carry_the_callers_tuple_objects(self):
+        pairs = [(3.0, 0.5), (2.0, 0.6)]
+        engine = Engine()
+        first = ProbabilisticRelation.from_pairs(pairs)
+        second = ProbabilisticRelation.from_pairs(pairs)
+        engine.rank(first, PRFOmega(StepWeight(2)))
+        # A cache hit from a content-equal but distinct relation must not
+        # alias the first relation's Tuple objects into the result.
+        result = engine.rank(second, PRFOmega(StepWeight(2)))
+        assert all(item.item is second.get(item.tid) for item in result)
+        ordered, _ = engine.positional_matrix(second, max_rank=2)
+        assert all(t is second.get(t.tid) for t in ordered)
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = RelationCache(max_relations=4)
+        rng = np.random.default_rng(23)
+        for relation in make_relations(10, rng):
+            cache.get(relation)
+        assert len(cache) <= 4
+        assert cache.stats.evictions > 0
+
+    def test_element_budget_evicts_matrices(self):
+        engine = Engine(cache_elements=500, max_batch_elements=100_000)
+        rng = np.random.default_rng(29)
+        relations = [
+            ProbabilisticRelation.from_arrays(
+                rng.uniform(0, 100, 30), rng.uniform(0, 1, 30), name=f"big-{i}"
+            )
+            for i in range(5)
+        ]
+        for relation in relations:
+            engine.positional_matrix(relation)
+        assert engine.cache.total_elements() <= 500 or len(engine.cache) == 1
+
+    def test_positional_matrix_matches_algorithm(self):
+        engine = Engine()
+        rng = np.random.default_rng(31)
+        relation = make_relations(1, rng)[0]
+        for max_rank in (None, 0, 3, len(relation), len(relation) + 10):
+            ordered, matrix = engine.positional_matrix(relation, max_rank=max_rank)
+            ref_ordered, ref_matrix = positional_probabilities(relation, max_rank=max_rank)
+            assert [t.tid for t in ordered] == [t.tid for t in ref_ordered]
+            assert np.array_equal(matrix, ref_matrix)
+
+    def test_positional_matrix_narrowing_after_widening(self):
+        engine = Engine()
+        relation = ProbabilisticRelation.from_pairs(
+            [(9.0, 0.9), (8.0, 0.8), (7.0, 0.7), (6.0, 0.6)]
+        )
+        _, wide = engine.positional_matrix(relation)
+        _, narrow = engine.positional_matrix(relation, max_rank=2)
+        assert np.array_equal(wide[:, :2], narrow)
+
+
+class TestSharding:
+    def test_sharded_batch_matches_serial(self):
+        rng = np.random.default_rng(37)
+        relations = make_relations(24, rng)
+        serial = Engine().rank_batch(relations, PRFe(0.95))
+        sharded = Engine(workers=2, shard_min_batch=4).rank_batch(relations, PRFe(0.95))
+        for a, b in zip(serial, sharded):
+            assert a.tids() == b.tids()
+            assert [item.value for item in a] == pytest.approx(
+                [item.value for item in b]
+            )
+
+    def test_unpicklable_ranking_function_falls_back_to_serial(self):
+        rng = np.random.default_rng(41)
+        relations = make_relations(8, rng)
+        rf = PRF(lambda i: 1.0 / i)
+        engine = Engine(workers=2, shard_min_batch=2)
+        results = engine.rank_batch(relations, rf)
+        for relation, result in zip(relations, results):
+            assert result.tids() == rank_independent(relation, rf).tids()
+
+    def test_sharding_preserves_tuple_attributes(self):
+        from repro import Tuple
+
+        relations = [
+            ProbabilisticRelation(
+                [
+                    Tuple(f"t{i}", float(10 - i), 0.5, attributes={"payload": i})
+                    for i in range(6)
+                ],
+                name=f"attr-{j}",
+            )
+            for j in range(8)
+        ]
+        engine = Engine(workers=2, shard_min_batch=2)
+        results = engine.rank_batch(relations, PRFe(0.9))
+        for result in results:
+            assert all(item.item.attributes["payload"] is not None for item in result)
+
+
+class TestDefaultEngineRouting:
+    def test_core_rank_routes_through_engine(self):
+        from repro.engine import default_engine
+
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.6), (1.0, 0.4)])
+        engine = default_engine()
+        before = engine.cache_stats()["misses"] + engine.cache_stats()["hits"]
+        result = rank(relation, PRFOmega(StepWeight(2)))
+        after = engine.cache_stats()["misses"] + engine.cache_stats()["hits"]
+        assert after > before
+        assert result.tids() == rank_independent(relation, PRFOmega(StepWeight(2))).tids()
+
+    def test_set_default_engine_roundtrip(self):
+        from repro.engine import default_engine, set_default_engine
+
+        custom = Engine(cache_relations=2)
+        previous = set_default_engine(custom)
+        try:
+            assert default_engine() is custom
+        finally:
+            set_default_engine(previous)

@@ -175,3 +175,65 @@ class TestLargeScaleStability:
         # With alpha = 0.5 the raw values underflow far down the list, but the
         # ranking must still be a permutation with deterministic order.
         assert len(set(result.tids())) == n
+
+
+class TestPositionalProbabilityEdgeCases:
+    """Regression tests: degenerate inputs return well-shaped, warning-free matrices."""
+
+    @staticmethod
+    def _silent(function):
+        import warnings
+
+        with warnings.catch_warnings(), np.errstate(all="raise"):
+            warnings.simplefilter("error")
+            return function()
+
+    def test_max_rank_zero(self, example1_relation):
+        ordered, matrix = self._silent(
+            lambda: positional_probabilities(example1_relation, max_rank=0)
+        )
+        assert matrix.shape == (3, 0)
+        assert matrix.dtype == float
+        assert [t.tid for t in ordered] == ["t1", "t2", "t3"]
+
+    def test_empty_relation(self):
+        empty = ProbabilisticRelation([])
+        for max_rank in (None, 0, 5):
+            ordered, matrix = self._silent(
+                lambda mr=max_rank: positional_probabilities(empty, max_rank=mr)
+            )
+            assert ordered == []
+            assert matrix.shape == (0, 0)
+
+    def test_all_zero_probabilities(self):
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.0), (2.0, 0.0), (1.0, 0.0)])
+        ordered, matrix = self._silent(lambda: positional_probabilities(relation))
+        assert matrix.shape == (3, 3)
+        assert np.all(matrix == 0.0)
+        # Downstream consumers stay silent and deterministic as well.
+        distributions = self._silent(lambda: rank_distributions(relation))
+        assert all(np.all(d == 0.0) for d in distributions.values())
+        result = self._silent(lambda: rank_independent(relation, PRFe(0.5)))
+        assert result.tids() == ["t1", "t2", "t3"]
+
+    def test_max_rank_beyond_relation_is_clipped(self, example1_relation):
+        _, matrix = self._silent(
+            lambda: positional_probabilities(example1_relation, max_rank=50)
+        )
+        assert matrix.shape == (3, 3)
+
+    def test_negative_max_rank_raises(self, example1_relation):
+        with pytest.raises(ValueError, match="non-negative"):
+            positional_probabilities(example1_relation, max_rank=-1)
+
+    def test_non_integer_max_rank_raises(self, example1_relation):
+        with pytest.raises(ValueError, match="integer"):
+            positional_probabilities(example1_relation, max_rank=2.5)
+
+    def test_prefix_polynomial_matrix_truncation_is_slice_exact(self, rng):
+        from repro.algorithms.independent import prefix_polynomial_matrix
+
+        probabilities = rng.uniform(0.0, 1.0, size=20)
+        wide = prefix_polynomial_matrix(probabilities, 20)
+        narrow = prefix_polynomial_matrix(probabilities, 6)
+        assert np.array_equal(wide[:, :6], narrow)

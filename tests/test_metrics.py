@@ -84,7 +84,9 @@ class TestSetDistances:
         assert symmetric_difference(["a"], ["a"]) == 0.0
 
     def test_weighted_symmetric_difference(self):
-        weight = lambda i: 1.0 / i
+        def weight(i):
+            return 1.0 / i
+
         # "x" at position 1 and "y" at position 2 are missing from the answer.
         assert weighted_symmetric_difference(["a"], ["x", "y", "a"], weight) == pytest.approx(
             1.0 + 0.5

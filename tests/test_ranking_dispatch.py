@@ -6,8 +6,6 @@ import pytest
 from repro import (
     PRFe,
     PRFOmega,
-    ProbabilisticRelation,
-    Tuple,
     positional_probability,
     rank,
     rank_distribution,
@@ -15,7 +13,7 @@ from repro import (
 )
 from repro.andxor.tree import AndXorTree
 from repro.core.weights import StepWeight
-from repro.graphical import Factor, MarkovNetworkRelation
+from repro.graphical import MarkovNetworkRelation
 from tests.conftest import random_relation
 
 
