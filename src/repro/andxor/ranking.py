@@ -19,6 +19,7 @@ independent-tuple entry point.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -36,18 +37,26 @@ __all__ = [
     "rank_tree",
 ]
 
-_ZERO_TOLERANCE = 1e-300
-
-
 # ---------------------------------------------------------------------------
 # General PRF evaluation through positional probabilities
 # ---------------------------------------------------------------------------
 def prf_values_tree(
-    tree: AndXorTree, rf: RankingFunction
+    tree: AndXorTree,
+    rf: RankingFunction,
+    positional: tuple[list[Tuple], np.ndarray] | None = None,
 ) -> tuple[list[Tuple], np.ndarray]:
-    """PRF values of every leaf via the tree's positional probabilities."""
-    horizon = rf.weight.horizon
-    ordered, matrix = positional_probabilities_tree(tree, max_rank=horizon)
+    """PRF values of every leaf via the tree's positional probabilities.
+
+    ``positional`` optionally supplies a precomputed ``(ordered, matrix)``
+    pair (the engine's cached matrix); it must equal what
+    :func:`positional_probabilities_tree` would return for the ranking
+    function's horizon.
+    """
+    if positional is None:
+        horizon = rf.weight.horizon
+        ordered, matrix = positional_probabilities_tree(tree, max_rank=horizon)
+    else:
+        ordered, matrix = positional
     limit = matrix.shape[1]
     weights = rf.weight.as_array(limit)[1:]
     dtype = float if rf.is_real() else complex
@@ -105,35 +114,94 @@ class _IndexedTree:
         return index
 
 
-class _GuardedProduct:
-    """Product of child values that tolerates exact zeros.
+_SCALE = 2.0**256
+_SCALE_INV = 2.0**-256
 
-    And nodes update their value by multiplying in the new child value and
-    dividing out the old one; a zero child would poison the product, so
-    zeros are counted separately and the stored product only covers the
-    non-zero factors.
+
+class _GuardedProduct:
+    """Product of child values that tolerates zeros and extreme magnitudes.
+
+    And nodes update their value by multiplying in the new child value
+    and dividing out the old one.  Two hazards guard this arithmetic:
+
+    * an exactly-zero child would poison the product, so zeros are
+      counted separately and the stored product only covers the non-zero
+      factors.  Classification is exact (``value == 0``): the previous
+      absolute ``1e-300`` cutoff also swallowed tiny *non-zero* values,
+      erasing every PRFe value downstream of a deep subtree with tiny
+      leaf probabilities; the guard is now relative to the running
+      magnitude instead, via the mantissa/scale split below.
+    * a long run of small (or large) factors would under- or overflow
+      the stored double, silently collapsing the product to ``0.0`` (or
+      ``inf``) in a way later divisions can never undo.  The product is
+      therefore kept in normalized form ``mantissa * 2**(256 * scale)``:
+      factors and the mantissa are rescaled by exact powers of two into
+      ``[2**-256, 2**256]`` before combining, so no intermediate ever
+      leaves the representable range.
+
+    Power-of-two rescaling is exact in binary floating point, so
+    whenever the true product is representable the value returned is
+    bit-identical to the unguarded computation.
     """
 
-    __slots__ = ("product", "zero_count")
+    __slots__ = ("mantissa", "scale", "zero_count")
 
     def __init__(self) -> None:
-        self.product: complex = 1.0
+        self.mantissa: complex = 1.0
+        self.scale: int = 0
         self.zero_count: int = 0
 
+    @staticmethod
+    def _normalized(value: complex) -> tuple[complex, int]:
+        """``value`` rescaled into ``[2**-256, 2**256]`` plus its scale offset."""
+        offset = 0
+        magnitude = abs(value)
+        if not math.isfinite(magnitude):
+            return value, 0
+        while magnitude > _SCALE:
+            value *= _SCALE_INV
+            offset += 1
+            magnitude = abs(value)
+        while magnitude < _SCALE_INV:
+            value *= _SCALE
+            offset -= 1
+            magnitude = abs(value)
+        return value, offset
+
+    def _renormalize(self) -> None:
+        if not (_SCALE_INV <= abs(self.mantissa) <= _SCALE):
+            self.mantissa, offset = self._normalized(self.mantissa)
+            self.scale += offset
+
     def multiply(self, value: complex) -> None:
-        if abs(value) <= _ZERO_TOLERANCE:
+        if value == 0:
             self.zero_count += 1
-        else:
-            self.product *= value
+            return
+        value, offset = self._normalized(value)
+        self.mantissa *= value
+        self.scale += offset
+        self._renormalize()
 
     def divide(self, value: complex) -> None:
-        if abs(value) <= _ZERO_TOLERANCE:
+        if value == 0:
             self.zero_count -= 1
-        else:
-            self.product /= value
+            return
+        value, offset = self._normalized(value)
+        self.mantissa /= value
+        self.scale -= offset
+        self._renormalize()
 
     def value(self) -> complex:
-        return 0.0 if self.zero_count > 0 else self.product
+        if self.zero_count > 0:
+            return 0.0
+        result = self.mantissa
+        # Re-apply the scale stepwise; readout may under- or overflow, but
+        # only when the true product itself lies outside double range.
+        for _ in range(abs(self.scale)):
+            result *= _SCALE if self.scale > 0 else _SCALE_INV
+            if result == 0:
+                break
+        return result
 
 
 def prfe_values_tree(

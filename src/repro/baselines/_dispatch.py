@@ -1,9 +1,13 @@
 """Internal helpers shared by the baseline ranking functions.
 
-Every baseline accepts either a tuple-independent
-:class:`~repro.core.tuples.ProbabilisticRelation` or a correlated
-:class:`~repro.andxor.tree.AndXorTree`; these helpers hide the dispatch
-so the baseline modules can be written once.
+Every baseline accepts any dataset kind the engine's planner supports —
+tuple-independent :class:`~repro.core.tuples.ProbabilisticRelation`,
+correlated :class:`~repro.andxor.tree.AndXorTree`, or
+:class:`~repro.graphical.model.MarkovNetworkRelation` — and these
+helpers route the shared sub-queries (sorted order, positional
+probabilities, marginals) through the default engine's backend layer,
+so the baseline modules are written once and every dataset kind
+benefits from the shared fingerprint cache.
 """
 
 from __future__ import annotations
@@ -25,54 +29,35 @@ __all__ = [
 ]
 
 
-def _as_tree(data):
-    from ..andxor.tree import AndXorTree
-
-    return data if isinstance(data, AndXorTree) else None
-
-
 def is_independent(data) -> bool:
     """Whether ``data`` is a tuple-independent relation."""
     return isinstance(data, ProbabilisticRelation)
 
 
 def sorted_tuples(data) -> list[Tuple]:
-    """Score-descending tuples of either a relation or an and/xor tree."""
-    if isinstance(data, ProbabilisticRelation):
-        return data.sorted_by_score()
-    tree = _as_tree(data)
-    if tree is not None:
-        return tree.sorted_tuples()
-    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+    """Score-descending tuples of any supported dataset kind (engine-cached)."""
+    from ..engine import default_engine
+
+    return default_engine().sorted_tuples(data)
 
 
 def positional_matrix(data, max_rank: int | None = None) -> tuple[list[Tuple], np.ndarray]:
-    """Positional probabilities ``Pr(r(t_i) = j)`` for either dataset kind.
+    """Positional probabilities ``Pr(r(t_i) = j)`` for any dataset kind.
 
-    Independent relations are served by the shared engine cache, so the
-    baselines (PT(h), U-Rank, the learning features) computing features on
-    the same relation share one prefix generating-function computation.
+    Served by the shared engine cache, so the baselines (PT(h), U-Rank,
+    the learning features) computing features on the same dataset share
+    one prefix / generating-function / junction-tree computation.
     """
-    if isinstance(data, ProbabilisticRelation):
-        from ..engine import default_engine
+    from ..engine import default_engine
 
-        return default_engine().positional_matrix(data, max_rank=max_rank)
-    tree = _as_tree(data)
-    if tree is not None:
-        from ..andxor.generating import positional_probabilities_tree
-
-        return positional_probabilities_tree(tree, max_rank=max_rank)
-    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+    return default_engine().positional_matrix(data, max_rank=max_rank)
 
 
 def marginal_probabilities(data) -> dict[Any, float]:
     """Marginal existence probability per tuple identifier."""
-    if isinstance(data, ProbabilisticRelation):
-        return {t.tid: t.probability for t in data}
-    tree = _as_tree(data)
-    if tree is not None:
-        return tree.marginal_probabilities()
-    raise TypeError(f"unsupported dataset type {type(data).__name__}")
+    from ..engine import default_engine
+
+    return default_engine().marginal_probabilities(data)
 
 
 def expected_world_size(data) -> float:
@@ -83,10 +68,11 @@ def expected_world_size(data) -> float:
 def draw_worlds(
     data, num_samples: int, rng: np.random.Generator | int | None = None
 ) -> Iterator[PossibleWorld]:
-    """Sample possible worlds from either dataset kind."""
+    """Sample possible worlds from a dataset kind that supports sampling."""
     if isinstance(data, ProbabilisticRelation):
         return sample_worlds(data, num_samples, rng=rng)
-    tree = _as_tree(data)
-    if tree is not None:
-        return tree.sample_worlds(num_samples, rng=rng)
+    from ..andxor.tree import AndXorTree
+
+    if isinstance(data, AndXorTree):
+        return data.sample_worlds(num_samples, rng=rng)
     raise TypeError(f"unsupported dataset type {type(data).__name__}")

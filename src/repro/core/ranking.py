@@ -9,9 +9,14 @@
 
 and on the *ranking function* — any member of the PRF family defined in
 :mod:`repro.core.prf` — choosing the fastest applicable algorithm per
-Table 3 of the paper.  :func:`rank_distribution` exposes the underlying
-positional-probability features for a single tuple, and :func:`top_k` is
-a convenience wrapper returning just the identifiers.
+Table 3 of the paper.  The dispatch itself lives in the engine's
+planner (:meth:`repro.engine.facade.Engine.plan`): every call routes
+through the process-wide default engine, so repeated rankings and
+distribution queries of the same dataset reuse its cached sorted order,
+prefix/positional matrices and calibrated junction trees instead of
+recomputing per call.  :func:`rank_distribution` exposes the underlying
+positional-probability features for a single tuple, and :func:`top_k`
+is a convenience wrapper returning just the identifiers.
 """
 
 from __future__ import annotations
@@ -22,7 +27,6 @@ import numpy as np
 
 from .prf import RankingFunction
 from .result import RankingResult
-from .tuples import ProbabilisticRelation
 
 __all__ = ["rank", "top_k", "rank_distribution", "positional_probability"]
 
@@ -45,38 +49,21 @@ def rank(data, rf: RankingFunction, name: str = "") -> RankingResult:
     Returns
     -------
     RankingResult
-        The complete ranking, best tuple first.
+        The complete ranking, best tuple first.  Results are numerically
+        identical to the legacy per-model algorithms
+        (``rank_independent``, ``rank_tree``, ``rank_markov_network``).
     """
-    if isinstance(data, ProbabilisticRelation):
-        # Independent relations route through the shared engine so repeated
-        # rankings of the same relation reuse its cached intermediates; the
-        # engine reproduces ``rank_independent`` results exactly.
-        from ..engine import default_engine
+    from ..engine import default_engine
 
-        return default_engine().rank(data, rf, name=name)
-
-    from ..andxor.tree import AndXorTree
-
-    if isinstance(data, AndXorTree):
-        from ..andxor.ranking import rank_tree
-
-        return rank_tree(data, rf, name=name)
-
-    from ..graphical.model import MarkovNetworkRelation
-
-    if isinstance(data, MarkovNetworkRelation):
-        from ..graphical.ranking import rank_markov_network
-
-        return rank_markov_network(data, rf, name=name)
-
-    raise TypeError(
-        f"cannot rank objects of type {type(data).__name__}; expected a "
-        "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
-    )
+    return default_engine().rank(data, rf, name=name)
 
 
 def top_k(data, rf: RankingFunction, k: int, name: str = "") -> list[Any]:
-    """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
+    """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
+
+    Routed through the default engine, so repeated top-k queries over the
+    same dataset hit its cache.
+    """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     return rank(data, rf, name=name).top_k(k)
@@ -86,34 +73,12 @@ def rank_distribution(data, tid: Any, max_rank: int | None = None) -> np.ndarray
     """Rank distribution ``Pr(r(t) = j)`` of one tuple (index 0 unused).
 
     This is the feature vector of Section 3.3; the computation is exact
-    for every supported correlation model.
+    for every supported correlation model and served from the default
+    engine's cache when the dataset was ranked (or queried) before.
     """
-    if isinstance(data, ProbabilisticRelation):
-        from ..engine import default_engine
+    from ..engine import default_engine
 
-        ordered, matrix = default_engine().positional_matrix(data, max_rank=max_rank)
-        for i, t in enumerate(ordered):
-            if t.tid == tid:
-                padded = np.zeros(matrix.shape[1] + 1, dtype=float)
-                padded[1:] = matrix[i]
-                return padded
-        raise KeyError(f"no tuple with identifier {tid!r}")
-
-    from ..andxor.tree import AndXorTree
-
-    if isinstance(data, AndXorTree):
-        from ..andxor.generating import positional_distribution
-
-        return positional_distribution(data, tid, max_rank=max_rank)
-
-    from ..graphical.model import MarkovNetworkRelation
-
-    if isinstance(data, MarkovNetworkRelation):
-        from ..graphical.ranking import rank_distribution_markov
-
-        return rank_distribution_markov(data, tid, max_rank=max_rank)
-
-    raise TypeError(f"cannot compute rank distributions for {type(data).__name__}")
+    return default_engine().rank_distribution(data, tid, max_rank=max_rank)
 
 
 def positional_probability(data, tid: Any, position: int) -> float:

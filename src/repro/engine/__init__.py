@@ -1,34 +1,65 @@
-"""Batched, cached, shardable ranking engine (the scaling seam of the repo).
+"""Batched, cached, multi-backend ranking engine (the scaling seam of the repo).
 
-The engine evaluates PRF-family ranking functions over many
-tuple-independent relations (or one relation under many ranking
-functions) in single vectorized passes, sharing the score sort and the
-prefix generating-function matrix — the O(n * max_rank) hot intermediate
-of Algorithm 1 — across the whole batch, with an LRU cache keyed on
-relation content fingerprints and an optional process-pool sharding
-layer for very large batches.
+The engine evaluates PRF-family ranking functions over probabilistic
+datasets of *any* supported correlation model — tuple-independent
+relations, and/xor trees, and bounded-treewidth Markov networks.  A
+planner detects the model of each input and routes execution through a
+pluggable :class:`~repro.engine.backends.RankingBackend` (stacked
+numpy kernels for independent relations, generating functions plus the
+incremental Algorithm 3 for trees, junction-tree dynamic programs for
+networks), all sharing one LRU cache keyed on dataset content
+fingerprints: sorted orders, prefix and positional matrices, memoized
+PRFe value vectors and calibrated junction trees survive across calls.
+An optional process-pool sharding layer handles very large independent
+batches.
 
-Quickstart::
+Quickstart — one batch may freely mix correlation models::
 
-    from repro import ProbabilisticRelation, PRFe
+    from repro import AndXorTree, PRFe, ProbabilisticRelation
     from repro.engine import Engine
+    from repro.graphical import MarkovNetworkRelation
 
     engine = Engine()
-    relations = [ProbabilisticRelation.from_pairs([(10, 0.9), (5, 0.4)])
-                 for _ in range(100)]
-    results = engine.rank_batch(relations, PRFe(0.95))
-    sweeps = engine.rank_many(relations[0], [PRFe(a) for a in (0.5, 0.9, 0.99)])
+    relation = ProbabilisticRelation.from_pairs([(10, 0.6), (5, 0.3)])
+    tree = AndXorTree.from_x_tuples([relation.tuples])      # mutual exclusion
+    network = MarkovNetworkRelation.from_independent(relation)
+
+    results = engine.rank_batch([relation, tree, network], PRFe(0.95))
+    sweeps = engine.rank_many(tree, [PRFe(a) for a in (0.5, 0.9, 0.99)])
+    print(engine.plan(tree, PRFe(0.95)).algorithm)  # Table-3 choice
+    print(engine.cache_stats())
 """
 
-from .cache import CachedRelation, CacheStats, RelationCache, relation_fingerprint
-from .facade import Engine, default_engine, set_default_engine
+from .backends import AndXorBackend, IndependentBackend, MarkovBackend, RankingBackend
+from .cache import (
+    CachedNetwork,
+    CachedRelation,
+    CachedTree,
+    CacheStats,
+    RelationCache,
+    dataset_fingerprint,
+    network_fingerprint,
+    relation_fingerprint,
+    tree_fingerprint,
+)
+from .facade import Engine, ExecutionPlan, default_engine, set_default_engine
 
 __all__ = [
     "Engine",
+    "ExecutionPlan",
     "default_engine",
     "set_default_engine",
+    "RankingBackend",
+    "IndependentBackend",
+    "AndXorBackend",
+    "MarkovBackend",
     "RelationCache",
     "CachedRelation",
+    "CachedTree",
+    "CachedNetwork",
     "CacheStats",
     "relation_fingerprint",
+    "tree_fingerprint",
+    "network_fingerprint",
+    "dataset_fingerprint",
 ]

@@ -1,0 +1,155 @@
+"""The and/xor-tree backend — generating functions plus incremental PRFe.
+
+Evaluation strategy per ranking-function spec (Sections 4.2/4.3):
+
+* PRFe(alpha) — the incremental ``ANDXOR-PRFe-RANK`` Algorithm 3
+  (O(sum_i depth(t_i) + n log n)); the resulting value vector is
+  memoized per ``alpha`` on the tree's cache entry, so ranking the same
+  tree again (alpha sweeps, repeated batches) skips the tree walk
+  entirely.
+* LinearCombinationPRFe — one memoized Algorithm 3 pass per term,
+  combined exactly as the legacy entry point does.
+* General weights — positional probabilities from the tree's generating
+  function, cached per tree and served to every horizon by slicing (the
+  truncated coefficients are bit-identical; see
+  :meth:`~repro.engine.cache.CachedTree.positional_matrix`), then one
+  vectorized ``matrix @ weights`` pass.  Equal-size trees of a batch are
+  stacked and evaluated in a single batched matmul.
+
+All values are produced by the same :mod:`repro.andxor.ranking`
+evaluators as the legacy :func:`~repro.andxor.ranking.rank_tree`, so the
+rankings are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...andxor.ranking import prf_values_tree, prfe_values_tree
+from ...andxor.tree import AndXorTree
+from ...core.prf import LinearCombinationPRFe, PRFe, RankingFunction
+from ...core.result import RankingResult
+from ...core.tuples import Tuple
+from ..cache import CachedTree
+from .base import RankingBackend, build_result, distribution_row
+
+__all__ = ["AndXorBackend"]
+
+
+class AndXorBackend(RankingBackend):
+    """Cached, batched ranking over probabilistic and/xor trees."""
+
+    model = "andxor"
+
+    def handles(self, data) -> bool:
+        return isinstance(data, AndXorTree)
+
+    def algorithm(self, rf: RankingFunction) -> str:
+        if isinstance(rf, PRFe):
+            return "andxor-prfe-incremental (Algorithm 3)"
+        if isinstance(rf, LinearCombinationPRFe):
+            return "andxor-prfe-combination (L x Algorithm 3)"
+        return "andxor-generating-function (Theorem 1)"
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+    def rank(self, tree: AndXorTree, rf: RankingFunction, name: str = "") -> RankingResult:
+        entry = self.entry(tree)
+        result = self._rank_entry(entry, rf, name or tree.name)
+        self.cache.enforce_budget()
+        return result
+
+    def rank_many(
+        self, tree: AndXorTree, rfs: Sequence[RankingFunction], name: str = ""
+    ) -> list[RankingResult]:
+        rfs = list(rfs)
+        if not rfs:
+            return []
+        entry = self.entry(tree)
+        label = name or tree.name
+        results = [self._rank_entry(entry, rf, label) for rf in rfs]
+        self.cache.enforce_budget()
+        return results
+
+    def rank_batch(
+        self, trees: Sequence[AndXorTree], rf: RankingFunction, store: bool = True
+    ) -> list[RankingResult]:
+        # Each tree's generating-function structure is its own; the batch
+        # shares the cache (memoized Algorithm 3 values, positional
+        # matrices) rather than a stacked kernel — stacking the per-tree
+        # ``matrix @ weights`` passes into one 3-D matmul perturbs the last
+        # ulp, which would break the bitwise contract with ``rank_tree``.
+        # Each result is built immediately after its entry lookup: a batch
+        # holding content-equal distinct trees rebinds the shared entry's
+        # tuples per tree, so deferring would alias one tree's result to
+        # another tree's Tuple objects.
+        results = []
+        for tree in trees:
+            entry = self.entry(tree, store=store)
+            results.append(build_result(entry, self._values(entry, rf), tree.name))
+        self.cache.enforce_budget()
+        return results
+
+    def _rank_entry(self, entry: CachedTree, rf: RankingFunction, name: str) -> RankingResult:
+        return build_result(entry, self._values(entry, rf), name)
+
+    def _values(self, entry: CachedTree, rf: RankingFunction) -> np.ndarray:
+        if isinstance(rf, PRFe):
+            return self._prfe_values(entry, rf.alpha)
+        if isinstance(rf, LinearCombinationPRFe):
+            # Same term-by-term accumulation as the legacy rank_tree path,
+            # with each per-alpha Algorithm 3 pass memoized.
+            total = np.zeros(entry.n, dtype=complex)
+            for coefficient, alpha in rf.terms():
+                values = self._prfe_values(entry, alpha)
+                total = total + coefficient * values.astype(complex)
+            return total
+        limit = self._clamped_limit(entry.n, rf.weight.horizon)
+        matrix = entry.positional_matrix(limit)
+        _, values = prf_values_tree(entry.tree, rf, positional=(entry.ordered, matrix))
+        return values
+
+    def _prfe_values(self, entry: CachedTree, alpha: complex) -> np.ndarray:
+        """Algorithm 3 values, memoized per alpha on the cache entry."""
+        key = ("prfe", complex(alpha))
+        values = entry.extras.get(key)
+        if values is None:
+            _, values = prfe_values_tree(entry.tree, alpha)
+            entry.extras[key] = values
+        return values
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+    def positional_matrix(
+        self, tree: AndXorTree, max_rank: int | None = None
+    ) -> tuple[list[Tuple], np.ndarray]:
+        entry = self.entry(tree)
+        limit = self._clamped_limit(entry.n, max_rank)
+        matrix = entry.positional_matrix(limit)
+        self.cache.enforce_budget()
+        # Copy: the legacy path returned a fresh matrix per call, and a
+        # caller mutating a view would silently corrupt the cache.
+        return list(entry.ordered), matrix.copy()
+
+    def marginal_probabilities(self, tree: AndXorTree) -> dict:
+        return tree.marginal_probabilities()
+
+    def rank_distribution(self, tree: AndXorTree, tid, max_rank: int | None = None) -> np.ndarray:
+        """Single-tuple rank distribution.
+
+        Served from the cached positional matrix when one wide enough
+        exists; a cold cache runs the one-tuple generating function
+        (cheaper by a factor of ``n`` than filling the whole matrix).
+        """
+        entry = self.entry(tree)
+        limit = self._clamped_limit(entry.n, max_rank)
+        positional = entry.positional
+        if positional is not None and positional.shape[1] >= limit:
+            return distribution_row(entry.ordered, positional, tid, limit)
+        from ...andxor.generating import positional_distribution
+
+        return positional_distribution(tree, tid, max_rank=max_rank)

@@ -1,22 +1,31 @@
-"""Relation fingerprinting and the LRU intermediate cache of the engine.
+"""Dataset fingerprinting and the LRU intermediate cache of the engine.
 
-The batched engine reuses two intermediates across calls: the canonical
-score-descending tuple order of a relation and the prefix
-generating-function matrix of :func:`repro.algorithms.independent.
-prefix_polynomial_matrix` (the O(n * max_rank) hot intermediate behind
-positional probabilities, PT(h), U-Rank and every general-weight PRF
-evaluation).  Both are keyed on a *content fingerprint* of the relation —
-a hash of its scores, probabilities and tuple identifiers — so that
-logically equal relations share cache entries regardless of object
-identity, and a relation rebuilt from the same data still hits.
+The batched engine reuses per-dataset intermediates across calls, keyed
+on a *content fingerprint* — a hash of the dataset's payload — so that
+logically equal datasets share cache entries regardless of object
+identity, and a dataset rebuilt from the same data still hits.  One
+entry type exists per correlation model:
 
-The cache is a bounded LRU with an element budget: matrices are evicted
-least-recently-used once the total number of cached float64 elements
-exceeds ``max_elements``.  A matrix computed at limit ``L`` serves every
-request with ``limit <= L`` by slicing, because truncating the prefix
-polynomial only drops coefficients that never feed back into lower
-degrees (the recurrence ``c_m <- (1 - p) c_m + p c_{m-1}`` is lower
-triangular).
+* :class:`CachedRelation` (tuple-independent): the canonical
+  score-descending tuple order and the prefix generating-function matrix
+  of :func:`repro.algorithms.independent.prefix_polynomial_matrix` (the
+  O(n * max_rank) hot intermediate behind positional probabilities,
+  PT(h), U-Rank and every general-weight PRF evaluation).
+* :class:`CachedTree` (and/xor correlations): the sorted leaf order, the
+  positional-probability matrix obtained from the tree's generating
+  functions, and memoized PRFe value vectors of the incremental
+  Algorithm 3 (keyed by ``alpha``).
+* :class:`CachedNetwork` (Markov networks): the sorted tuple order, the
+  junction tree, the evidence-free calibration (reused for every
+  ``Pr(X_t = 1)`` lookup) and the junction-tree-DP positional matrix.
+
+The cache is a bounded LRU with an element budget: array payloads are
+evicted least-recently-used once the total number of cached float64
+elements exceeds ``max_elements``.  A matrix computed at limit ``L``
+serves every request with ``limit <= L`` by slicing: for the prefix
+matrix because the recurrence ``c_m <- (1 - p) c_m + p c_{m-1}`` is
+lower triangular, for positional matrices because truncation only drops
+trailing rank columns the narrower request never reads.
 """
 
 from __future__ import annotations
@@ -26,15 +35,48 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..core.tuples import ProbabilisticRelation, Tuple
 
-__all__ = ["relation_fingerprint", "CachedRelation", "RelationCache", "CacheStats"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..andxor.tree import AndXorTree
+    from ..graphical.junction_tree import CalibratedTree, JunctionTree
+    from ..graphical.model import MarkovNetworkRelation
+
+__all__ = [
+    "relation_fingerprint",
+    "tree_fingerprint",
+    "network_fingerprint",
+    "dataset_fingerprint",
+    "CachedRelation",
+    "CachedTree",
+    "CachedNetwork",
+    "RelationCache",
+    "CacheStats",
+]
 
 _FINGERPRINT_ATTR = "_engine_fingerprint"
+
+
+def _dataset_tuples(data):
+    """The dataset's tuples in its native order (any supported kind)."""
+    if isinstance(data, ProbabilisticRelation):
+        return data.tuples
+    tuples = data.tuples
+    return tuples() if callable(tuples) else tuples
+
+
+def _tuple_payload(digest, t: Tuple) -> None:
+    digest.update(repr(t.tid).encode())
+    digest.update(b"\x00")
+    digest.update(np.float64(t.score).tobytes())
+    digest.update(np.float64(t.probability).tobytes())
+    if t.attributes:
+        digest.update(repr(t.attributes).encode())
+    digest.update(b"\x01")
 
 
 def relation_fingerprint(relation: ProbabilisticRelation) -> str:
@@ -67,6 +109,79 @@ def relation_fingerprint(relation: ProbabilisticRelation) -> str:
     return fingerprint
 
 
+def tree_fingerprint(tree: "AndXorTree") -> str:
+    """A stable content hash of an and/xor tree (structure, edges, leaves).
+
+    The pre-order walk writes a kind marker per node, xor edge
+    probabilities as raw float64 bytes, and the full tuple payload per
+    leaf, so trees hit the same cache entry exactly when they encode the
+    same correlation structure over the same tuples.
+    """
+    cached = getattr(tree, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    from ..andxor.tree import AndNode, LeafNode, XorNode
+
+    digest = hashlib.blake2b(digest_size=16)
+
+    def visit(node) -> None:
+        if isinstance(node, LeafNode):
+            digest.update(b"L")
+            _tuple_payload(digest, node.item)
+            return
+        if isinstance(node, AndNode):
+            digest.update(b"A")
+            digest.update(str(len(node.children)).encode())
+            for child in node.children:
+                visit(child)
+        else:
+            assert isinstance(node, XorNode)
+            digest.update(b"X")
+            digest.update(str(len(node.children)).encode())
+            for probability, child in node.children:
+                digest.update(np.float64(probability).tobytes())
+                visit(child)
+        digest.update(b"\x02")
+
+    visit(tree.root)
+    fingerprint = digest.hexdigest()
+    setattr(tree, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+def network_fingerprint(model: "MarkovNetworkRelation") -> str:
+    """A stable content hash of a Markov-network relation (tuples + factors)."""
+    cached = getattr(model, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(model)).encode())
+    for t in model.tuples:
+        _tuple_payload(digest, t)
+    for factor in model.factors:
+        digest.update(repr([repr(v) for v in factor.variables]).encode())
+        digest.update(np.asarray(factor.table, dtype=float).tobytes())
+        digest.update(b"\x03")
+    fingerprint = digest.hexdigest()
+    setattr(model, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+def dataset_fingerprint(data) -> str:
+    """The content fingerprint of any supported dataset kind."""
+    if isinstance(data, ProbabilisticRelation):
+        return relation_fingerprint(data)
+    from ..andxor.tree import AndXorTree
+
+    if isinstance(data, AndXorTree):
+        return tree_fingerprint(data)
+    from ..graphical.model import MarkovNetworkRelation
+
+    if isinstance(data, MarkovNetworkRelation):
+        return network_fingerprint(data)
+    raise TypeError(f"cannot fingerprint objects of type {type(data).__name__}")
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters of a :class:`RelationCache` (observability hook)."""
@@ -77,6 +192,36 @@ class CacheStats:
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+def _extras_bytes(extras: dict) -> int:
+    """Total bytes of the array payloads stashed in an entry's ``extras``."""
+    total = 0
+    for value in extras.values():
+        parts = value if isinstance(value, (tuple, list)) else (value,)
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                total += part.nbytes
+    return total
+
+
+def _drop_array_extras(extras: dict) -> None:
+    """Remove the array payloads (memoized values, sort columns) in place."""
+    for key in [
+        key
+        for key, value in extras.items()
+        if isinstance(value, np.ndarray)
+        or (
+            isinstance(value, (tuple, list))
+            and any(isinstance(part, np.ndarray) for part in value)
+        )
+    ]:
+        del extras[key]
 
 
 @dataclass
@@ -109,12 +254,13 @@ class CachedRelation:
         total_bytes = self.probabilities.nbytes
         if self.prefix is not None:
             total_bytes += self.prefix.nbytes
-        for value in self.extras.values():
-            parts = value if isinstance(value, (tuple, list)) else (value,)
-            for part in parts:
-                if isinstance(part, np.ndarray):
-                    total_bytes += part.nbytes
+        total_bytes += _extras_bytes(self.extras)
         return total_bytes // 8
+
+    def shed(self) -> None:
+        """Drop the heavy arrays, keeping the cheap sorted order (see eviction)."""
+        self.prefix = None
+        _drop_array_extras(self.extras)
 
     def prefix_matrix(self, limit: int) -> np.ndarray:
         """The prefix polynomial matrix truncated to ``limit`` columns.
@@ -148,6 +294,131 @@ class CachedRelation:
         if self.n == 0 or limit == 0:
             return prefix
         return prefix * self.probabilities[:, None]
+
+
+@dataclass
+class CachedTree:
+    """The cached intermediates of one and/xor tree.
+
+    The tree itself is held strongly: unlike the independent case (where
+    the probability vector suffices), recomputing or widening any
+    intermediate needs the full correlation structure.  The Python-object
+    cost of the retained nodes is bounded by ``max_relations``, like the
+    retained ``Tuple`` lists.
+    """
+
+    ordered: list[Tuple]
+    tree: "AndXorTree" = field(repr=False, default=None)
+    positional: np.ndarray | None = None  # (n, limit_computed) or None
+    extras: dict[Any, Any] = field(default_factory=dict)
+    source: weakref.ref | None = field(default=None, repr=False)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.ordered)
+
+    def elements(self) -> int:
+        total_bytes = _extras_bytes(self.extras)
+        if self.positional is not None:
+            total_bytes += self.positional.nbytes
+        return total_bytes // 8
+
+    def shed(self) -> None:
+        self.positional = None
+        _drop_array_extras(self.extras)
+
+    def positional_matrix(self, limit: int) -> np.ndarray:
+        """``Pr(r(t_i) = j)`` from the tree's generating functions.
+
+        Narrower requests are served by slicing the cached matrix: the
+        generating-function coefficients of degree ``< limit`` are sums of
+        exactly the products that a narrower truncation computes, so the
+        slice is bit-identical to a fresh narrow computation.
+        """
+        from ..andxor.generating import positional_probabilities_tree
+
+        with self.lock:
+            positional = self.positional
+            if positional is None or positional.shape[1] < limit:
+                _, positional = positional_probabilities_tree(self.tree, max_rank=limit)
+                self.positional = positional
+        return positional[:, :limit]
+
+
+@dataclass
+class CachedNetwork:
+    """The cached intermediates of one Markov-network relation.
+
+    Besides the positional matrix, the entry retains the junction tree
+    and its evidence-free calibration: every per-tuple rank distribution
+    needs ``Pr(X_t = 1)``, which the legacy path recalibrated from
+    scratch per tuple.
+    """
+
+    ordered: list[Tuple]
+    model: "MarkovNetworkRelation" = field(repr=False, default=None)
+    junction: "JunctionTree | None" = field(default=None, repr=False)
+    base_calibrated: "CalibratedTree | None" = field(default=None, repr=False)
+    positional: np.ndarray | None = None  # (n, limit_computed) or None
+    extras: dict[Any, Any] = field(default_factory=dict)
+    source: weakref.ref | None = field(default=None, repr=False)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.ordered)
+
+    def elements(self) -> int:
+        total_bytes = _extras_bytes(self.extras)
+        if self.positional is not None:
+            total_bytes += self.positional.nbytes
+        if self.base_calibrated is not None:
+            total_bytes += sum(b.table.nbytes for b in self.base_calibrated.beliefs)
+        return total_bytes // 8
+
+    def shed(self) -> None:
+        self.positional = None
+        self.base_calibrated = None
+        _drop_array_extras(self.extras)
+
+    def junction_tree(self) -> "JunctionTree":
+        """The (lazily built) junction tree of the network."""
+        with self.lock:
+            if self.junction is None:
+                from ..graphical.ranking import junction_tree_for
+
+                self.junction = junction_tree_for(self.model)
+        return self.junction
+
+    def calibrated(self) -> "CalibratedTree":
+        """The evidence-free calibration, shared by all ``Pr(X_t = 1)`` lookups."""
+        tree = self.junction_tree()
+        with self.lock:
+            if self.base_calibrated is None:
+                self.base_calibrated = tree.calibrate()
+        return self.base_calibrated
+
+    def positional_matrix(self, limit: int) -> np.ndarray:
+        """``Pr(r(t_i) = j)`` from the junction-tree dynamic program.
+
+        The DP itself is limit-independent (the count distribution is
+        always computed in full; ``limit`` only truncates the stored
+        columns), so slicing a wider cached matrix is bit-identical to a
+        fresh narrow computation.
+        """
+        from ..graphical.ranking import positional_probabilities_markov
+
+        tree = self.junction_tree()
+        base = self.calibrated()
+        with self.lock:
+            positional = self.positional
+            if positional is None or positional.shape[1] < limit:
+                _, positional = positional_probabilities_markov(
+                    self.model, max_rank=limit, tree=tree, base=base
+                )
+                self.positional = positional
+        return positional[:, :limit]
 
 
 class RelationCache:
@@ -196,39 +467,66 @@ class RelationCache:
             self._entries.clear()
 
     def get(self, relation: ProbabilisticRelation, store: bool = True) -> CachedRelation:
-        """The cached entry for ``relation``, creating it on a miss.
+        """The cached entry for an independent relation (see :meth:`entry_for`)."""
+        return self.entry_for(relation, store=store)
 
-        With ``store=False`` a miss builds a transient entry that is not
-        inserted — used by large batches whose single-use relations would
-        otherwise flush every genuinely reused entry out of the LRU.
+    def entry_for(self, data, store: bool = True):
+        """The cached entry for any supported dataset kind, creating it on a miss.
+
+        Returns a :class:`CachedRelation`, :class:`CachedTree` or
+        :class:`CachedNetwork` depending on the correlation model of
+        ``data``.  With ``store=False`` a miss builds a transient entry
+        that is not inserted — used by large batches whose single-use
+        datasets would otherwise flush every genuinely reused entry out
+        of the LRU.
         """
-        key = relation_fingerprint(relation)
+        key = dataset_fingerprint(data)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
         if entry is not None:
-            if entry.source is None or entry.source() is not relation:
-                # Content-equal but distinct relation: rebind the tuple
-                # objects so results carry the caller's own tuples.
-                entry.ordered = [relation.get(t.tid) for t in entry.ordered]
-                entry.source = weakref.ref(relation)
+            if entry.source is None or entry.source() is not data:
+                # Content-equal but distinct dataset: rebind the tuple
+                # objects so results carry the caller's own tuples.  One
+                # dict pass over the dataset's tuples — a ``get()`` per
+                # tid would make warm hits quadratic.
+                by_tid = {t.tid: t for t in _dataset_tuples(data)}
+                entry.ordered = [by_tid[t.tid] for t in entry.ordered]
+                entry.source = weakref.ref(data)
             return entry
         with self._lock:
             self.stats.misses += 1
-        ordered = relation.sorted_by_score()
-        probabilities = np.array([t.probability for t in ordered], dtype=float)
-        entry = CachedRelation(
-            ordered=ordered,
-            probabilities=probabilities,
-            source=weakref.ref(relation),
-        )
+        entry = self._build_entry(data)
         if store:
             with self._lock:
                 self._entries[key] = entry
                 self._evict_locked()
         return entry
+
+    @staticmethod
+    def _build_entry(data):
+        if isinstance(data, ProbabilisticRelation):
+            ordered = data.sorted_by_score()
+            return CachedRelation(
+                ordered=ordered,
+                probabilities=np.array([t.probability for t in ordered], dtype=float),
+                source=weakref.ref(data),
+            )
+        from ..andxor.tree import AndXorTree
+
+        if isinstance(data, AndXorTree):
+            return CachedTree(
+                ordered=data.sorted_tuples(), tree=data, source=weakref.ref(data)
+            )
+        from ..graphical.model import MarkovNetworkRelation
+
+        if isinstance(data, MarkovNetworkRelation):
+            return CachedNetwork(
+                ordered=data.sorted_tuples(), model=data, source=weakref.ref(data)
+            )
+        raise TypeError(f"cannot cache objects of type {type(data).__name__}")
 
     def _evict_locked(self) -> None:
         while len(self._entries) > self.max_relations:
@@ -249,9 +547,9 @@ class RelationCache:
         while len(self._entries) > 1 and self._total_elements_locked() > self.max_elements:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        # A single over-budget entry: drop its matrix but keep the cheap
+        # A single over-budget entry: drop its matrices but keep the cheap
         # sorted order, so repeated huge-limit requests degrade gracefully
         # to the uncached behaviour instead of pinning a giant allocation.
         if len(self._entries) == 1 and self._total_elements_locked() > self.max_elements:
             (entry,) = self._entries.values()
-            entry.prefix = None
+            entry.shed()

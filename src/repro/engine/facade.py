@@ -1,23 +1,28 @@
-"""The :class:`Engine` facade — batched, cached, shardable PRF ranking.
+"""The :class:`Engine` facade — a correlation-aware planner over pluggable backends.
 
-The engine is the single seam through which every ranking of a
-tuple-independent relation flows:
+The engine is the single seam through which every ranking flows,
+regardless of the input's correlation model.  A *planner* detects the
+model of each input — tuple-independent relation, and/xor tree, or
+Markov network — picks the Table-3-optimal algorithm through the
+matching :class:`~repro.engine.backends.RankingBackend`, and executes
+against one shared fingerprint-keyed LRU cache:
 
-* :meth:`Engine.rank` — one relation, one ranking function.  Numerically
-  identical to :func:`repro.algorithms.independent.rank_independent`, but
-  general-weight evaluations reuse the LRU-cached prefix
-  generating-function matrix instead of rebuilding it per call.
-* :meth:`Engine.rank_batch` — many relations, one ranking function.
-  Relations of equal size are stacked and evaluated by the batched
-  kernels of :mod:`repro.engine.kernels`, amortizing Python dispatch and
-  sharing one recurrence pass per group; large batches can additionally
-  be sharded across a process pool (:mod:`repro.engine.sharding`).
-* :meth:`Engine.rank_many` — one relation, many ranking functions.  The
-  score sort happens once, real-``alpha`` PRFe specs are evaluated as one
-  stacked log-space sweep, and all general-weight specs share a single
-  prefix matrix (one O(n * max_h) computation instead of one per spec).
-* :meth:`Engine.positional_matrix` — the cached positional-probability
-  matrix behind PT(h), U-Rank and the learning features.
+* :meth:`Engine.rank` — one dataset, one ranking function.  Numerically
+  identical to the legacy per-model entry points (``rank_independent``,
+  ``rank_tree``, ``rank_markov_network``); repeated rankings reuse the
+  cached sorted order, prefix/positional matrices, memoized Algorithm 3
+  values and calibrated junction trees.
+* :meth:`Engine.rank_batch` — many datasets, one ranking function.  The
+  batch may freely mix correlation models; each model's slice runs
+  through its backend (equal-size independent relations are stacked into
+  single kernel invocations, large independent slices can shard across a
+  process pool) and results come back in input order.
+* :meth:`Engine.rank_many` — one dataset, many ranking functions,
+  sharing the sort and the per-model hot intermediate across specs.
+* :meth:`Engine.positional_matrix` / :meth:`Engine.rank_distribution` /
+  :meth:`Engine.sorted_tuples` / :meth:`Engine.marginal_probabilities` —
+  the derived queries behind PT(h), U-Rank, the learning features and
+  the baseline dispatch, cached for every model.
 
 A module-level :func:`default_engine` serves :func:`repro.core.ranking.
 rank` and the baseline dispatch so the whole package benefits from the
@@ -26,33 +31,39 @@ shared cache without threading an engine handle everywhere.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from ..algorithms.independent import positional_probabilities, prf_values, uses_log_space
-from ..core.prf import LinearCombinationPRFe, PRFe, RankingFunction
-from ..core.result import RankedItem, RankingResult
-from ..core.tuples import ProbabilisticRelation, Tuple
-from .cache import CachedRelation, RelationCache
-from .kernels import (
-    batched_general_values,
-    batched_lincomb_values,
-    batched_prefix_matrices,
-    batched_prfe_log_values,
-    batched_prfe_values,
-)
+from ..core.prf import RankingFunction
+from ..core.result import RankingResult
+from ..core.tuples import Tuple
+from .backends import AndXorBackend, IndependentBackend, MarkovBackend, RankingBackend
+from .cache import RelationCache
 
-__all__ = ["Engine", "default_engine", "set_default_engine"]
+__all__ = ["Engine", "ExecutionPlan", "default_engine", "set_default_engine"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The planner's choice for one (dataset, ranking function) pair."""
+
+    #: Correlation model of the input (``independent`` / ``andxor`` / ``markov``).
+    model: str
+    #: Label of the Table-3 algorithm the backend will run.
+    algorithm: str
+    #: The backend that will execute the plan.
+    backend: RankingBackend = field(repr=False)
 
 
 class Engine:
-    """Batched vectorized ranking engine for tuple-independent relations.
+    """Batched, cached, multi-backend PRF ranking engine.
 
     Parameters
     ----------
     cache_relations:
-        Maximum number of relations whose intermediates are retained.
+        Maximum number of datasets whose intermediates are retained.
     cache_elements:
         Element budget of the intermediate cache (float64 entries).
     max_batch_elements:
@@ -62,10 +73,12 @@ class Engine:
         single-relation algorithms.
     workers:
         Default process-pool size for :meth:`rank_batch`.  ``None`` or
-        ``1`` keeps everything in-process; sharding only engages for
-        batches of at least ``shard_min_batch`` relations.
+        ``1`` keeps everything in-process; sharding only engages for the
+        tuple-independent slice of a batch, and only when it holds at
+        least ``shard_min_batch`` relations.
     shard_min_batch:
-        Minimum batch size before the process pool is considered.
+        Minimum (independent) batch size before the process pool is
+        considered.
     """
 
     def __init__(
@@ -83,6 +96,31 @@ class Engine:
         self.max_batch_elements = int(max_batch_elements)
         self.workers = workers
         self.shard_min_batch = int(shard_min_batch)
+        #: The pluggable per-correlation-model execution strategies, in
+        #: planner probe order.
+        self.backends: tuple[RankingBackend, ...] = (
+            IndependentBackend(self),
+            AndXorBackend(self),
+            MarkovBackend(self),
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def backend_for(self, data) -> RankingBackend:
+        """The backend executing ``data``'s correlation model."""
+        for backend in self.backends:
+            if backend.handles(data):
+                return backend
+        raise TypeError(
+            f"cannot rank objects of type {type(data).__name__}; expected a "
+            "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
+        )
+
+    def plan(self, data, rf: RankingFunction) -> ExecutionPlan:
+        """The (model, algorithm, backend) the planner picks for this input."""
+        backend = self.backend_for(data)
+        return ExecutionPlan(model=backend.model, algorithm=backend.algorithm(rf), backend=backend)
 
     # ------------------------------------------------------------------
     # Observability
@@ -95,386 +133,95 @@ class Engine:
         self.cache.clear()
 
     # ------------------------------------------------------------------
-    # Single relation, single ranking function
+    # Single dataset, single ranking function
     # ------------------------------------------------------------------
-    def rank(
-        self, relation: ProbabilisticRelation, rf: RankingFunction, name: str = ""
-    ) -> RankingResult:
-        """Rank one relation — the drop-in replacement for ``rank_independent``.
-
-        PRFe and LinearCombinationPRFe specs use the O(n) closed forms
-        directly; general-weight specs reuse the cached prefix matrix and
-        reproduce the legacy evaluation bit for bit.
-        """
-        label = name or relation.name
-        if isinstance(rf, (PRFe, LinearCombinationPRFe)):
-            ordered, values, sort_keys = prf_values(relation, rf)
-            return RankingResult.from_values(
-                ordered, values.tolist(), name=label, sort_keys=sort_keys
-            )
-        n = len(relation)
-        limit = self._general_limit(n, rf)
-        # Only horizon-bounded weights are worth materializing for a single
-        # rank call; an unbounded general PRF would allocate the full O(n^2)
-        # matrix that the streaming evaluation deliberately avoids.
-        if rf.weight.horizon is None or n * limit > self.max_batch_elements:
-            ordered, values, sort_keys = prf_values(relation, rf)
-            return RankingResult.from_values(
-                ordered, values.tolist(), name=label, sort_keys=sort_keys
-            )
-        entry = self.cache.get(relation)
-        values = self._general_values_exact(entry, rf, limit)
-        self.cache.enforce_budget()
-        return RankingResult.from_values(entry.ordered, values.tolist(), name=label)
+    def rank(self, data, rf: RankingFunction, name: str = "") -> RankingResult:
+        """Rank one dataset of any supported correlation model."""
+        return self.backend_for(data).rank(data, rf, name=name)
 
     # ------------------------------------------------------------------
-    # Many relations, one ranking function
+    # Many datasets, one ranking function
     # ------------------------------------------------------------------
     def rank_batch(
         self,
-        relations: Iterable[ProbabilisticRelation],
+        datasets: Iterable,
         rf: RankingFunction,
         *,
         workers: int | None = None,
     ) -> list[RankingResult]:
-        """Rank a batch of relations under one ranking function.
+        """Rank a batch of datasets — freely mixing correlation models.
 
-        Relations of equal cardinality are stacked and pushed through one
-        vectorized kernel invocation; results come back in input order.
-        With ``workers > 1`` (or an engine-level default) and a batch of
-        at least ``shard_min_batch`` relations, the batch is partitioned
-        across a process pool with chunked array transfer.
+        The planner partitions the batch by model and hands each slice to
+        its backend: equal-cardinality independent relations are stacked
+        into single vectorized kernel invocations (with ``workers > 1``
+        and at least ``shard_min_batch`` of them, partitioned across a
+        process pool with chunked array transfer); trees and networks run
+        through their cached evaluators.  Results come back in input
+        order, bit-identical to the legacy per-model entry points.
         """
-        relations = list(relations)
-        for index, relation in enumerate(relations):
-            if not isinstance(relation, ProbabilisticRelation):
-                raise TypeError(
-                    f"rank_batch expects ProbabilisticRelation instances; item "
-                    f"{index} is {type(relation).__name__}"
-                )
-        if not relations:
+        datasets = list(datasets)
+        if not datasets:
             return []
-        pool_size = self.workers if workers is None else workers
-        if pool_size and pool_size > 1 and len(relations) >= self.shard_min_batch:
-            from .sharding import shard_rank_batch
-
-            sharded = shard_rank_batch(self, relations, rf, workers=pool_size)
-            if sharded is not None:
-                return sharded
-        return self._rank_batch_serial(relations, rf)
-
-    def _rank_batch_serial(
-        self, relations: Sequence[ProbabilisticRelation], rf: RankingFunction
-    ) -> list[RankingResult]:
-        results: list[RankingResult | None] = [None] * len(relations)
-        groups: dict[int, list[int]] = {}
-        for index, relation in enumerate(relations):
-            groups.setdefault(len(relation), []).append(index)
+        by_backend: dict[int, tuple[RankingBackend, list[int]]] = {}
+        for index, data in enumerate(datasets):
+            backend = self.backend_for(data)
+            by_backend.setdefault(id(backend), (backend, []))[1].append(index)
+        results: list[RankingResult | None] = [None] * len(datasets)
         # A batch larger than the LRU would evict every retained entry while
         # gaining nothing (its own entries evict each other too), so such
         # batches only read the cache; their misses stay transient.
-        store = len(relations) <= self.cache.max_relations
-        for n, indices in groups.items():
-            if not isinstance(rf, (PRFe, LinearCombinationPRFe)):
-                limit = self._general_limit(n, rf)
-                if n * limit > self.max_batch_elements:
-                    # Even a single stacked row would blow the kernel budget;
-                    # stream these relations through the legacy evaluation.
-                    for index in indices:
-                        results[index] = self.rank(relations[index], rf)
-                    continue
-            entries = [self.cache.get(relations[i], store=store) for i in indices]
-            for chunk_indices, chunk_entries in self._chunk(indices, entries, n, rf):
-                values, sort_keys = self._evaluate_stack(chunk_entries, n, rf, cache_rows=store)
-                for row, index in enumerate(chunk_indices):
-                    entry = chunk_entries[row]
-                    keys = sort_keys[row] if sort_keys is not None else None
-                    results[index] = self._build_result(
-                        entry, values[row], relations[index].name, sort_keys=keys
-                    )
-        self.cache.enforce_budget()
+        store = len(datasets) <= self.cache.max_relations
+        for backend, indices in by_backend.values():
+            subset = [datasets[i] for i in indices]
+            subset_results = None
+            if isinstance(backend, IndependentBackend):
+                pool_size = self.workers if workers is None else workers
+                if pool_size and pool_size > 1 and len(subset) >= self.shard_min_batch:
+                    from .sharding import shard_rank_batch
+
+                    subset_results = shard_rank_batch(subset, rf, workers=pool_size)
+            if subset_results is None:
+                subset_results = backend.rank_batch(subset, rf, store=store)
+            for index, result in zip(indices, subset_results):
+                results[index] = result
         return [result for result in results if result is not None]
 
-    def _chunk(self, indices, entries, n: int, rf: RankingFunction):
-        """Split one equal-size group into memory-bounded kernel chunks."""
-        if isinstance(rf, PRFe):
-            per_relation = max(n, 1)
-        elif isinstance(rf, LinearCombinationPRFe):
-            per_relation = max(n * len(rf), 1)
-        else:
-            per_relation = max(n * self._general_limit(n, rf), 1)
-        rows = max(1, self.max_batch_elements // per_relation)
-        for start in range(0, len(indices), rows):
-            yield indices[start : start + rows], entries[start : start + rows]
-
-    def _evaluate_stack(
-        self,
-        entries: Sequence[CachedRelation],
-        n: int,
-        rf: RankingFunction,
-        cache_rows: bool = True,
-    ) -> tuple[np.ndarray, np.ndarray | None]:
-        """Values (and optional sort keys) for a stack of equal-size entries."""
-        P = np.stack([entry.probabilities for entry in entries]) if n else np.zeros(
-            (len(entries), 0)
-        )
-        if isinstance(rf, PRFe):
-            alpha = rf.alpha
-            if uses_log_space(rf):
-                log_values = batched_prfe_log_values(P, alpha)
-                with np.errstate(over="ignore", under="ignore"):
-                    values = np.exp(log_values)
-                return values, log_values
-            return batched_prfe_values(P, alpha), None
-        if isinstance(rf, LinearCombinationPRFe):
-            return batched_lincomb_values(P, rf.coefficients, rf.alphas), None
-        limit = self._general_limit(n, rf)
-        prefix = self._stacked_prefixes(entries, P, limit, cache_rows=cache_rows)
-        dtype = float if rf.is_real() else complex
-        weights = rf.weight_array(limit)[1:].astype(dtype)
-        factors = None
-        if rf.tuple_factor is not None:
-            factors = np.array(
-                [[rf.factor(t) for t in entry.ordered] for entry in entries], dtype=float
-            )
-        return batched_general_values(P, prefix, weights, factors), None
-
-    def _stacked_prefixes(
-        self,
-        entries: Sequence[CachedRelation],
-        P: np.ndarray,
-        limit: int,
-        cache_rows: bool = True,
-    ) -> np.ndarray:
-        """The ``(B, n, limit)`` prefix stack, reusing cached per-relation matrices.
-
-        Rows whose entries already carry a wide-enough matrix are sliced
-        in; only the missing rows run the batched recurrence.  With
-        ``cache_rows`` the computed rows are copied back into their
-        entries (the batched and single-relation recurrences are bitwise
-        identical, so cache contents stay canonical); transient entries of
-        an oversized batch skip the copies.
-        """
-        snapshots = [entry.prefix for entry in entries]
-        missing = [
-            row
-            for row, prefix in enumerate(snapshots)
-            if prefix is None or prefix.shape[1] < limit
-        ]
-        if not missing:
-            return np.stack([prefix[:, :limit] for prefix in snapshots])
-        if len(missing) == len(entries):
-            prefix = batched_prefix_matrices(P, limit)
-            if cache_rows:
-                for row, entry in enumerate(entries):
-                    # Copy: a view would pin the whole (B, n, limit) stack alive.
-                    entry.store_prefix(prefix[row].copy())
-            return prefix
-        stack = np.empty((len(entries), P.shape[1], limit), dtype=float)
-        for row, prefix in enumerate(snapshots):
-            if prefix is not None and prefix.shape[1] >= limit:
-                stack[row] = prefix[:, :limit]
-        computed = batched_prefix_matrices(P[missing], limit)
-        for position, row in enumerate(missing):
-            stack[row] = computed[position]
-            if cache_rows:
-                entries[row].store_prefix(computed[position].copy())
-        return stack
-
     # ------------------------------------------------------------------
-    # One relation, many ranking functions
+    # One dataset, many ranking functions
     # ------------------------------------------------------------------
     def rank_many(
-        self,
-        relation: ProbabilisticRelation,
-        rfs: Sequence[RankingFunction],
-        name: str = "",
+        self, data, rfs: Sequence[RankingFunction], name: str = ""
     ) -> list[RankingResult]:
-        """Rank one relation under many ranking functions, sharing intermediates.
+        """Rank one dataset under many ranking functions, sharing intermediates.
 
-        The relation is sorted once; real-``alpha`` PRFe specs are swept in
-        a single stacked log-space evaluation (this is the Figure 7 alpha
-        sweep), and all general-weight specs share one prefix matrix wide
-        enough for the largest horizon among them.
+        Independent relations sweep real-``alpha`` PRFe specs in a single
+        stacked log-space kernel and share one prefix matrix across the
+        general-weight specs; trees share the memoized Algorithm 3 values
+        and positional matrix; networks share the calibrated junction
+        tree and DP matrix.
         """
-        rfs = list(rfs)
-        if not rfs:
-            return []
-        label = name or relation.name
-        entry = self.cache.get(relation)
-        n = entry.n
-        results: list[RankingResult | None] = [None] * len(rfs)
-
-        sweep = [i for i, rf in enumerate(rfs) if uses_log_space(rf)]
-        general = [
-            i
-            for i, rf in enumerate(rfs)
-            if not isinstance(rfs[i], (PRFe, LinearCombinationPRFe))
-        ]
-        other = [i for i in range(len(rfs)) if i not in set(sweep) | set(general)]
-
-        if sweep:
-            for index, values, log_values in self._prfe_alpha_sweep(
-                entry, [(i, rfs[i].alpha) for i in sweep]
-            ):
-                results[index] = self._build_result(
-                    entry, values, label, sort_keys=log_values
-                )
-        if other:
-            # Complex-alpha PRFe and LinearCombinationPRFe specs: already
-            # O(n) closed forms, evaluated from the shared cache entry so no
-            # per-spec re-sort or probability-array rebuild happens.
-            P = entry.probabilities[None, :]
-            for index in other:
-                rf = rfs[index]
-                if isinstance(rf, PRFe):
-                    values = batched_prfe_values(P, rf.alpha)[0]
-                else:
-                    values = batched_lincomb_values(P, rf.coefficients, rf.alphas)[0]
-                results[index] = self._build_result(entry, values, label)
-        if general:
-            for index, values in self._general_many(entry, relation, [(i, rfs[i]) for i in general]):
-                results[index] = self._build_result(entry, values, label)
-        self.cache.enforce_budget()
-        return [result for result in results if result is not None]
-
-    def _prfe_alpha_sweep(self, entry: CachedRelation, specs):
-        """Stacked log-space PRFe evaluation over many real alphas.
-
-        One relation broadcast across the rows, one alpha per row — the
-        same kernel that serves ``rank_batch``.
-        """
-        p = entry.probabilities
-        alphas = np.array([alpha for _, alpha in specs], dtype=float)
-        P = np.broadcast_to(p, (alphas.size, p.size))
-        log_values = batched_prfe_log_values(P, alphas)
-        with np.errstate(over="ignore", under="ignore"):
-            values = np.exp(log_values)
-        for row, (index, _) in enumerate(specs):
-            yield index, values[row], log_values[row]
-
-    def _general_many(self, entry: CachedRelation, relation: ProbabilisticRelation, specs):
-        """General-weight specs sharing one cached prefix matrix."""
-        n = entry.n
-        limits = {index: self._general_limit(n, rf) for index, rf in specs}
-        widest = max(limits.values(), default=0)
-        if n * widest > self.max_batch_elements:
-            # Too wide to materialize: stream each spec independently.
-            for index, rf in specs:
-                _, values, _ = prf_values(relation, rf)
-                yield index, values
-            return
-        prefix = entry.prefix_matrix(widest) if widest else np.zeros((n, 0))
-        p = entry.probabilities
-        for index, rf in specs:
-            limit = limits[index]
-            dtype = float if rf.is_real() else complex
-            if n == 0 or limit == 0:
-                yield index, np.zeros(n, dtype=dtype)
-                continue
-            weights = rf.weight_array(limit)[1:].astype(dtype)
-            values = (prefix[:, :limit] @ weights) * p
-            if rf.tuple_factor is not None:
-                values = values * np.array(
-                    [rf.factor(t) for t in entry.ordered], dtype=float
-                )
-            yield index, values
+        return self.backend_for(data).rank_many(data, rfs, name=name)
 
     # ------------------------------------------------------------------
-    # Cached positional probabilities
+    # Derived queries (cached across the whole package)
     # ------------------------------------------------------------------
     def positional_matrix(
-        self, relation: ProbabilisticRelation, max_rank: int | None = None
+        self, data, max_rank: int | None = None
     ) -> tuple[list[Tuple], np.ndarray]:
-        """Cached positional probabilities (same contract as the algorithm).
+        """Cached positional probabilities of any supported dataset kind."""
+        return self.backend_for(data).positional_matrix(data, max_rank=max_rank)
 
-        Matrices wider than ``max_batch_elements`` bypass the cache and
-        fall through to the streaming implementation.
-        """
-        n = len(relation)
-        limit = self._validated_limit(n, max_rank)
-        if n * limit > self.max_batch_elements:
-            return positional_probabilities(relation, max_rank=max_rank)
-        entry = self.cache.get(relation)
-        matrix = entry.positional_matrix(limit)
-        self.cache.enforce_budget()
-        return list(entry.ordered), matrix
+    def rank_distribution(self, data, tid: Any, max_rank: int | None = None) -> np.ndarray:
+        """Rank distribution ``Pr(r(t) = j)`` of one tuple (index 0 unused)."""
+        return self.backend_for(data).rank_distribution(data, tid, max_rank=max_rank)
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _build_result(
-        self,
-        entry: CachedRelation,
-        values: np.ndarray,
-        name: str,
-        sort_keys: np.ndarray | None = None,
-    ) -> RankingResult:
-        """Vectorized equivalent of :meth:`RankingResult.from_values`.
+    def sorted_tuples(self, data) -> list[Tuple]:
+        """Score-descending tuples of any supported dataset kind (cached)."""
+        return self.backend_for(data).sorted_tuples(data)
 
-        Replaces the Python comparison sort with one ``np.lexsort`` over the
-        same ``(-key, -score, str(tid))`` triple — both sorts are stable and
-        compare floats and strings identically, so the resulting order is
-        the same; only the constant factor changes.  The score and tid sort
-        columns are cached per relation.
-        """
-        ordered = entry.ordered
-        if not ordered:
-            return RankingResult([], name=name)
-        keys = (
-            np.abs(np.asarray(values))
-            if sort_keys is None
-            else np.asarray(sort_keys, dtype=float)
-        )
-        columns = entry.extras.get("sort_columns")
-        if columns is None:
-            columns = (
-                np.array([t.score for t in ordered], dtype=float),
-                np.array([str(t.tid) for t in ordered]),
-            )
-            entry.extras["sort_columns"] = columns
-        scores, tids = columns
-        order = np.lexsort((tids, -scores, -keys))
-        value_list = values.tolist()
-        items = [
-            RankedItem(position=position + 1, item=ordered[i], value=value_list[i])
-            for position, i in enumerate(order)
-        ]
-        return RankingResult(items, name=name)
-
-    @staticmethod
-    def _validated_limit(n: int, max_rank: int | None) -> int:
-        from ..algorithms.independent import _resolve_limit
-
-        return _resolve_limit(n, max_rank)
-
-    @staticmethod
-    def _general_limit(n: int, rf: RankingFunction) -> int:
-        horizon = rf.weight.horizon
-        return n if horizon is None else min(int(horizon), n)
-
-    def _general_values_exact(
-        self, entry: CachedRelation, rf: RankingFunction, limit: int
-    ) -> np.ndarray:
-        """Legacy-exact general PRF values from the cached prefix matrix.
-
-        Reproduces ``_prf_values_general`` operation for operation (same
-        slices, same dot products) while skipping the per-call prefix
-        recurrence.
-        """
-        n = entry.n
-        dtype = float if rf.is_real() else complex
-        values = np.zeros(n, dtype=dtype)
-        if n == 0 or limit == 0:
-            return values
-        weights = rf.weight_array(limit)[1:].astype(dtype)
-        prefix = entry.prefix_matrix(limit)
-        probabilities = entry.probabilities
-        for i, t in enumerate(entry.ordered):
-            p = probabilities[i]
-            upto = min(i, limit - 1) + 1
-            values[i] = rf.factor(t) * p * np.dot(weights[:upto], prefix[i, :upto])
-        return values
+    def marginal_probabilities(self, data) -> dict[Any, float]:
+        """Marginal existence probability per tuple identifier."""
+        return self.backend_for(data).marginal_probabilities(data)
 
 
 _default: Engine | None = None

@@ -22,16 +22,13 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from ..core.prf import RankingFunction
 from ..core.result import RankedItem, RankingResult
 from ..core.tuples import ProbabilisticRelation, Tuple
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .facade import Engine
 
 __all__ = ["shard_rank_batch", "shard_payloads"]
 
@@ -92,7 +89,6 @@ def _rank_shard(rf: RankingFunction, shard: list) -> list[list[tuple[Any, Any]]]
 
 
 def shard_rank_batch(
-    engine: "Engine",
     relations: Sequence[ProbabilisticRelation],
     rf: RankingFunction,
     workers: int,

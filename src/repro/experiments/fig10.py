@@ -21,7 +21,7 @@ from ..core.prf import PRFe
 from ..core.ranking import rank
 from ..datasets import syn_high, syn_low, syn_med, syn_xor
 from ..metrics import kendall_topk_distance
-from .harness import ExperimentResult
+from .harness import ExperimentResult, shared_engine
 
 __all__ = [
     "correlation_gap_prfe",
@@ -45,17 +45,24 @@ def default_datasets(n: int, seed: int = 31) -> dict[str, AndXorTree]:
 def correlation_gap_prfe(
     tree: AndXorTree, alphas: Sequence[float], k: int
 ) -> list[tuple[float, float]]:
-    """Kendall distance between correlation-aware and independent PRFe rankings."""
+    """Kendall distance between correlation-aware and independent PRFe rankings.
+
+    Both sweeps run as single ``rank_many`` calls against the shared
+    engine: the tree is walked through one memoized Algorithm 3 state and
+    the independence approximation shares one stacked log-space kernel.
+    """
     independent = tree.to_relation()
-    gaps: list[tuple[float, float]] = []
-    for alpha in alphas:
-        rf = PRFe(float(alpha))
-        with_correlations = rank(tree, rf).top_k(k)
-        without_correlations = rank(independent, rf).top_k(k)
-        gaps.append(
-            (float(alpha), kendall_topk_distance(with_correlations, without_correlations, k=k))
+    specs = [PRFe(float(alpha)) for alpha in alphas]
+    engine = shared_engine()
+    with_correlations = engine.rank_many(tree, specs)
+    without_correlations = engine.rank_many(independent, specs)
+    return [
+        (
+            float(alpha),
+            kendall_topk_distance(correlated.top_k(k), approximate.top_k(k), k=k),
         )
-    return gaps
+        for alpha, correlated, approximate in zip(alphas, with_correlations, without_correlations)
+    ]
 
 
 def correlation_gap_functions(

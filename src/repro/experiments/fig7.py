@@ -21,8 +21,6 @@ from ..baselines import (
     u_topk,
 )
 from ..core.prf import PRFe
-from ..core.ranking import rank
-from ..core.tuples import ProbabilisticRelation
 from ..metrics import kendall_topk_distance
 from .harness import ExperimentResult, shared_engine
 
@@ -37,9 +35,7 @@ def alpha_grid(num_points: int = 60, base: float = 0.9) -> np.ndarray:
 
 def reference_answers(data, k: int) -> dict[str, list]:
     """Top-k answers of the Figure 7 reference ranking functions."""
-    tuples = (
-        data.sorted_by_score() if hasattr(data, "sorted_by_score") else data.sorted_tuples()
-    )
+    tuples = shared_engine().sorted_tuples(data)
     by_score = [t.tid for t in tuples][:k]
     by_probability = [
         t.tid
@@ -68,12 +64,11 @@ def prfe_distance_curves(
     references = references or reference_answers(data, k)
     curves: dict[str, list[tuple[float, float]]] = {name: [] for name in references}
     specs = [PRFe(float(alpha)) for alpha in alphas]
-    if isinstance(data, ProbabilisticRelation):
-        # One batched engine sweep: the relation is sorted once and every
-        # real-alpha PRFe evaluation shares the stacked log-space kernel.
-        answers = [result.top_k(k) for result in shared_engine().rank_many(data, specs)]
-    else:
-        answers = [rank(data, spec).top_k(k) for spec in specs]
+    # One engine sweep regardless of correlation model: independent
+    # relations share the stacked log-space kernel, trees share the sorted
+    # order and the memoized Algorithm 3 state, networks the calibrated
+    # junction tree.
+    answers = [result.top_k(k) for result in shared_engine().rank_many(data, specs)]
     for alpha, prfe_topk in zip(alphas, answers):
         for name, answer in references.items():
             distance = kendall_topk_distance(prfe_topk, answer, k=k)

@@ -5,11 +5,18 @@ algorithms.  This experiment checks the *empirical* scaling of the
 implementations: each algorithm is timed on a geometric ladder of dataset
 sizes and the log-log slope (the empirical polynomial exponent) is
 fitted, so that the near-linear algorithms (PRFe, E-Rank, PRFomega(h)
-with fixed h) can be distinguished from the quadratic general PRF path.
+with fixed h, the incremental and/xor Algorithm 3) can be distinguished
+from the quadratic general PRF path.
+
+Every measurement routes through the engine's planner (the production
+path), so the fitted exponents reflect the Table-3-optimal algorithm the
+planner picks per correlation model; each algorithm may bring its own
+dataset family (independent IIP-like relations, Syn-XOR trees, ...).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -17,10 +24,22 @@ import numpy as np
 from ..baselines import expected_rank_ranking
 from ..core.prf import PRF, PRFe, PRFOmega
 from ..core.weights import NDCGDiscountWeight, StepWeight
-from ..datasets import generate_iip_like
+from ..datasets import generate_iip_like, syn_xor
 from .harness import ExperimentResult, fresh_engine, shared_engine, timed
 
-__all__ = ["fit_exponent", "scaling_rows", "run", "ALGORITHMS"]
+__all__ = ["ScalingCase", "fit_exponent", "scaling_rows", "run", "ALGORITHMS"]
+
+
+@dataclass(frozen=True)
+class ScalingCase:
+    """One Table 3 row: an algorithm plus the dataset family it is timed on."""
+
+    #: ``runner(data, k)`` executes the algorithm end to end.
+    runner: Callable
+    #: ``dataset(size, seed)`` builds the input of one ladder rung.
+    dataset: Callable = lambda size, seed: generate_iip_like(size, rng=seed)
+    #: Sizes above this are skipped (``None`` = no cap).
+    max_size: int | None = None
 
 
 def _general_prf(data, k: int):
@@ -31,13 +50,25 @@ def _general_prf(data, k: int):
 #: Rankings route through the shared engine, which is the production path;
 #: the engine falls back to the streaming evaluation for the unbounded
 #: general PRF so its O(n^2) scaling is measured, not an O(n^2) allocation.
-ALGORITHMS: dict[str, Callable] = {
-    "PRFe (O(n log n))": lambda data, k: shared_engine().rank(data, PRFe(0.95)).top_k(k),
-    "PRFomega(h=100) (O(n h))": lambda data, k: shared_engine()
-    .rank(data, PRFOmega(StepWeight(100)))
-    .top_k(k),
-    "E-Rank (O(n log n))": lambda data, k: expected_rank_ranking(data).top_k(k),
-    "general PRF (O(n^2))": _general_prf,
+ALGORITHMS: dict[str, ScalingCase] = {
+    "PRFe (O(n log n))": ScalingCase(
+        lambda data, k: shared_engine().rank(data, PRFe(0.95)).top_k(k)
+    ),
+    "PRFomega(h=100) (O(n h))": ScalingCase(
+        lambda data, k: shared_engine().rank(data, PRFOmega(StepWeight(100))).top_k(k)
+    ),
+    "E-Rank (O(n log n))": ScalingCase(
+        lambda data, k: expected_rank_ranking(data).top_k(k)
+    ),
+    # No max_size here: the cap is the caller-tunable ``max_general_prf_size``
+    # parameter of ``scaling_rows``.
+    "general PRF (O(n^2))": ScalingCase(_general_prf),
+    # The planner detects the and/xor model and runs the incremental
+    # Algorithm 3 — near-linear like independent PRFe, despite correlations.
+    "PRFe and/xor (Alg. 3, O(n log n))": ScalingCase(
+        lambda data, k: shared_engine().rank(data, PRFe(0.95)).top_k(k),
+        dataset=lambda size, seed: syn_xor(size, rng=seed),
+    ),
 }
 
 
@@ -53,26 +84,29 @@ def scaling_rows(
     sizes: Sequence[int],
     k: int = 100,
     seed: int = 53,
-    algorithms: dict[str, Callable] | None = None,
+    algorithms: dict[str, ScalingCase] | None = None,
     max_general_prf_size: int = 20_000,
 ) -> list[list]:
     """Per-algorithm timings on each size plus the fitted log-log exponent."""
     algorithms = algorithms or ALGORITHMS
-    datasets = {size: generate_iip_like(size, rng=seed) for size in sizes}
+    datasets: dict[tuple[int, int], object] = {}
     rows: list[list] = []
-    for label, algorithm in algorithms.items():
-        usable_sizes = [
-            size
-            for size in sizes
-            if not (label.startswith("general PRF") and size > max_general_prf_size)
-        ]
+    for label, case in algorithms.items():
+        cap = case.max_size
+        if label.startswith("general PRF"):
+            cap = max_general_prf_size if cap is None else min(cap, max_general_prf_size)
+        usable_sizes = [size for size in sizes if cap is None or size <= cap]
         times = []
         for size in usable_sizes:
+            key = (id(case.dataset), size)
+            if key not in datasets:
+                datasets[key] = case.dataset(size, seed)
+            data = datasets[key]
             # Each measurement runs against a cache-cold engine so the
             # fitted exponents reflect the algorithm, not cache hits from
-            # content-identical relations ranked earlier in the process.
+            # content-identical datasets ranked earlier in the process.
             with fresh_engine():
-                _, elapsed = timed(lambda a=algorithm, d=datasets[size]: a(d, k))
+                _, elapsed = timed(lambda c=case, d=data: c.runner(d, k))
             times.append(elapsed)
         exponent = fit_exponent(usable_sizes, times) if len(usable_sizes) >= 2 else float("nan")
         rows.append([label] + [f"{t:.4f}" for t in times] + [round(exponent, 2)])
@@ -86,7 +120,6 @@ def run(
 ) -> ExperimentResult:
     """Regenerate the Table 3 scaling summary."""
     rows = scaling_rows(sizes, k=k, seed=seed)
-    max_columns = max(len(row) for row in rows)
     headers = ["algorithm"] + [f"n={size}" for size in sizes] + ["fitted exponent"]
     normalized_rows = []
     for row in rows:
@@ -95,7 +128,6 @@ def run(
         times = rest[:-1]
         times = times + ["-"] * (len(sizes) - len(times))
         normalized_rows.append([label] + times + [exponent])
-    del max_columns
     return ExperimentResult(
         name="Table 3 — empirical scaling of the ranking algorithms (seconds)",
         headers=headers,

@@ -148,10 +148,14 @@ def rank_distribution_markov(
     tid: Any,
     max_rank: int | None = None,
     tree: JunctionTree | None = None,
+    base: CalibratedTree | None = None,
 ) -> np.ndarray:
     """``Pr(r(t) = j)`` for one tuple of a Markov-network relation.
 
     Returns an array of length ``limit + 1`` with index 0 unused.
+    ``base`` optionally supplies the evidence-free calibration (shared by
+    callers ranking many tuples of the same network, so the ``Pr(X_t =
+    1)`` lookup does not recalibrate the whole tree per tuple).
     """
     tuples = model.sorted_tuples()
     if all(t.tid != tid for t in tuples):
@@ -166,7 +170,7 @@ def rank_distribution_markov(
         outranks.add(t.tid)
     deltas = {variable: (1 if variable in outranks else 0) for variable in model.variables()}
 
-    present_probability = tree.calibrate().variable_marginal(tid)
+    present_probability = (base or tree.calibrate()).variable_marginal(tid)
     if present_probability <= 0.0:
         return np.zeros(limit + 1, dtype=float)
     calibrated = tree.calibrate(evidence={tid: 1})
@@ -182,24 +186,46 @@ def rank_distribution_markov(
 
 
 def positional_probabilities_markov(
-    model: MarkovNetworkRelation, max_rank: int | None = None
+    model: MarkovNetworkRelation,
+    max_rank: int | None = None,
+    tree: JunctionTree | None = None,
+    base: CalibratedTree | None = None,
 ) -> tuple[list[Tuple], np.ndarray]:
-    """Positional probabilities of every tuple of a Markov-network relation."""
+    """Positional probabilities of every tuple of a Markov-network relation.
+
+    The evidence-free calibration behind every ``Pr(X_t = 1)`` lookup is
+    computed once and shared across the tuples (or supplied by the
+    engine's cache via ``base``).
+    """
     ordered = model.sorted_tuples()
     limit = len(ordered) if max_rank is None else min(int(max_rank), len(ordered))
     matrix = np.zeros((len(ordered), limit), dtype=float)
-    tree = junction_tree_for(model)
+    tree = tree or junction_tree_for(model)
+    base = base or tree.calibrate()
     for i, t in enumerate(ordered):
-        matrix[i, :] = rank_distribution_markov(model, t.tid, max_rank=limit, tree=tree)[1:]
+        matrix[i, :] = rank_distribution_markov(
+            model, t.tid, max_rank=limit, tree=tree, base=base
+        )[1:]
     return ordered, matrix
 
 
 def prf_values_markov(
-    model: MarkovNetworkRelation, rf: RankingFunction
+    model: MarkovNetworkRelation,
+    rf: RankingFunction,
+    positional: tuple[list[Tuple], np.ndarray] | None = None,
 ) -> tuple[list[Tuple], np.ndarray]:
-    """PRF values of every tuple of a Markov-network relation."""
-    horizon = rf.weight.horizon
-    ordered, matrix = positional_probabilities_markov(model, max_rank=horizon)
+    """PRF values of every tuple of a Markov-network relation.
+
+    ``positional`` optionally supplies a precomputed ``(ordered, matrix)``
+    pair (the engine's cached matrix) equal to what
+    :func:`positional_probabilities_markov` would return for the ranking
+    function's horizon.
+    """
+    if positional is None:
+        horizon = rf.weight.horizon
+        ordered, matrix = positional_probabilities_markov(model, max_rank=horizon)
+    else:
+        ordered, matrix = positional
     weights = rf.weight.as_array(matrix.shape[1])[1:]
     dtype = float if rf.is_real() else complex
     values = matrix.astype(dtype) @ weights.astype(dtype)

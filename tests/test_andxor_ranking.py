@@ -32,6 +32,49 @@ class TestPRFeOnTrees:
             _, recomputed = prfe_values_tree_recompute(tree, 0.8)
             assert np.allclose(incremental, recomputed, atol=1e-10)
 
+    def test_tiny_magnitudes_survive_incremental_updates(self):
+        """Regression: tiny-but-nonzero products must not be treated as zero.
+
+        A deep block of certain tuples under a small alpha drives the and
+        node's running product down to ``alpha**200 ~ 2.4e-305``.  The old
+        guard classified any factor with magnitude below an absolute
+        ``1e-300`` as zero, erasing every value downstream of the block;
+        the mantissa/scale guard keeps the true (representable) values.
+        """
+        from repro import AndNode, LeafNode, Tuple
+
+        high = [Tuple(f"h{i}", 1000.0 - i, 1.0) for i in range(200)]
+        low = Tuple("low", 1.0, 1.0)
+        tree = AndXorTree(
+            AndNode([AndNode([LeafNode(t) for t in high]), LeafNode(low)])
+        )
+        alpha = 0.03
+        ordered, incremental = prfe_values_tree(tree, alpha)
+        _, recomputed = prfe_values_tree_recompute(tree, alpha)
+        # True values are alpha**(i+1) — tiny but well inside double range.
+        assert incremental[-1] != 0.0
+        assert np.allclose(incremental, recomputed, rtol=1e-9, atol=0.0)
+        expected = alpha ** (np.arange(len(ordered)) + 1.0)
+        assert np.allclose(incremental, expected, rtol=1e-9, atol=0.0)
+
+    def test_tiny_xor_edge_probabilities(self):
+        """Trees whose leaves carry tiny marginals keep exact tiny values."""
+        from repro import Tuple
+
+        tiny = 1e-8
+        groups = [
+            [Tuple(f"a{i}", 100.0 - i, tiny)] for i in range(40)
+        ] + [[Tuple("b", 1.0, 0.5)]]
+        tree = AndXorTree.from_x_tuples(groups, name="tiny-edges")
+        _, incremental = prfe_values_tree(tree, 0.9)
+        _, recomputed = prfe_values_tree_recompute(tree, 0.9)
+        # The difference F(a, a) - F(a, 0) of two near-1 evaluations cancels
+        # ~8 digits here, so machine epsilon amplifies to ~1e-8 relative in
+        # both evaluation strategies; the values must still be positive and
+        # agree to that inherent precision instead of collapsing to zero.
+        assert np.allclose(incremental, recomputed, rtol=1e-6, atol=0.0)
+        assert np.all(np.asarray(incremental) > 0.0)
+
     def test_complex_alpha(self, figure1_tree):
         worlds = figure1_tree.enumerate_worlds()
         alpha = 0.5 + 0.4j
