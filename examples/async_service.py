@@ -1,0 +1,126 @@
+"""Async serving demo: many concurrent clients, one coalescing service.
+
+The script simulates a small serving fleet: ``num_clients`` coroutines
+fire rank requests over a shared pool of hot datasets (plus a couple of
+correlated and/xor trees), all against one
+:class:`~repro.service.RankingService`.  Concurrent requests coalesce
+into micro-batched engine calls, identical in-flight requests
+deduplicate, and repeats hit the TTL result cache — watch the counters
+at the end.  A second act starts the TCP front-end on an ephemeral port
+and drives it with the pipelined JSON-lines client.
+
+Run with::
+
+    python examples/async_service.py [num_clients] [pool_size]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro import Engine, PRFOmega, PRFe, ProbabilisticRelation, Tuple
+from repro.andxor.tree import AndXorTree
+from repro.core.weights import StepWeight
+from repro.service import AsyncRankingClient, RankingService, TCPRankingClient, serve_tcp
+
+
+def build_pool(pool_size: int, n: int = 200) -> list:
+    """A hot set of independent relations plus two and/xor trees."""
+    rng = np.random.default_rng(11)
+    pool: list = [
+        ProbabilisticRelation.from_arrays(
+            rng.uniform(0.0, 1000.0, n), rng.uniform(0.0, 1.0, n), name=f"hot-{i}"
+        )
+        for i in range(pool_size)
+    ]
+    for t in range(2):
+        groups = []
+        for g in range(40):
+            groups.append(
+                [
+                    Tuple(f"tr{t}-{g}-{a}", float(rng.uniform(0, 500)), float(p))
+                    for a, p in enumerate(rng.dirichlet(np.ones(3)) * 0.9)
+                ]
+            )
+        pool.append(AndXorTree.from_x_tuples(groups, name=f"radar-{t}"))
+    return pool
+
+
+async def in_process_act(pool, num_clients: int) -> None:
+    """Act 1: concurrent in-process clients sharing one service."""
+    specs = [PRFe(0.95), PRFe(0.8), PRFOmega(StepWeight(10))]
+    engine = Engine()
+
+    async def client(client_id: int, api: AsyncRankingClient) -> int:
+        served = 0
+        for i in range(12):
+            data = pool[(client_id * 5 + i) % len(pool)]
+            rf = specs[(client_id + i) % len(specs)]
+            reply = await api.rank_detailed(data, rf)
+            assert reply.result.top_k(1)
+            served += 1
+        return served
+
+    async with RankingService(engine, max_batch=64, max_delay=0.002) as service:
+        api = AsyncRankingClient(service)
+        start = time.perf_counter()
+        served = await asyncio.gather(*(client(c, api) for c in range(num_clients)))
+        elapsed = time.perf_counter() - start
+        stats = service.stats
+        print(f"  {sum(served)} requests from {num_clients} clients in {elapsed:.3f}s "
+              f"({sum(served) / elapsed:,.0f} req/s)")
+        print(f"  coalesced into {stats.batches} engine batches "
+              f"(largest window: {stats.largest_batch})")
+        print(f"  deduplicated in-flight: {stats.deduplicated}, "
+              f"TTL cache hits: {stats.cache_hits}, shed: {stats.shed}")
+        print(f"  engine cache: {engine.cache_stats()}")
+    engine.close()
+
+
+async def tcp_act(pool) -> None:
+    """Act 2: the same service fronted by the JSON-lines TCP protocol."""
+    engine = Engine()
+    async with RankingService(engine, max_delay=0.002) as service:
+        server = await serve_tcp(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        print(f"  TCP server on 127.0.0.1:{port}")
+        client = await TCPRankingClient.connect("127.0.0.1", port)
+        try:
+            relation = pool[0]
+            await client.register("hot-0", relation)
+            top = await client.top_k("hot-0", PRFe(0.95), k=5)
+            print(f"  top-5 of {relation.name} by reference: {top}")
+            detailed = await client.rank_detailed("hot-0", PRFe(0.95), k=3)
+            print(f"  repeat request served from cache: {detailed['cached']} "
+                  f"(model={detailed['model']})")
+            # A pipelined burst over one connection still coalesces.
+            rankings = await asyncio.gather(
+                *(client.rank(pool[i % len(pool)], PRFe(0.9), k=1) for i in range(16))
+            )
+            print(f"  pipelined burst served: {len(rankings)} replies, "
+                  f"{(await client.stats())['batches']} total batches")
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+    engine.close()
+
+
+def main() -> None:
+    num_clients = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    pool_size = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    pool = build_pool(pool_size)
+    print(f"Serving pool: {len(pool)} datasets ({pool_size} relations + 2 and/xor trees)\n")
+    print("Act 1 — in-process async clients with request coalescing:")
+    asyncio.run(in_process_act(pool, num_clients))
+    print("\nAct 2 — the TCP/JSON-lines front-end:")
+    asyncio.run(tcp_act(pool))
+    print("\nDone.  Run a standalone server with `python -m repro.service`.")
+
+
+if __name__ == "__main__":
+    main()

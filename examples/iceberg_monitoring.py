@@ -23,7 +23,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import PRFOmega, PRFe, rank
+from repro import Engine, PRFOmega, PRFe
 from repro.approx import approximate_weight_function
 from repro.baselines import (
     expected_rank_topk,
@@ -58,22 +58,25 @@ def compare_classical_functions(relation, k: int) -> dict[str, list]:
     return answers
 
 
-def prfe_spectrum(relation, k: int) -> None:
+def prfe_spectrum(engine: Engine, relation, k: int) -> None:
     print(f"\nPRFe(alpha) top-{k}: the risk/reward spectrum")
-    for alpha in (0.2, 0.8, 0.95, 0.999, 1.0):
-        answer = rank(relation, PRFe(alpha)).top_k(5)
-        print(f"  alpha={alpha:<6}: first 5 of top-{k} -> {answer}")
+    alphas = (0.2, 0.8, 0.95, 0.999, 1.0)
+    # One rank_many sweep: a single shared sort and one stacked log-space
+    # kernel for all alphas (the PR-2 planner entry point).
+    results = engine.rank_many(relation, [PRFe(alpha) for alpha in alphas])
+    for alpha, result in zip(alphas, results):
+        print(f"  alpha={alpha:<6}: first 5 of top-{k} -> {result.top_k(5)}")
 
 
-def approximate_pt(relation, h: int, k: int) -> None:
+def approximate_pt(engine: Engine, relation, h: int, k: int) -> None:
     print(f"\nApproximating PT({h}) by a linear combination of PRFe functions")
     start = time.perf_counter()
-    exact = rank(relation, PRFOmega(StepWeight(h))).top_k(k)
+    exact = engine.rank(relation, PRFOmega(StepWeight(h))).top_k(k)
     exact_seconds = time.perf_counter() - start
     for num_terms in (20, 50):
         rf = approximate_weight_function(StepWeight(h), num_terms=num_terms)
         start = time.perf_counter()
-        approx = rank(relation, rf).top_k(k)
+        approx = engine.rank(relation, rf).top_k(k)
         approx_seconds = time.perf_counter() - start
         distance = kendall_topk_distance(approx, exact, k=k)
         print(
@@ -89,10 +92,12 @@ def main() -> None:
     relation = generate_iip_like(num_records, rng=2026)
     print(f"Expected number of still-valid reports: {relation.expected_world_size():.0f}\n")
 
+    engine = Engine()
     compare_classical_functions(relation, k)
-    prfe_spectrum(relation, k)
-    approximate_pt(relation, h=min(1000, num_records // 20), k=k)
-    print("\nDone.")
+    prfe_spectrum(engine, relation, k)
+    approximate_pt(engine, relation, h=min(1000, num_records // 20), k=k)
+    print(f"\nEngine cache after the workload: {engine.cache_stats()}")
+    print("Done.")
 
 
 if __name__ == "__main__":

@@ -7,14 +7,19 @@ weight vector from the sample and applies the learned function to the
 whole dataset.  The script reports how close the learned rankings get to
 the analyst's true ranking as the sample grows.
 
+All learned functions for one true ranking are applied to the full
+dataset in a single ``Engine.rank_many`` sweep (one shared sort).
+
 Run with::
 
-    python examples/learning_user_preferences.py
+    python examples/learning_user_preferences.py [num_records]
 """
 
 from __future__ import annotations
 
-from repro import rank
+import sys
+
+from repro import Engine
 from repro.datasets import generate_iip_like
 from repro.experiments.harness import format_table
 from repro.learning import (
@@ -26,39 +31,49 @@ from repro.learning import (
 from repro.metrics import kendall_topk_distance
 
 
-def learn_alpha_curve(relation, true_function: str, k: int, sample_sizes) -> list[list]:
-    rows = []
+def learn_alpha_curve(engine: Engine, relation, true_function: str, k: int, sample_sizes) -> list[list]:
     true_answer = user_ranking(relation, true_function, k)
+    learned_models = []
     for size in sample_sizes:
         sample = relation.sample(size, rng=size)
         sample_k = min(k, max(10, size // 5))
         target = user_ranking(sample, true_function, sample_k)
-        learned = learn_prfe_alpha(sample, target, k=sample_k)
-        learned_topk = rank(relation, learned.ranking_function()).top_k(k)
-        distance = kendall_topk_distance(learned_topk, true_answer, k=k)
+        learned_models.append(learn_prfe_alpha(sample, target, k=sample_k))
+    # Apply every learned function in one planner sweep (shared sort and
+    # one stacked kernel for all the learned alphas).
+    results = engine.rank_many(
+        relation, [learned.ranking_function() for learned in learned_models]
+    )
+    rows = []
+    for size, learned, result in zip(sample_sizes, learned_models, results):
+        distance = kendall_topk_distance(result.top_k(k), true_answer, k=k)
         rows.append([size, round(learned.alpha, 4), distance])
     return rows
 
 
-def learn_omega_once(relation, true_function: str, k: int, sample_size: int) -> float:
+def learn_omega_once(engine: Engine, relation, true_function: str, k: int, sample_size: int) -> float:
     sample = relation.sample(sample_size, rng=99)
     sample_k = min(k, max(10, sample_size // 2))
     target = user_ranking(sample, true_function, sample_k)
     preferences = pairwise_preferences(target, max_pairs=400, rng=1)
     learned = learn_prfomega_weights(sample, preferences, h=sample_k)
-    learned_topk = rank(relation, learned.ranking_function()).top_k(k)
+    learned_topk = engine.rank(relation, learned.ranking_function()).top_k(k)
     true_answer = user_ranking(relation, true_function, k)
     return kendall_topk_distance(learned_topk, true_answer, k=k)
 
 
 def main() -> None:
-    relation = generate_iip_like(10_000, rng=5)
-    k = 100
-    sample_sizes = (200, 500, 1000, 2000)
+    num_records = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    relation = generate_iip_like(num_records, rng=5)
+    engine = Engine()
+    k = min(100, max(10, num_records // 100))
+    sample_sizes = tuple(
+        size for size in (200, 500, 1000, 2000) if size <= num_records // 2
+    ) or (max(20, num_records // 4),)
 
     print("Learning a single PRFe(alpha) from a ranked sample\n")
     for true_function in ("PRFe(0.95)", "PT(h)", "U-Rank", "E-Rank"):
-        rows = learn_alpha_curve(relation, true_function, k, sample_sizes)
+        rows = learn_alpha_curve(engine, relation, true_function, k, sample_sizes)
         print(
             format_table(
                 ["sample size", "learned alpha", f"Kendall distance to {true_function}"],
@@ -68,13 +83,15 @@ def main() -> None:
         )
         print()
 
-    print("Learning a PRFomega weight vector from 200 ranked samples\n")
+    omega_sample = min(200, sample_sizes[-1])
+    print(f"Learning a PRFomega weight vector from {omega_sample} ranked samples\n")
     rows = [
-        [name, learn_omega_once(relation, name, k, sample_size=200)]
+        [name, learn_omega_once(engine, relation, name, k, sample_size=omega_sample)]
         for name in ("PRFe(0.95)", "PT(h)", "U-Rank")
     ]
     print(format_table(["true function", "Kendall distance"], rows))
-    print("\nDone.")
+    print(f"\nEngine cache after the workload: {engine.cache_stats()}")
+    print("Done.")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ import sys
 
 import numpy as np
 
-from repro import PRFOmega, PRFe, Tuple, rank
+from repro import Engine, PRFOmega, PRFe, Tuple
 from repro.algorithms.attribute_uncertainty import ScoreDistributionTuple, rank_uncertain_scores
 from repro.andxor.tree import AndXorTree
 from repro.baselines import pt_topk, u_rank_topk
@@ -48,11 +48,15 @@ def build_radar_dataset(num_cars: int, rng: np.random.Generator) -> AndXorTree:
     return AndXorTree.from_x_tuples(groups, name=f"radar-{num_cars}")
 
 
-def correlation_gap(tree: AndXorTree, k: int) -> None:
+def correlation_gap(engine: Engine, tree: AndXorTree, k: int) -> None:
     independent = tree.to_relation()
+    # One mixed-model batch: the planner sends the tree through its
+    # backend (Algorithm 3) and the flattened relation through the
+    # independent closed form, sharing the engine cache.
+    tree_ranked, flat_ranked = engine.rank_batch([tree, independent], PRFe(0.9))
     print(f"Top-{k} agreement between correlation-aware and independence-assuming ranking:")
     for name, with_tree, with_flat in (
-        ("PRFe(0.9)", rank(tree, PRFe(0.9)).top_k(k), rank(independent, PRFe(0.9)).top_k(k)),
+        ("PRFe(0.9)", tree_ranked.top_k(k), flat_ranked.top_k(k)),
         ("PT(k)", pt_topk(tree, k), pt_topk(independent, k)),
         ("U-Rank", u_rank_topk(tree, k), u_rank_topk(independent, k)),
     ):
@@ -79,14 +83,20 @@ def main() -> None:
     num_cars = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     rng = np.random.default_rng(7)
     tree = build_radar_dataset(num_cars, rng)
+    engine = Engine()
+    plan = engine.plan(tree, PRFe(0.95))
     print(
         f"Radar dataset: {len(tree)} readings of {num_cars} cars "
-        f"(and/xor tree of height {tree.height()})\n"
+        f"(and/xor tree of height {tree.height()})"
     )
+    print(f"Planner choice: model={plan.model}, algorithm={plan.algorithm}\n")
     k = 50
-    print(f"PRFe(0.95) top-10 readings: {rank(tree, PRFe(0.95)).top_k(10)}\n")
-    print(f"PT(10) top-10 readings    : {rank(tree, PRFOmega(StepWeight(10))).top_k(10)}\n")
-    correlation_gap(tree, k)
+    # One rank_many call shares the tree's cached sorted order and
+    # positional matrix across both ranking functions.
+    prfe_ranked, pt_ranked = engine.rank_many(tree, [PRFe(0.95), PRFOmega(StepWeight(10))])
+    print(f"PRFe(0.95) top-10 readings: {prfe_ranked.top_k(10)}\n")
+    print(f"PT(10) top-10 readings    : {pt_ranked.top_k(10)}\n")
+    correlation_gap(engine, tree, k)
     uncertain_speed_demo(rng)
     print("\nDone.")
 

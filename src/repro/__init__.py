@@ -6,9 +6,11 @@ algorithms that evaluate them over independent, and/xor-correlated and
 Markov-network-correlated probabilistic relations, the DFT-based
 approximation of arbitrary weight functions by linear combinations of
 PRFe functions, procedures for learning ranking functions from user
-preferences, all previously proposed ranking semantics as baselines, and
-the datasets and experiment harness that regenerate the paper's
-evaluation tables and figures.
+preferences, all previously proposed ranking semantics as baselines, the
+datasets and experiment harness that regenerate the paper's evaluation
+tables and figures, a correlation-aware batched ranking engine
+(:mod:`repro.engine`) and an async coalescing ranking service
+(:mod:`repro.service`).
 
 Typical usage::
 
@@ -40,7 +42,7 @@ from .core import (
 from .andxor import AndNode, AndXorTree, LeafNode, XorNode
 from .engine import Engine, default_engine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -44,9 +44,11 @@ class AndXorBackend(RankingBackend):
     model = "andxor"
 
     def handles(self, data) -> bool:
+        """Whether ``data`` is a probabilistic and/xor tree."""
         return isinstance(data, AndXorTree)
 
     def algorithm(self, rf: RankingFunction) -> str:
+        """Label of the Table-3 algorithm picked for ``rf``."""
         if isinstance(rf, PRFe):
             return "andxor-prfe-incremental (Algorithm 3)"
         if isinstance(rf, LinearCombinationPRFe):
@@ -57,6 +59,7 @@ class AndXorBackend(RankingBackend):
     # Ranking
     # ------------------------------------------------------------------
     def rank(self, tree: AndXorTree, rf: RankingFunction, name: str = "") -> RankingResult:
+        """Rank one tree — the drop-in replacement for ``rank_tree``."""
         entry = self.entry(tree)
         result = self._rank_entry(entry, rf, name or tree.name)
         self.cache.enforce_budget()
@@ -65,6 +68,7 @@ class AndXorBackend(RankingBackend):
     def rank_many(
         self, tree: AndXorTree, rfs: Sequence[RankingFunction], name: str = ""
     ) -> list[RankingResult]:
+        """Rank one tree under many specs, sharing its cached intermediates."""
         rfs = list(rfs)
         if not rfs:
             return []
@@ -77,15 +81,18 @@ class AndXorBackend(RankingBackend):
     def rank_batch(
         self, trees: Sequence[AndXorTree], rf: RankingFunction, store: bool = True
     ) -> list[RankingResult]:
-        # Each tree's generating-function structure is its own; the batch
-        # shares the cache (memoized Algorithm 3 values, positional
-        # matrices) rather than a stacked kernel — stacking the per-tree
-        # ``matrix @ weights`` passes into one 3-D matmul perturbs the last
-        # ulp, which would break the bitwise contract with ``rank_tree``.
-        # Each result is built immediately after its entry lookup: a batch
-        # holding content-equal distinct trees rebinds the shared entry's
-        # tuples per tree, so deferring would alias one tree's result to
-        # another tree's Tuple objects.
+        """Rank a batch of trees against the shared cache.
+
+        Each tree's generating-function structure is its own; the batch
+        shares the cache (memoized Algorithm 3 values, positional
+        matrices) rather than a stacked kernel — stacking the per-tree
+        ``matrix @ weights`` passes into one 3-D matmul perturbs the last
+        ulp, which would break the bitwise contract with ``rank_tree``.
+        Each result is built immediately after its entry lookup: a batch
+        holding content-equal distinct trees rebinds the shared entry's
+        tuples per tree, so deferring would alias one tree's result to
+        another tree's Tuple objects.
+        """
         results = []
         for tree in trees:
             entry = self.entry(tree, store=store)
@@ -127,6 +134,7 @@ class AndXorBackend(RankingBackend):
     def positional_matrix(
         self, tree: AndXorTree, max_rank: int | None = None
     ) -> tuple[list[Tuple], np.ndarray]:
+        """Cached positional probabilities of the tree (fresh-matrix contract)."""
         entry = self.entry(tree)
         limit = self._clamped_limit(entry.n, max_rank)
         matrix = entry.positional_matrix(limit)
@@ -136,6 +144,7 @@ class AndXorBackend(RankingBackend):
         return list(entry.ordered), matrix.copy()
 
     def marginal_probabilities(self, tree: AndXorTree) -> dict:
+        """Marginal existence probability per leaf tuple identifier."""
         return tree.marginal_probabilities()
 
     def rank_distribution(self, tree: AndXorTree, tid, max_rank: int | None = None) -> np.ndarray:

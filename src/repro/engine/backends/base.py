@@ -98,6 +98,7 @@ class RankingBackend(ABC):
 
     @property
     def cache(self):
+        """The engine-wide :class:`~repro.engine.cache.RelationCache`."""
         return self._engine.cache
 
     def entry(self, data, store: bool = True):

@@ -48,9 +48,11 @@ class IndependentBackend(RankingBackend):
     model = "independent"
 
     def handles(self, data) -> bool:
+        """Whether ``data`` is a tuple-independent relation."""
         return isinstance(data, ProbabilisticRelation)
 
     def algorithm(self, rf: RankingFunction) -> str:
+        """Label of the Table-3 algorithm picked for ``rf``."""
         if isinstance(rf, PRFe):
             return "independent-prfe-closed-form (O(n log n))"
         if isinstance(rf, LinearCombinationPRFe):
@@ -79,18 +81,20 @@ class IndependentBackend(RankingBackend):
             return self.rank_many(relation, [rf], name=label)[0]
         n = len(relation)
         limit = self._general_limit(n, rf)
-        # Only horizon-bounded weights are worth materializing for a single
-        # rank call; an unbounded general PRF would allocate the full O(n^2)
-        # matrix that the streaming evaluation deliberately avoids.
-        if rf.weight.horizon is None or n * limit > self._engine.max_batch_elements:
+        # Same materialization condition as rank_batch: matrices beyond the
+        # element budget stream through the legacy evaluation (both paths),
+        # everything else runs the stacked kernel as a batch of one — so a
+        # request served alone is bit-identical to one served coalesced
+        # (the guarantee the ranking service builds on).
+        if n * limit > self._engine.max_batch_elements:
             ordered, values, sort_keys = prf_values(relation, rf)
             return RankingResult.from_values(
                 ordered, values.tolist(), name=label, sort_keys=sort_keys
             )
         entry = self.entry(relation)
-        values = self._general_values_exact(entry, rf, limit)
+        values, _ = self._evaluate_stack([entry], n, rf)
         self.cache.enforce_budget()
-        return RankingResult.from_values(entry.ordered, values.tolist(), name=label)
+        return build_result(entry, values[0], label)
 
     # ------------------------------------------------------------------
     # Many relations, one ranking function
@@ -334,6 +338,7 @@ class IndependentBackend(RankingBackend):
         return list(entry.ordered), matrix
 
     def marginal_probabilities(self, relation: ProbabilisticRelation) -> dict:
+        """Existence probability per tuple identifier (trivial when independent)."""
         return {t.tid: t.probability for t in relation}
 
     # ------------------------------------------------------------------
@@ -347,28 +352,6 @@ class IndependentBackend(RankingBackend):
 
     @staticmethod
     def _general_limit(n: int, rf: RankingFunction) -> int:
+        """Weight horizon clamped to the relation size (matrix width)."""
         horizon = rf.weight.horizon
         return n if horizon is None else min(int(horizon), n)
-
-    def _general_values_exact(
-        self, entry: CachedRelation, rf: RankingFunction, limit: int
-    ) -> np.ndarray:
-        """Legacy-exact general PRF values from the cached prefix matrix.
-
-        Reproduces ``_prf_values_general`` operation for operation (same
-        slices, same dot products) while skipping the per-call prefix
-        recurrence.
-        """
-        n = entry.n
-        dtype = float if rf.is_real() else complex
-        values = np.zeros(n, dtype=dtype)
-        if n == 0 or limit == 0:
-            return values
-        weights = rf.weight_array(limit)[1:].astype(dtype)
-        prefix = entry.prefix_matrix(limit)
-        probabilities = entry.probabilities
-        for i, t in enumerate(entry.ordered):
-            p = probabilities[i]
-            upto = min(i, limit - 1) + 1
-            values[i] = rf.factor(t) * p * np.dot(weights[:upto], prefix[i, :upto])
-        return values

@@ -39,9 +39,11 @@ class MarkovBackend(RankingBackend):
     model = "markov"
 
     def handles(self, data) -> bool:
+        """Whether ``data`` is a Markov-network relation."""
         return isinstance(data, MarkovNetworkRelation)
 
     def algorithm(self, rf: RankingFunction) -> str:
+        """Label of the algorithm executing every spec on networks."""
         return "markov-junction-tree-dp (Section 9.4)"
 
     # ------------------------------------------------------------------
@@ -50,6 +52,7 @@ class MarkovBackend(RankingBackend):
     def rank(
         self, model: MarkovNetworkRelation, rf: RankingFunction, name: str = ""
     ) -> RankingResult:
+        """Rank one network — the drop-in replacement for ``rank_markov_network``."""
         entry = self.entry(model)
         result = self._rank_entry(entry, rf, name or model.name)
         self.cache.enforce_budget()
@@ -58,6 +61,7 @@ class MarkovBackend(RankingBackend):
     def rank_many(
         self, model: MarkovNetworkRelation, rfs: Sequence[RankingFunction], name: str = ""
     ) -> list[RankingResult]:
+        """Rank one network under many specs, sharing its cached junction tree."""
         rfs = list(rfs)
         if not rfs:
             return []
@@ -70,6 +74,7 @@ class MarkovBackend(RankingBackend):
     def rank_batch(
         self, models: Sequence[MarkovNetworkRelation], rf: RankingFunction, store: bool = True
     ) -> list[RankingResult]:
+        """Rank a batch of networks against the shared cache."""
         results = [
             self._rank_entry(self.entry(model, store=store), rf, model.name)
             for model in models
@@ -89,6 +94,7 @@ class MarkovBackend(RankingBackend):
     def positional_matrix(
         self, model: MarkovNetworkRelation, max_rank: int | None = None
     ) -> tuple[list[Tuple], np.ndarray]:
+        """Cached positional probabilities of the network (fresh-matrix contract)."""
         entry = self.entry(model)
         limit = self._clamped_limit(entry.n, max_rank)
         matrix = entry.positional_matrix(limit)
@@ -98,6 +104,7 @@ class MarkovBackend(RankingBackend):
         return list(entry.ordered), matrix.copy()
 
     def marginal_probabilities(self, model: MarkovNetworkRelation) -> dict:
+        """Marginals ``Pr(X_t = 1)`` from the shared evidence-free calibration."""
         entry = self.entry(model)
         base = entry.calibrated()
         marginals = {t.tid: base.variable_marginal(t.tid) for t in entry.ordered}

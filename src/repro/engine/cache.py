@@ -191,6 +191,7 @@ class CacheStats:
     evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (JSON-friendly)."""
         return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
 
     def hit_rate(self) -> float:
@@ -242,6 +243,7 @@ class CachedRelation:
 
     @property
     def n(self) -> int:
+        """Number of tuples in the cached dataset."""
         return len(self.ordered)
 
     def elements(self) -> int:
@@ -316,15 +318,18 @@ class CachedTree:
 
     @property
     def n(self) -> int:
+        """Number of leaf tuples in the cached tree."""
         return len(self.ordered)
 
     def elements(self) -> int:
+        """Cached size in float64-equivalent elements (for the eviction budget)."""
         total_bytes = _extras_bytes(self.extras)
         if self.positional is not None:
             total_bytes += self.positional.nbytes
         return total_bytes // 8
 
     def shed(self) -> None:
+        """Drop the heavy arrays, keeping the cheap sorted order (see eviction)."""
         self.positional = None
         _drop_array_extras(self.extras)
 
@@ -367,9 +372,11 @@ class CachedNetwork:
 
     @property
     def n(self) -> int:
+        """Number of tuples in the cached network relation."""
         return len(self.ordered)
 
     def elements(self) -> int:
+        """Cached size in float64-equivalent elements (for the eviction budget)."""
         total_bytes = _extras_bytes(self.extras)
         if self.positional is not None:
             total_bytes += self.positional.nbytes
@@ -378,6 +385,7 @@ class CachedNetwork:
         return total_bytes // 8
 
     def shed(self) -> None:
+        """Drop the matrices and calibration, keeping the cheap sorted order."""
         self.positional = None
         self.base_calibrated = None
         _drop_array_extras(self.extras)
@@ -456,6 +464,7 @@ class RelationCache:
         return len(self._entries)
 
     def total_elements(self) -> int:
+        """Total float64-equivalent elements held across all entries."""
         with self._lock:
             return self._total_elements_locked()
 
@@ -463,6 +472,7 @@ class RelationCache:
         return sum(entry.elements() for entry in self._entries.values())
 
     def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
 

@@ -23,6 +23,15 @@ against one shared fingerprint-keyed LRU cache:
   :meth:`Engine.sorted_tuples` / :meth:`Engine.marginal_probabilities` —
   the derived queries behind PT(h), U-Rank, the learning features and
   the baseline dispatch, cached for every model.
+* :meth:`Engine.submit_batch` / :meth:`Engine.plan_batch` /
+  :meth:`Engine.cache_info` — the serving hooks: non-blocking batch
+  submission on a background executor, per-request model/algorithm
+  tagging, and cache introspection for the coalescing service in
+  :mod:`repro.service`.
+
+Every execution shape — ``rank``, ``rank_batch``, ``rank_many`` and the
+coalesced service path — produces bit-identical values for the same
+(dataset, ranking function) pair; coalescing can never change an answer.
 
 A module-level :func:`default_engine` serves :func:`repro.core.ranking.
 rank` and the baseline dispatch so the whole package benefits from the
@@ -31,6 +40,8 @@ shared cache without threading an engine handle everywhere.
 
 from __future__ import annotations
 
+import concurrent.futures
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -103,6 +114,8 @@ class Engine:
             AndXorBackend(self),
             MarkovBackend(self),
         )
+        self._submit_executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Planning
@@ -122,6 +135,14 @@ class Engine:
         backend = self.backend_for(data)
         return ExecutionPlan(model=backend.model, algorithm=backend.algorithm(rf), backend=backend)
 
+    def plan_batch(self, datasets: Iterable, rf: RankingFunction) -> list[ExecutionPlan]:
+        """Per-dataset execution plans for one batch (without executing it).
+
+        The ranking service uses this to tag each coalesced response with
+        the correlation model and Table-3 algorithm that served it.
+        """
+        return [self.plan(data, rf) for data in datasets]
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
@@ -129,7 +150,24 @@ class Engine:
         """Hit/miss/eviction counters of the intermediate cache."""
         return self.cache.stats.as_dict()
 
+    def cache_info(self) -> dict[str, int | float]:
+        """One-shot snapshot of the intermediate cache for dashboards.
+
+        Combines the hit/miss/eviction counters with the current
+        occupancy (entries retained, float64-equivalent elements held)
+        and the configured budgets, so a serving layer can expose cache
+        effectiveness without reaching into :class:`RelationCache`.
+        """
+        info: dict[str, int | float] = self.cache.stats.as_dict()
+        info["hit_rate"] = self.cache.stats.hit_rate()
+        info["entries"] = len(self.cache)
+        info["elements"] = self.cache.total_elements()
+        info["max_relations"] = self.cache.max_relations
+        info["max_elements"] = self.cache.max_elements
+        return info
+
     def clear_cache(self) -> None:
+        """Drop every cached intermediate (counters are kept)."""
         self.cache.clear()
 
     # ------------------------------------------------------------------
@@ -185,6 +223,56 @@ class Engine:
             for index, result in zip(indices, subset_results):
                 results[index] = result
         return [result for result in results if result is not None]
+
+    def submit_batch(
+        self,
+        datasets: Iterable,
+        rf: RankingFunction,
+        *,
+        workers: int | None = None,
+    ) -> "concurrent.futures.Future[list[RankingResult]]":
+        """Non-blocking :meth:`rank_batch`: submit and return a future.
+
+        The batch runs on the engine's background thread pool (created
+        lazily, shut down by :meth:`close`), so an event loop — the
+        asyncio ranking service in particular — can overlap request
+        coalescing with kernel execution instead of blocking on it.
+        The returned :class:`concurrent.futures.Future` resolves to the
+        same results ``rank_batch`` would return; ``asyncio`` callers
+        can await it via :func:`asyncio.wrap_future`.
+        """
+        datasets = list(datasets)
+        executor = self._executor()
+        return executor.submit(self.rank_batch, datasets, rf, workers=workers)
+
+    def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        """The lazily created background pool behind :meth:`submit_batch`."""
+        with self._submit_lock:
+            if self._submit_executor is None:
+                self._submit_executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="engine-batch"
+                )
+            return self._submit_executor
+
+    def close(self) -> None:
+        """Shut down the background executor (idempotent).
+
+        Pending :meth:`submit_batch` futures complete first; the engine
+        remains usable afterwards — the next submission recreates the
+        pool.
+        """
+        with self._submit_lock:
+            executor, self._submit_executor = self._submit_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Engine":
+        """Support ``with Engine() as engine:`` for scoped executor cleanup."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the background executor on scope exit."""
+        self.close()
 
     # ------------------------------------------------------------------
     # One dataset, many ranking functions

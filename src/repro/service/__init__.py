@@ -1,0 +1,71 @@
+"""Async ranking service: request coalescing in front of the engine.
+
+This package is the serving tier of the repo's north star — it lets
+many concurrent clients share one
+:class:`~repro.engine.facade.Engine` without each paying a full kernel
+invocation.  Concurrent single-dataset requests are *coalesced* in a
+micro-batching loop (time- and size-bounded windows) into
+``Engine.rank_batch`` calls, *deduplicated* by the engine's content
+fingerprints while in flight, answered from a *TTL result cache* when
+repeated, and *shed* with an explicit error once a bounded admission
+queue fills — while every reply stays bit-identical to a direct
+``Engine.rank`` call.
+
+Two front doors:
+
+* :class:`AsyncRankingClient` — in-process, for asyncio applications
+  embedding the engine.
+* A TCP/JSON-lines server (:mod:`repro.service.tcp`), runnable as
+  ``python -m repro.service``, with :class:`TCPRankingClient` as the
+  matching pipelined client.
+
+Quickstart::
+
+    import asyncio
+    from repro import PRFe, ProbabilisticRelation
+    from repro.service import AsyncRankingClient, RankingService
+
+    async def main():
+        relation = ProbabilisticRelation.from_pairs([(100, 0.4), (80, 0.6)])
+        async with RankingService() as service:
+            client = AsyncRankingClient(service)
+            print(await client.top_k(relation, PRFe(0.95), k=2))
+
+    asyncio.run(main())
+"""
+
+from .client import AsyncRankingClient, RemoteServiceError, TCPRankingClient
+from .service import (
+    RankingService,
+    ServiceOverloadedError,
+    ServiceReply,
+    ServiceStats,
+    TTLCache,
+)
+from .spec import (
+    ProtocolError,
+    dataset_from_payload,
+    dataset_to_payload,
+    ranking_function_from_payload,
+    ranking_function_key,
+    ranking_function_to_payload,
+)
+from .tcp import serve_tcp
+
+__all__ = [
+    "RankingService",
+    "ServiceReply",
+    "ServiceStats",
+    "ServiceOverloadedError",
+    "TTLCache",
+    "AsyncRankingClient",
+    "TCPRankingClient",
+    "RemoteServiceError",
+    "serve_tcp",
+    "ProtocolError",
+    "ranking_function_key",
+    "ranking_function_to_payload",
+    "ranking_function_from_payload",
+    "dataset_to_payload",
+    "dataset_from_payload",
+]

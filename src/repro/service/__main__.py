@@ -1,0 +1,102 @@
+"""``python -m repro.service`` — run the TCP ranking server.
+
+Example::
+
+    python -m repro.service --host 127.0.0.1 --port 8765 \\
+        --max-batch 64 --max-delay-ms 2 --cache-ttl 30
+
+The server accepts JSON-lines requests (see :mod:`repro.service.tcp`
+for the protocol) and coalesces concurrent requests into batched engine
+calls.  Stop it with Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..engine.facade import Engine
+from .service import RankingService
+from .tcp import serve_tcp
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The command-line interface of the ranking server."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Coalescing TCP ranking server over the PRF engine.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8765, help="bind port (default: %(default)s)")
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max requests per coalesced window (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="coalescing window in milliseconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="admission bound before requests are shed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=30.0,
+        help="result-cache TTL in seconds, 0 disables (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=1024,
+        help="result-cache LRU bound (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-registered", type=int, default=256,
+        help="bound on server-side registered datasets (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="engine process-pool size for very large independent batches",
+    )
+    return parser
+
+
+async def run(args: argparse.Namespace) -> None:
+    """Start the service and serve until cancelled."""
+    engine = Engine(workers=args.workers)
+    service = RankingService(
+        engine,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending,
+        cache_ttl=args.cache_ttl,
+        cache_entries=args.cache_entries,
+    )
+    async with service:
+        server = await serve_tcp(
+            service, args.host, args.port, max_registered=args.max_registered
+        )
+        addresses = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
+        )
+        print(f"ranking service listening on {addresses}")
+        print(
+            f"  coalescing: window={args.max_delay_ms}ms batch<={args.max_batch} "
+            f"pending<={args.max_pending} cache_ttl={args.cache_ttl}s"
+        )
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            engine.close()
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Parse arguments and run the server (entry point)."""
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(run(args))
+    except KeyboardInterrupt:
+        print("\nranking service stopped")
+
+
+if __name__ == "__main__":
+    main()

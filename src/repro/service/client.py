@@ -1,0 +1,250 @@
+"""Clients of the ranking service: in-process async and TCP/JSON-lines.
+
+:class:`AsyncRankingClient` is the zero-copy path — it hands dataset and
+spec objects straight to a running :class:`~repro.service.service.
+RankingService` in the same event loop and gets
+:class:`~repro.core.result.RankingResult` objects back, bit-identical to
+direct ``Engine.rank`` calls.
+
+:class:`TCPRankingClient` speaks the JSON-lines protocol of
+:mod:`repro.service.tcp` over a socket.  Requests are pipelined: every
+request carries an id, a background reader task matches response lines
+back to their waiting futures, so many coroutines can share one
+connection and the server can coalesce their concurrent requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Iterable
+
+from ..core.prf import RankingFunction
+from ..core.result import RankingResult
+from .service import RankingService, ServiceReply
+from .spec import (
+    dataset_to_payload,
+    decode_value,
+    ranking_function_to_payload,
+)
+
+__all__ = ["AsyncRankingClient", "TCPRankingClient", "RemoteServiceError"]
+
+
+class AsyncRankingClient:
+    """In-process async client over a running :class:`RankingService`."""
+
+    def __init__(self, service: RankingService) -> None:
+        self.service = service
+
+    async def rank(self, data, rf: RankingFunction, *, name: str = "") -> RankingResult:
+        """The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``."""
+        reply = await self.service.submit(data, rf, name=name)
+        return reply.result
+
+    async def rank_detailed(self, data, rf: RankingFunction, *, name: str = "") -> ServiceReply:
+        """The full reply envelope (result + model/algorithm/cache metadata)."""
+        return await self.service.submit(data, rf, name=name)
+
+    async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
+        """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        reply = await self.service.submit(data, rf, name=name)
+        return reply.top_k(k)
+
+    async def rank_all(
+        self, requests: Iterable[tuple[Any, RankingFunction]]
+    ) -> list[RankingResult]:
+        """Submit many ``(dataset, rf)`` requests concurrently, results in order.
+
+        All requests enter the service in one scheduling burst, so they
+        coalesce into as few engine batches as the window allows.
+        """
+        replies = await asyncio.gather(
+            *(self.service.submit(data, rf) for data, rf in requests)
+        )
+        return [reply.result for reply in replies]
+
+
+class RemoteServiceError(RuntimeError):
+    """An error reported by the remote ranking server.
+
+    Attributes
+    ----------
+    kind:
+        The server's error class tag (e.g. ``"overloaded"``,
+        ``"protocol"``, ``"internal"``).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class TCPRankingClient:
+    """Pipelined JSON-lines client of a ``python -m repro.service`` server.
+
+    Use :meth:`connect` to open a connection and :meth:`close` (or the
+    async context manager form) to release it::
+
+        async with await TCPRankingClient.connect("127.0.0.1", 8765) as client:
+            ranking = await client.rank(relation, PRFe(0.95), k=10)
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: dict[int, "asyncio.Future[dict]"] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "TCPRankingClient":
+        """Open a connection to a running ranking server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "TCPRankingClient":
+        """``async with`` support."""
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Close the connection on scope exit."""
+        await self.close()
+
+    async def close(self) -> None:
+        """Close the connection and fail any unanswered requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # noqa: BLE001 - peer may already be gone
+            pass
+        self._fail_waiting(ConnectionError("connection closed"))
+
+    async def _read_loop(self) -> None:
+        """Match response lines back to their waiting request futures."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                message = json.loads(line)
+                future = self._waiting.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            self._fail_waiting(exc)
+
+    def _fail_waiting(self, exc: BaseException) -> None:
+        """Fail every outstanding request future with ``exc``."""
+        waiting, self._waiting = self._waiting, {}
+        for future in waiting.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _call(self, message: dict) -> dict:
+        """Send one request object and await its matching response line."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        message = {"id": request_id, **message}
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        self._writer.write(json.dumps(message).encode() + b"\n")
+        await self._writer.drain()
+        response = await future
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise RemoteServiceError(
+                str(error.get("type", "error")), str(error.get("message", "request failed"))
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def rank(
+        self,
+        data,
+        rf: RankingFunction,
+        *,
+        k: int | None = None,
+        name: str = "",
+    ) -> list[tuple[Any, complex | float]]:
+        """Rank a dataset remotely; returns ranked ``(tid, value)`` pairs.
+
+        ``data`` is a :class:`~repro.core.tuples.ProbabilisticRelation`,
+        an :class:`~repro.andxor.tree.AndXorTree`, or a string naming a
+        dataset previously :meth:`register`\\ ed on the server.  Floats
+        survive the wire exactly, so the returned values equal a local
+        ``Engine.rank`` bit for bit.
+        """
+        message: dict[str, Any] = {
+            "op": "rank",
+            "dataset": {"ref": data} if isinstance(data, str) else dataset_to_payload(data),
+            "rf": ranking_function_to_payload(rf),
+        }
+        if k is not None:
+            message["k"] = int(k)
+        if name:
+            message["name"] = name
+        response = await self._call(message)
+        return [
+            (entry["tid"], decode_value(entry["value"])) for entry in response["ranking"]
+        ]
+
+    async def rank_detailed(
+        self,
+        data,
+        rf: RankingFunction,
+        *,
+        k: int | None = None,
+        name: str = "",
+    ) -> dict[str, Any]:
+        """Rank remotely and return the raw response object (with metadata)."""
+        message: dict[str, Any] = {
+            "op": "rank",
+            "dataset": {"ref": data} if isinstance(data, str) else dataset_to_payload(data),
+            "rf": ranking_function_to_payload(rf),
+        }
+        if k is not None:
+            message["k"] = int(k)
+        if name:
+            message["name"] = name
+        return await self._call(message)
+
+    async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
+        """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
+        ranking = await self.rank(data, rf, k=k, name=name)
+        return [tid for tid, _ in ranking]
+
+    async def register(self, dataset_name: str, data) -> None:
+        """Upload a dataset once; later requests may reference it by name."""
+        await self._call(
+            {"op": "register", "name": dataset_name, "dataset": dataset_to_payload(data)}
+        )
+
+    async def stats(self) -> dict[str, Any]:
+        """The server's service counters and engine cache introspection."""
+        response = await self._call({"op": "stats"})
+        return response["stats"]
+
+    async def ping(self) -> float:
+        """Round-trip a ping; returns the latency in seconds."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await self._call({"op": "ping"})
+        return loop.time() - start

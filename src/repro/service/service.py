@@ -1,0 +1,425 @@
+"""The asyncio ranking service: micro-batching, dedup, TTL cache, shedding.
+
+:class:`RankingService` is the admission tier in front of the
+:class:`~repro.engine.facade.Engine`.  Many concurrent clients submit
+single-dataset rank requests; the service
+
+1. answers straight from a **TTL result cache** when an identical
+   request (same dataset fingerprint, same canonical ranking-function
+   key, same label) completed recently,
+2. **deduplicates in-flight work**: a request identical to one already
+   queued or executing piggybacks on its future instead of enqueueing,
+3. **sheds load** once the number of admitted-but-unfinished requests
+   reaches ``max_pending`` (raising :class:`ServiceOverloadedError`
+   rather than queueing unboundedly), and
+4. **coalesces** everything else in a micro-batching loop — a window
+   closes after ``max_delay`` seconds or ``max_batch`` requests,
+   whichever comes first — and executes each window through the
+   engine's non-blocking :meth:`~repro.engine.facade.Engine.
+   submit_batch`, so one stacked kernel invocation serves many clients.
+
+Replies are **bit-identical** to direct ``Engine.rank`` calls: the
+service never re-sorts, rescales or re-labels values, it only routes
+them, and ``rank_batch`` is verified (tests/test_backends.py) to equal
+the single-dataset path exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Hashable
+
+from ..core.prf import RankingFunction
+from ..core.result import RankingResult
+from ..engine.cache import dataset_fingerprint
+from ..engine.facade import Engine
+from .spec import ranking_function_key
+
+__all__ = [
+    "RankingService",
+    "ServiceReply",
+    "ServiceStats",
+    "ServiceOverloadedError",
+    "TTLCache",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised when the service sheds a request because its queue is full."""
+
+
+@dataclass(frozen=True)
+class ServiceReply:
+    """One served ranking plus the routing metadata of how it was produced."""
+
+    #: The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``.
+    result: RankingResult
+    #: Correlation model the planner detected (``independent``/``andxor``/``markov``).
+    model: str
+    #: Table-3 algorithm label that executed the request.
+    algorithm: str
+    #: Whether the reply was served from the TTL result cache.
+    cached: bool = False
+    #: Whether the reply piggybacked on an identical in-flight request.
+    deduplicated: bool = False
+    #: Number of requests in the coalesced window that produced this reply.
+    batch_size: int = 1
+
+    def top_k(self, k: int) -> list[Any]:
+        """Identifiers of the top ``k`` tuples (best first)."""
+        return self.result.top_k(k)
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing how the service disposed of its traffic."""
+
+    #: Requests admitted through :meth:`RankingService.submit`.
+    requests: int = 0
+    #: Replies served from the TTL result cache.
+    cache_hits: int = 0
+    #: Replies that piggybacked on an identical in-flight request.
+    deduplicated: int = 0
+    #: Requests rejected by backpressure shedding.
+    shed: int = 0
+    #: Coalesced windows executed.
+    batches: int = 0
+    #: Requests executed through the engine (sum of window sizes).
+    executed: int = 0
+    #: Largest coalesced window observed.
+    largest_batch: int = 0
+    #: Requests that failed with an engine/planner error.
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (JSON-friendly)."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "shed": self.shed,
+            "batches": self.batches,
+            "executed": self.executed,
+            "largest_batch": self.largest_batch,
+            "errors": self.errors,
+        }
+
+
+class TTLCache:
+    """A bounded LRU mapping with per-entry expiry (monotonic-clock based).
+
+    Parameters
+    ----------
+    ttl:
+        Seconds an entry stays servable.  ``0`` disables caching.
+    max_entries:
+        LRU bound on retained entries.
+    clock:
+        Injectable time source (monotonic seconds); tests substitute a
+        fake clock to exercise expiry deterministically.
+    """
+
+    def __init__(
+        self,
+        ttl: float,
+        max_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.ttl = float(ttl)
+        self.max_entries = int(max_entries)
+        self.clock = clock
+        self._entries: "OrderedDict[Hashable, tuple[float, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The live value under ``key``, or ``None`` (expired entries drop)."""
+        if self.ttl <= 0.0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        expires, value = entry
+        if self.clock() >= expires:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting LRU entries beyond the bound."""
+        if self.ttl <= 0.0:
+            return
+        self._entries[key] = (self.clock() + self.ttl, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._entries.clear()
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted request waiting in the coalescing queue."""
+
+    data: Any
+    rf: RankingFunction
+    name: str
+    key: Hashable | None
+    future: "asyncio.Future[ServiceReply]" = field(repr=False, default=None)
+
+
+class RankingService:
+    """Coalescing admission tier over one :class:`~repro.engine.facade.Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine executing the coalesced batches.  ``None`` creates a
+        private engine with default settings.
+    max_batch:
+        Upper bound on requests per coalesced window.
+    max_delay:
+        Seconds a window stays open after its first request (the
+        latency the service is willing to trade for batching).
+    max_pending:
+        Admission bound — requests beyond this many
+        admitted-but-unfinished ones are shed with
+        :class:`ServiceOverloadedError`.
+    cache_ttl:
+        Seconds a completed reply is served from the result cache
+        (``0`` disables the cache).
+    cache_entries:
+        LRU bound of the result cache.
+    cache_clock:
+        Injectable monotonic clock for the result cache (tests).
+
+    The service must be started before use — either ``await
+    service.start()`` / ``await service.stop()`` or the async context
+    manager form::
+
+        async with RankingService(engine) as service:
+            reply = await service.submit(relation, PRFe(0.95))
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        max_pending: int = 1024,
+        cache_ttl: float = 30.0,
+        cache_entries: int = 1024,
+        cache_clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.engine = engine if engine is not None else Engine()
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.max_pending = int(max_pending)
+        self.stats = ServiceStats()
+        self.results = TTLCache(cache_ttl, cache_entries, clock=cache_clock)
+        self._queue: "asyncio.Queue[_PendingRequest | None]" = asyncio.Queue()
+        self._inflight: dict[Hashable, "asyncio.Future[ServiceReply]"] = {}
+        self._pending = 0
+        self._loop_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the coalescing loop is active."""
+        return self._loop_task is not None and not self._loop_task.done()
+
+    async def start(self) -> "RankingService":
+        """Start the coalescing loop (idempotent)."""
+        if not self.running:
+            self._loop_task = asyncio.get_running_loop().create_task(
+                self._run(), name="ranking-service-loop"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the loop, and fail unserved requests."""
+        if self._loop_task is None:
+            return
+        task, self._loop_task = self._loop_task, None
+        self._queue.put_nowait(None)
+        try:
+            await task
+        except asyncio.CancelledError:  # pragma: no cover - external cancel
+            pass
+        while not self._queue.empty():
+            request = self._queue.get_nowait()
+            if request is not None:
+                self._resolve_error(request, RuntimeError("service stopped"))
+
+    async def __aenter__(self) -> "RankingService":
+        """``async with`` support: start on entry."""
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """``async with`` support: stop on exit."""
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def submit(self, data, rf: RankingFunction, *, name: str = "") -> ServiceReply:
+        """Rank one dataset, coalescing with every other in-flight request.
+
+        Returns a :class:`ServiceReply` whose ``result`` is bit-identical
+        to ``Engine.rank(data, rf, name=name)``.  Raises
+        :class:`ServiceOverloadedError` when the request is shed.
+        """
+        if not self.running:
+            raise RuntimeError("RankingService is not running; call start() first")
+        self.stats.requests += 1
+        key = self._request_key(data, rf, name)
+        if key is not None:
+            hit = self.results.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return replace(hit, cached=True)
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.deduplicated += 1
+                reply = await asyncio.shield(inflight)
+                return replace(reply, deduplicated=True)
+        if self._pending >= self.max_pending:
+            self.stats.shed += 1
+            raise ServiceOverloadedError(
+                f"ranking service is at capacity ({self.max_pending} pending requests)"
+            )
+        future: "asyncio.Future[ServiceReply]" = asyncio.get_running_loop().create_future()
+        # Shedding/stop paths may leave the exception unretrieved by a
+        # cancelled submitter; mark it retrieved to keep logs clean.
+        future.add_done_callback(_consume_exception)
+        request = _PendingRequest(data=data, rf=rf, name=name, key=key, future=future)
+        if key is not None:
+            self._inflight[key] = future
+        self._pending += 1
+        self._queue.put_nowait(request)
+        return await asyncio.shield(future)
+
+    def pending(self) -> int:
+        """Number of admitted requests not yet answered."""
+        return self._pending
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Service counters plus the engine's cache introspection."""
+        snapshot: dict[str, Any] = self.stats.as_dict()
+        snapshot["pending"] = self._pending
+        snapshot["engine_cache"] = self.engine.cache_info()
+        return snapshot
+
+    def _request_key(self, data, rf: RankingFunction, name: str) -> Hashable | None:
+        """Content identity of a request, or ``None`` for opaque specs."""
+        rf_key = ranking_function_key(rf)
+        if rf_key is None:
+            return None
+        return (dataset_fingerprint(data), rf_key, name)
+
+    # ------------------------------------------------------------------
+    # The micro-batching loop
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        """Collect time/size-bounded windows off the queue and execute them."""
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.max_delay
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    # Window expired: drain only what is already queued.
+                    try:
+                        request = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        request = await asyncio.wait_for(self._queue.get(), remaining)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+                if request is None:
+                    stop = True
+                    break
+                batch.append(request)
+            await self._execute(batch)
+            if stop:
+                return
+
+    async def _execute(self, batch: list[_PendingRequest]) -> None:
+        """Run one window: group by ranking function, one engine batch each."""
+        self.stats.batches += 1
+        self.stats.executed += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
+        for request in batch:
+            rf_key = ranking_function_key(request.rf)
+            group_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
+            groups.setdefault(group_key, []).append(request)
+        for requests in groups.values():
+            datasets = [request.data for request in requests]
+            rf = requests[0].rf
+            try:
+                plans = self.engine.plan_batch(datasets, rf)
+                results = await asyncio.wrap_future(self.engine.submit_batch(datasets, rf))
+            except Exception as exc:  # noqa: BLE001 - forwarded to callers
+                self.stats.errors += len(requests)
+                for request in requests:
+                    self._resolve_error(request, exc)
+                continue
+            for request, result, plan in zip(requests, results, plans):
+                if request.name and result.name != request.name:
+                    result = RankingResult(list(result), name=request.name)
+                reply = ServiceReply(
+                    result=result,
+                    model=plan.model,
+                    algorithm=plan.algorithm,
+                    batch_size=len(batch),
+                )
+                if request.key is not None:
+                    self.results.put(request.key, reply)
+                self._resolve(request, reply)
+
+    def _resolve(self, request: _PendingRequest, reply: ServiceReply) -> None:
+        """Deliver a reply and release the request's admission slot."""
+        self._release(request)
+        if not request.future.done():
+            request.future.set_result(reply)
+
+    def _resolve_error(self, request: _PendingRequest, exc: BaseException) -> None:
+        """Deliver a failure and release the request's admission slot."""
+        self._release(request)
+        if not request.future.done():
+            request.future.set_exception(exc)
+
+    def _release(self, request: _PendingRequest) -> None:
+        """Drop the in-flight registration and pending count of a request."""
+        self._pending -= 1
+        if request.key is not None and self._inflight.get(request.key) is request.future:
+            del self._inflight[request.key]
+
+
+def _consume_exception(future: "asyncio.Future") -> None:
+    """Mark a future's exception as retrieved (silences loop warnings)."""
+    if not future.cancelled():
+        future.exception()

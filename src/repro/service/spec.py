@@ -1,0 +1,314 @@
+"""Canonical keys and wire codecs for ranking-function specs and datasets.
+
+The coalescing service identifies work by *content*, not by object
+identity: a request is the pair (dataset fingerprint, ranking-function
+key).  This module produces both halves of that contract:
+
+* :func:`ranking_function_key` — a stable, hashable key for every
+  built-in PRF-family spec.  Two spec objects with equal parameters map
+  to the same key, so identical in-flight requests deduplicate and the
+  TTL result cache hits across clients.  Specs the module cannot
+  canonicalize (callable weights, ``tuple_factor`` closures) return
+  ``None`` and are treated as opaque: they still coalesce into batches
+  but never share cached results.
+* ``*_to_payload`` / ``*_from_payload`` — the JSON-lines wire format of
+  the TCP front-end.  Floats round-trip exactly (``json`` emits
+  ``repr``-precision), so a ranking computed from a decoded payload is
+  bit-identical to one computed from the original dataset.
+
+Markov-network relations are served in-process only; encoding a junction
+tree over JSON buys nothing for the serving story, so
+:func:`dataset_to_payload` rejects them with :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.prf import (
+    PRF,
+    LinearCombinationPRFe,
+    PRFe,
+    PRFLinear,
+    PRFOmega,
+    RankingFunction,
+)
+from ..core.tuples import ProbabilisticRelation, Tuple
+from ..core.weights import (
+    ConstantWeight,
+    ExponentialWeight,
+    LinearWeight,
+    NDCGDiscountWeight,
+    PositionWeight,
+    StepWeight,
+    TabulatedWeight,
+    WeightFunction,
+)
+
+__all__ = [
+    "ProtocolError",
+    "ranking_function_key",
+    "ranking_function_to_payload",
+    "ranking_function_from_payload",
+    "dataset_to_payload",
+    "dataset_from_payload",
+    "encode_value",
+    "decode_value",
+]
+
+
+class ProtocolError(ValueError):
+    """A request or payload that the service wire protocol cannot express."""
+
+
+# ----------------------------------------------------------------------
+# Canonical spec keys (dedup / TTL-cache identity)
+# ----------------------------------------------------------------------
+def _alpha_key(alpha) -> tuple:
+    """A key distinguishing alphas by value AND runtime type.
+
+    The engine's kernel dispatch is type-sensitive — ``uses_log_space``
+    routes only ``float`` alphas in (0, 1] onto the log-space kernel, so
+    ``PRFe(0.95)`` and ``PRFe(complex(0.95, 0.0))`` compute through
+    different arithmetic.  Collapsing them onto one key would let dedup
+    or the TTL cache serve a reply computed on the other kernel; keeping
+    the type in the key only costs a lost dedup between equal values of
+    different types, never a wrong result.
+    """
+    value = complex(alpha)
+    return (type(alpha).__name__, value.real, value.imag)
+
+
+def _weight_key(weight: WeightFunction) -> tuple | None:
+    """A hashable content key for the built-in weight functions."""
+    if isinstance(weight, StepWeight):
+        return ("step", weight.horizon)
+    if isinstance(weight, ConstantWeight):
+        return ("constant", weight.value)
+    if isinstance(weight, PositionWeight):
+        return ("position", weight.position)
+    if isinstance(weight, LinearWeight):
+        return ("linear",)
+    if isinstance(weight, NDCGDiscountWeight):
+        return ("ndcg",)
+    if isinstance(weight, ExponentialWeight):
+        return ("exponential", _alpha_key(weight.alpha))
+    if isinstance(weight, TabulatedWeight):
+        return ("tabulated", weight.values.tobytes(), weight.values.dtype.str)
+    return None
+
+
+def ranking_function_key(rf: RankingFunction) -> tuple | None:
+    """A stable hashable key for ``rf``, or ``None`` if it is opaque.
+
+    Keys include the spec class, so e.g. ``PRFOmega`` and a general
+    ``PRF`` over the same tabulated weights keep distinct cache lines
+    even though they rank identically — a lost dedup, never a wrong
+    result.  Any spec carrying a ``tuple_factor`` is opaque: the factor
+    is an arbitrary callable whose behaviour the key cannot capture.
+    """
+    if rf.tuple_factor is not None:
+        return None
+    if isinstance(rf, PRFe):
+        return ("prfe", _alpha_key(rf.alpha))
+    if isinstance(rf, PRFLinear):
+        return ("prf-linear",)
+    if isinstance(rf, LinearCombinationPRFe):
+        return (
+            "prfe-lincomb",
+            rf.coefficients.tobytes(),
+            rf.alphas.tobytes(),
+        )
+    weight_key = _weight_key(rf.weight)
+    if weight_key is None:
+        return None
+    return (type(rf).__name__, weight_key)
+
+
+# ----------------------------------------------------------------------
+# Ranking-function payloads (wire format)
+# ----------------------------------------------------------------------
+def _complex_to_wire(value: complex) -> float | list[float]:
+    """A JSON-safe scalar: bare float when real, ``[re, im]`` otherwise."""
+    value = complex(value)
+    if value.imag == 0.0:
+        return value.real
+    return [value.real, value.imag]
+
+
+def _complex_from_wire(value: Any) -> complex:
+    """Invert :func:`_complex_to_wire`."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != 2:
+            raise ProtocolError(f"complex values are [re, im] pairs, got {value!r}")
+        return complex(float(value[0]), float(value[1]))
+    return complex(float(value))
+
+
+def encode_value(value: complex) -> float | list[float]:
+    """Encode one ranking value for the wire (exact float round-trip)."""
+    return _complex_to_wire(value)
+
+
+def decode_value(value: Any) -> complex | float:
+    """Decode one ranking value from the wire, preserving realness."""
+    decoded = _complex_from_wire(value)
+    return decoded.real if decoded.imag == 0.0 else decoded
+
+
+def ranking_function_to_payload(rf: RankingFunction) -> dict[str, Any]:
+    """The JSON payload of a serializable ranking-function spec.
+
+    Raises
+    ------
+    ProtocolError
+        If ``rf`` carries a ``tuple_factor`` or a weight function with no
+        wire representation (arbitrary callables cannot cross the wire).
+    """
+    if rf.tuple_factor is not None:
+        raise ProtocolError("ranking functions with tuple_factor cannot cross the wire")
+    if isinstance(rf, PRFe):
+        return {"type": "prfe", "alpha": _complex_to_wire(rf.alpha)}
+    if isinstance(rf, PRFLinear):
+        return {"type": "prf-linear"}
+    if isinstance(rf, LinearCombinationPRFe):
+        return {
+            "type": "prfe-lincomb",
+            "coefficients": [_complex_to_wire(u) for u in rf.coefficients.tolist()],
+            "alphas": [_complex_to_wire(a) for a in rf.alphas.tolist()],
+        }
+    if isinstance(rf, PRFOmega) and isinstance(rf.weight, TabulatedWeight):
+        if np.iscomplexobj(rf.weight.values):
+            weights = [_complex_to_wire(w) for w in rf.weight.values.tolist()]
+        else:
+            weights = rf.weight.values.tolist()
+        return {"type": "prfomega", "weights": weights}
+    if isinstance(rf, (PRF, PRFOmega)):
+        weight = rf.weight
+        if isinstance(weight, StepWeight):
+            return {"type": "step", "h": weight.horizon}
+        if isinstance(weight, ConstantWeight):
+            return {"type": "constant", "value": weight.value}
+        if isinstance(weight, PositionWeight):
+            return {"type": "position", "position": weight.position}
+        if isinstance(weight, NDCGDiscountWeight):
+            return {"type": "ndcg"}
+    raise ProtocolError(f"no wire representation for ranking function {rf!r}")
+
+
+def ranking_function_from_payload(payload: dict[str, Any]) -> RankingFunction:
+    """Rebuild a ranking-function spec from its wire payload."""
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ProtocolError(f"ranking-function payloads are objects with a 'type', got {payload!r}")
+    kind = payload["type"]
+    try:
+        if kind == "prfe":
+            # decode_value keeps real alphas as floats: a zero-imaginary
+            # complex would steer the engine off the real-alpha log-space
+            # kernel and perturb the last ulp versus a local PRFe(alpha).
+            return PRFe(decode_value(payload["alpha"]))
+        if kind == "prf-linear":
+            return PRFLinear()
+        if kind == "prfe-lincomb":
+            return LinearCombinationPRFe(
+                [_complex_from_wire(u) for u in payload["coefficients"]],
+                [_complex_from_wire(a) for a in payload["alphas"]],
+            )
+        if kind == "prfomega":
+            weights = [_complex_from_wire(w) for w in payload["weights"]]
+            if all(w.imag == 0.0 for w in weights):
+                return PRFOmega([w.real for w in weights])
+            return PRFOmega(TabulatedWeight(weights))
+        if kind == "step":
+            return PRFOmega(StepWeight(int(payload["h"])))
+        if kind == "constant":
+            return PRF(ConstantWeight(float(payload["value"])))
+        if kind == "position":
+            return PRFOmega(PositionWeight(int(payload["position"])))
+        if kind == "ndcg":
+            return PRF(NDCGDiscountWeight())
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {kind!r} ranking-function payload: {exc}") from exc
+    raise ProtocolError(f"unknown ranking-function type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Dataset payloads (wire format)
+# ----------------------------------------------------------------------
+def _tuple_to_wire(t: Tuple) -> list[Any]:
+    """One tuple as a ``[tid, score, probability]`` triple."""
+    return [t.tid, t.score, t.probability]
+
+
+def _tuple_from_wire(record: Any, probability: float | None = None) -> Tuple:
+    """Invert :func:`_tuple_to_wire` (optionally overriding the probability)."""
+    if not isinstance(record, (list, tuple)) or len(record) != 3:
+        raise ProtocolError(f"tuples are [tid, score, probability] triples, got {record!r}")
+    tid, score, p = record
+    return Tuple(tid, float(score), float(p if probability is None else probability))
+
+
+def dataset_to_payload(data) -> dict[str, Any]:
+    """The JSON payload of a relation or and/xor tree.
+
+    Independent relations encode their tuples; and/xor trees encode the
+    full correlation structure (arbitrary nesting, not just x-tuples).
+    Tuple ``attributes`` do not cross the wire — ranking functions that
+    need them (``tuple_factor``) are rejected earlier anyway.
+    """
+    if isinstance(data, ProbabilisticRelation):
+        return {
+            "kind": "relation",
+            "name": data.name,
+            "tuples": [_tuple_to_wire(t) for t in data],
+        }
+    from ..andxor.tree import AndNode, AndXorTree, LeafNode, XorNode
+
+    if isinstance(data, AndXorTree):
+
+        def encode(node) -> dict[str, Any]:
+            if isinstance(node, LeafNode):
+                return {"leaf": _tuple_to_wire(node.item)}
+            if isinstance(node, AndNode):
+                return {"and": [encode(child) for child in node.children]}
+            assert isinstance(node, XorNode)
+            return {"xor": [[p, encode(child)] for p, child in node.children]}
+
+        return {"kind": "tree", "name": data.name, "root": encode(data.root)}
+    raise ProtocolError(
+        f"datasets of type {type(data).__name__} are served in-process only; "
+        "the wire protocol carries relations and and/xor trees"
+    )
+
+
+def dataset_from_payload(payload: dict[str, Any]):
+    """Rebuild a dataset from its wire payload (exact float round-trip)."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ProtocolError(f"dataset payloads are objects with a 'kind', got {payload!r}")
+    kind = payload["kind"]
+    name = str(payload.get("name", ""))
+    if kind == "relation":
+        tuples = [_tuple_from_wire(record) for record in payload.get("tuples", [])]
+        return ProbabilisticRelation(tuples, name=name)
+    if kind == "tree":
+        from ..andxor.tree import AndNode, AndXorTree, LeafNode, XorNode
+
+        def decode(node: Any):
+            if not isinstance(node, dict) or len(node) != 1:
+                raise ProtocolError(f"malformed tree node {node!r}")
+            if "leaf" in node:
+                return LeafNode(_tuple_from_wire(node["leaf"]))
+            if "and" in node:
+                return AndNode([decode(child) for child in node["and"]])
+            if "xor" in node:
+                return XorNode(
+                    [(float(p), decode(child)) for p, child in node["xor"]]
+                )
+            raise ProtocolError(f"malformed tree node {node!r}")
+
+        return AndXorTree(decode(payload["root"]), name=name)
+    raise ProtocolError(f"unknown dataset kind {kind!r}")

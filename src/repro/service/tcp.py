@@ -1,0 +1,214 @@
+"""The TCP/JSON-lines front-end of the ranking service.
+
+One request per line, one response line per request, matched by ``id``.
+Requests on a connection are handled concurrently (each line spawns a
+task), so a single pipelining client — or many clients — feed the
+service's coalescing window together.
+
+Request objects::
+
+    {"id": 1, "op": "rank", "dataset": <payload|{"ref": name}>,
+     "rf": <payload>, "k": 10, "name": "label"}
+    {"id": 2, "op": "register", "name": "hot-set", "dataset": <payload>}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "ping"}
+
+Responses carry ``ok``; successful ``rank`` responses hold ``ranking``
+(position/tid/value records, truncated to ``k`` when given) plus the
+planner tags ``model`` and ``algorithm`` and the ``cached`` /
+``deduplicated`` / ``batch_size`` serving metadata.  Failures hold
+``error: {type, message}`` with type ``"overloaded"`` for shed requests
+and ``"protocol"`` for malformed payloads.  Dataset and value payload
+formats live in :mod:`repro.service.spec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .service import RankingService, ServiceOverloadedError
+from .spec import (
+    ProtocolError,
+    dataset_from_payload,
+    encode_value,
+    ranking_function_from_payload,
+)
+
+__all__ = ["serve_tcp"]
+
+
+async def serve_tcp(
+    service: RankingService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    max_registered: int = 256,
+) -> asyncio.Server:
+    """Start the JSON-lines server on ``host:port`` over a running service.
+
+    Returns the :class:`asyncio.Server`; the caller owns its lifecycle
+    (``server.close()`` / ``await server.wait_closed()``).  Datasets
+    registered by clients are shared across all connections of this
+    server instance; the registry is bounded at ``max_registered``
+    entries (re-registering an existing name always succeeds), so the
+    ``register`` op cannot grow server memory without limit.
+    """
+    registry: dict[str, Any] = _BoundedRegistry(max_registered)
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    _respond(service, registry, line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop/server teardown: close the connection quietly instead of
+            # letting the cancellation surface through asyncio's logger.
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer may already be gone
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+class _BoundedRegistry(dict):
+    """A dict of registered datasets with a hard entry bound.
+
+    Inserting a *new* name beyond the bound raises
+    :class:`ServiceOverloadedError` (reported to the client as an
+    ``overloaded`` error); overwriting an existing name always succeeds,
+    so clients can refresh their hot datasets indefinitely.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        self.max_entries = int(max_entries)
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if name not in self and len(self) >= self.max_entries:
+            raise ServiceOverloadedError(
+                f"dataset registry is full ({self.max_entries} entries); "
+                "re-register an existing name or raise --max-registered"
+            )
+        super().__setitem__(name, value)
+
+
+def _error(request_id: Any, kind: str, message: str) -> dict[str, Any]:
+    """A failure response object (``error.type`` tags the failure class)."""
+    return {"id": request_id, "ok": False, "error": {"type": kind, "message": message}}
+
+
+async def _respond(
+    service: RankingService,
+    registry: dict[str, Any],
+    line: bytes,
+    writer: asyncio.StreamWriter,
+    lock: asyncio.Lock,
+) -> None:
+    """Handle one request line and write its response line."""
+    request_id: Any = None
+    try:
+        message = json.loads(line)
+        request_id = message.get("id") if isinstance(message, dict) else None
+        response = await _dispatch(service, registry, message)
+    except ServiceOverloadedError as exc:
+        response = _error(request_id, "overloaded", str(exc))
+    except ProtocolError as exc:
+        response = _error(request_id, "protocol", str(exc))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        response = _error(request_id, "protocol", f"request lines must be JSON: {exc}")
+    except Exception as exc:  # noqa: BLE001 - report, keep the connection alive
+        response = _error(request_id, "internal", f"{type(exc).__name__}: {exc}")
+    response.setdefault("id", request_id)
+    payload = json.dumps(response).encode() + b"\n"
+    async with lock:
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+async def _dispatch(
+    service: RankingService, registry: dict[str, Any], message: Any
+) -> dict[str, Any]:
+    """Route one decoded request object to its operation."""
+    if not isinstance(message, dict):
+        raise ProtocolError("request lines must be JSON objects")
+    op = message.get("op", "rank")
+    request_id = message.get("id")
+    if op == "ping":
+        return {"id": request_id, "ok": True, "pong": True}
+    if op == "stats":
+        return {"id": request_id, "ok": True, "stats": service.stats_snapshot()}
+    if op == "register":
+        dataset_name = message.get("name")
+        if not isinstance(dataset_name, str) or not dataset_name:
+            raise ProtocolError("register requires a non-empty string 'name'")
+        registry[dataset_name] = dataset_from_payload(message.get("dataset"))
+        return {"id": request_id, "ok": True, "registered": dataset_name}
+    if op == "rank":
+        return await _rank(service, registry, message)
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+def _resolve_dataset(registry: dict[str, Any], payload: Any):
+    """An inline dataset payload, or a ``{"ref": name}`` registry lookup."""
+    if isinstance(payload, dict) and "ref" in payload:
+        dataset_name = payload["ref"]
+        data = registry.get(dataset_name)
+        if data is None:
+            raise ProtocolError(f"no dataset registered under {dataset_name!r}")
+        return data
+    return dataset_from_payload(payload)
+
+
+async def _rank(
+    service: RankingService, registry: dict[str, Any], message: dict[str, Any]
+) -> dict[str, Any]:
+    """Execute one rank request through the coalescing service."""
+    data = _resolve_dataset(registry, message.get("dataset"))
+    rf = ranking_function_from_payload(message.get("rf"))
+    name = str(message.get("name", ""))
+    k = message.get("k")
+    if k is not None and (not isinstance(k, int) or k < 0):
+        raise ProtocolError(f"k must be a non-negative integer, got {k!r}")
+    reply = await service.submit(data, rf, name=name)
+    items = reply.result[: k] if k is not None else reply.result
+    return {
+        "id": message.get("id"),
+        "ok": True,
+        "name": reply.result.name,
+        "model": reply.model,
+        "algorithm": reply.algorithm,
+        "cached": reply.cached,
+        "deduplicated": reply.deduplicated,
+        "batch_size": reply.batch_size,
+        "ranking": [
+            {
+                "position": item.position,
+                "tid": item.item.tid,
+                "value": encode_value(item.value),
+            }
+            for item in items
+        ],
+    }

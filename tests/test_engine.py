@@ -299,3 +299,56 @@ class TestDefaultEngineRouting:
             assert default_engine() is custom
         finally:
             set_default_engine(previous)
+
+
+class TestServiceHooks:
+    """The engine hooks added for the async ranking service."""
+
+    def test_submit_batch_is_nonblocking_and_matches_rank_batch(self):
+        rng = np.random.default_rng(23)
+        relations = make_relations(12, rng)
+        engine = Engine()
+        try:
+            future = engine.submit_batch(relations, PRFe(0.95))
+            background = future.result(timeout=30)
+        finally:
+            engine.close()
+        foreground = Engine().rank_batch(relations, PRFe(0.95))
+        for a, b in zip(background, foreground):
+            assert a.tids() == b.tids()
+            assert [item.value for item in a] == [item.value for item in b]
+
+    def test_plan_batch_tags_each_dataset(self):
+        rng = np.random.default_rng(29)
+        relations = make_relations(3, rng)
+        plans = Engine().plan_batch(relations, PRFe(0.9))
+        assert [plan.model for plan in plans] == ["independent"] * len(relations)
+        assert all("prfe" in plan.algorithm for plan in plans)
+
+    def test_cache_info_reports_occupancy_and_budgets(self):
+        engine = Engine(cache_relations=4, cache_elements=1000)
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.6)])
+        engine.rank(relation, PRFOmega(StepWeight(2)))
+        info = engine.cache_info()
+        assert info["entries"] == 1
+        assert info["elements"] > 0
+        assert info["max_relations"] == 4
+        assert info["max_elements"] == 1000
+        assert info["misses"] >= 1
+        assert 0.0 <= info["hit_rate"] <= 1.0
+
+    def test_close_is_idempotent_and_engine_stays_usable(self):
+        engine = Engine()
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.6)])
+        engine.close()
+        engine.close()
+        future = engine.submit_batch([relation], PRFe(0.9))
+        assert future.result(timeout=30)[0].tids()
+        engine.close()
+
+    def test_context_manager_closes_executor(self):
+        relation = ProbabilisticRelation.from_pairs([(3.0, 0.5), (2.0, 0.6)])
+        with Engine() as engine:
+            future = engine.submit_batch([relation], PRFe(0.9))
+            assert len(future.result(timeout=30)) == 1
+        assert engine._submit_executor is None
