@@ -1,0 +1,163 @@
+"""Benchmark regression gate — compare pytest-benchmark JSON to baselines.
+
+Reads one or more ``--benchmark-json`` output files, matches each
+benchmark by name against the committed baseline
+(``benchmarks/baselines/bench_regression.json``), and fails when a
+benchmark's mean time exceeds its baseline by more than the tolerance
+band (default 1.25x, i.e. a >25% slowdown).
+
+Raw wall-clock comparisons across heterogeneous CI runners are noise, so
+the baseline stores a *calibration* measurement — a fixed numpy workload
+timed on the machine that produced the baseline.  At check time the same
+workload is re-timed and every baseline mean is scaled by the machine
+speed ratio before the tolerance applies.  An absolute floor
+(``--min-delta``, default 5 ms) additionally ignores regressions too
+small to distinguish from scheduler jitter on micro-benchmarks.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py out1.json out2.json
+    python benchmarks/check_bench_regression.py --update-baselines out1.json out2.json
+
+The update form rewrites the baseline file from the given run (do this
+locally in smoke mode whenever a benchmark is added or its workload
+changes, and commit the result).  The check form also fails when a
+baseline benchmark is missing from the current run, so silently deleted
+benchmarks cannot keep the gate green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_regression.json"
+BASELINE_VERSION = 1
+
+
+def measure_calibration(repeats: int = 5) -> float:
+    """Best-of-``repeats`` time of a fixed numpy workload (machine speed probe)."""
+    rng = np.random.default_rng(7)
+    data = rng.uniform(0.0, 1.0, size=400_000)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.cumsum(np.log(np.maximum(np.sort(data), 1e-300)))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_benchmarks(paths: list[Path]) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` across the given JSON files."""
+    means: dict[str, float] = {}
+    for path in paths:
+        document = json.loads(path.read_text())
+        for benchmark in document.get("benchmarks", []):
+            name = benchmark["name"]
+            if name in means:
+                raise SystemExit(f"duplicate benchmark name across inputs: {name!r}")
+            means[name] = float(benchmark["stats"]["mean"])
+    if not means:
+        raise SystemExit(f"no benchmarks found in {', '.join(map(str, paths))}")
+    return means
+
+
+def update_baselines(paths: list[Path], baseline_path: Path) -> int:
+    """Rewrite the baseline file from the given benchmark JSON files."""
+    document = {
+        "version": BASELINE_VERSION,
+        "calibration_seconds": measure_calibration(),
+        "benchmarks": load_benchmarks(paths),
+    }
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(document['benchmarks'])} baselines to {baseline_path}")
+    return 0
+
+
+def check(
+    paths: list[Path], baseline_path: Path, tolerance: float, min_delta: float
+) -> int:
+    """Compare the current run against the baseline; return a process exit code."""
+    if not baseline_path.exists():
+        raise SystemExit(
+            f"no baseline at {baseline_path}; run with --update-baselines first"
+        )
+    baseline = json.loads(baseline_path.read_text())
+    current = load_benchmarks(paths)
+    # Clamp at 1.0: a machine probing faster than the baseline machine must
+    # not tighten the band (calibration jitter would flag unchanged
+    # benchmarks); only slower runners earn extra allowance.
+    scale = max(1.0, measure_calibration() / float(baseline["calibration_seconds"]))
+    print(f"machine speed scale vs baseline: {scale:.3f}x")
+
+    failures: list[str] = []
+    for name, baseline_mean in sorted(baseline["benchmarks"].items()):
+        mean = current.get(name)
+        if mean is None:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        allowed = baseline_mean * scale * tolerance
+        ratio = mean / max(baseline_mean * scale, 1e-12)
+        status = "ok"
+        if mean > allowed and mean - allowed > min_delta:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {mean * 1e3:.2f} ms vs allowed {allowed * 1e3:.2f} ms "
+                f"({ratio:.2f}x of scaled baseline)"
+            )
+        print(
+            f"  {status:<10} {name}: {mean * 1e3:.2f} ms "
+            f"(baseline {baseline_mean * 1e3:.2f} ms, {ratio:.2f}x scaled)"
+        )
+    for name in sorted(set(current) - set(baseline["benchmarks"])):
+        print(f"  new        {name}: {current[name] * 1e3:.2f} ms (no baseline yet)")
+
+    if failures:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nif the slowdown is intended, refresh the baselines with\n"
+            "  python benchmarks/check_bench_regression.py --update-baselines <json...>",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(baseline['benchmarks'])} baselined benchmarks within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", type=Path, help="pytest-benchmark JSON files")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="allowed slowdown factor over the scaled baseline (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.005,
+        help="absolute seconds a regression must exceed the band by (default 5 ms)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the baseline file from the given run instead of checking",
+    )
+    options = parser.parse_args(argv)
+    if options.update_baselines:
+        return update_baselines(options.inputs, options.baseline)
+    return check(options.inputs, options.baseline, options.tolerance, options.min_delta)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ independent-tuple entry point.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Any
 
@@ -33,6 +34,7 @@ from .tree import AndNode, AndXorTree, LeafNode, Node, XorNode
 __all__ = [
     "prf_values_tree",
     "prfe_values_tree",
+    "prfe_topk_values_tree",
     "prfe_values_tree_recompute",
     "rank_tree",
 ]
@@ -204,22 +206,30 @@ class _GuardedProduct:
         return result
 
 
-def prfe_values_tree(
-    tree: AndXorTree, alpha: complex
-) -> tuple[list[Tuple], np.ndarray]:
-    """PRFe(alpha) values of every leaf by the incremental Algorithm 3.
-
-    Returns ``(sorted_tuples, values)`` with
-    ``values[i] = F^i(alpha, alpha) - F^i(alpha, 0)``, i.e. the PRFe value
-    of the i-th tuple in descending-score order.
-    """
-    indexed = _IndexedTree(tree)
-    ordered = tree.sorted_tuples()
-    n = len(ordered)
+def _prfe_alpha_value(alpha: complex) -> tuple[complex, type]:
+    # Same normalization the pre-refactor prfe_values_tree applied inline:
+    # a real (or zero-imaginary-complex) alpha runs the float arithmetic.
     use_complex = isinstance(alpha, complex) and alpha.imag != 0.0
     alpha_value: complex = complex(alpha) if use_complex else float(np.real(alpha))
-    dtype = complex if use_complex else float
-    values = np.zeros(n, dtype=dtype)
+    return alpha_value, (complex if use_complex else float)
+
+
+def _prfe_steps(tree: AndXorTree, ordered: list[Tuple], alpha_value, dtype):
+    """Per-iteration stream of Algorithm 3 over ``ordered``.
+
+    Yields one ``(value, prefix_expectation)`` pair per score-sorted leaf:
+    ``value = F^i(alpha, alpha) - F^i(alpha, 0)`` is the leaf's PRFe value
+    and ``prefix_expectation = F^i(alpha, alpha)`` — the root value with
+    every leaf of the examined prefix labelled ``alpha`` — equals
+    ``E[alpha^{C_{i+1}}]`` where ``C_{i+1}`` counts the present tuples
+    among the ``i + 1`` highest-score leaves.  The full evaluator sums the
+    stream to the end; the top-k evaluator stops once the running k-th
+    best value beats ``alpha * prefix_expectation``, the upper bound on
+    every unexamined leaf's value.  The arithmetic per iteration is
+    exactly the pre-refactor loop body, so consumed prefixes are
+    bit-identical to prefixes of the full evaluation.
+    """
+    indexed = _IndexedTree(tree)
 
     num_nodes = len(indexed.kinds)
     # node_value[s][v] with s = 0 for the (alpha, alpha) evaluation and
@@ -293,8 +303,65 @@ def prfe_values_tree(
             update_path(previous_leaf, (alpha_value, alpha_value))
         leaf = indexed.leaf_index[t.tid]
         update_path(leaf, (alpha_value, 0.0))
-        values[i] = node_value[0][root] - node_value[1][root]
+        yield node_value[0][root] - node_value[1][root], node_value[0][root]
+
+
+def prfe_values_tree(
+    tree: AndXorTree, alpha: complex
+) -> tuple[list[Tuple], np.ndarray]:
+    """PRFe(alpha) values of every leaf by the incremental Algorithm 3.
+
+    Returns ``(sorted_tuples, values)`` with
+    ``values[i] = F^i(alpha, alpha) - F^i(alpha, 0)``, i.e. the PRFe value
+    of the i-th tuple in descending-score order.
+    """
+    ordered = tree.sorted_tuples()
+    alpha_value, dtype = _prfe_alpha_value(alpha)
+    values = np.zeros(len(ordered), dtype=dtype)
+    for i, (value, _) in enumerate(_prfe_steps(tree, ordered, alpha_value, dtype)):
+        values[i] = value
     return ordered, values
+
+
+def prfe_topk_values_tree(
+    tree: AndXorTree, alpha: float, k: int, safety: float = 1.0 + 1e-9
+) -> tuple[list[Tuple], np.ndarray, int, float]:
+    """Early-terminated Algorithm 3 for a real-alpha top-k query.
+
+    Consumes :func:`_prfe_steps` leaf by leaf and stops once the k-th
+    largest confirmed ``|value|`` strictly exceeds ``safety * alpha *
+    F^i(alpha, alpha)`` — an upper bound on every unexamined leaf's value
+    (any such leaf requires its ``D >= C_{i+1}`` higher-score leaves
+    present, and ``alpha < 1`` decays geometrically in the count).  The
+    ``safety`` inflation absorbs the guarded-product rounding of the
+    bound itself.  Returns ``(sorted_tuples, values_prefix, examined,
+    bound)`` with ``bound`` the last bound evaluated (an upper bound on
+    every leaf beyond the examined prefix, reusable to certify other
+    ``k`` against the same prefix); the prefix values are bit-identical
+    to the same slice of :func:`prfe_values_tree`.
+    """
+    ordered = tree.sorted_tuples()
+    n = len(ordered)
+    alpha_value, dtype = _prfe_alpha_value(alpha)
+    values = np.zeros(n, dtype=dtype)
+    best: list[float] = []
+    examined = 0
+    bound = math.inf
+    for i, (value, prefix_expectation) in enumerate(
+        _prfe_steps(tree, ordered, alpha_value, dtype)
+    ):
+        values[i] = value
+        examined = i + 1
+        magnitude = abs(float(value))
+        if len(best) < k:
+            heapq.heappush(best, magnitude)
+        elif magnitude > best[0]:
+            heapq.heapreplace(best, magnitude)
+        if len(best) == k and examined < n:
+            bound = safety * float(alpha_value) * float(prefix_expectation)
+            if best[0] > bound:
+                break
+    return ordered, values[:examined], examined, bound
 
 
 def prfe_values_tree_recompute(

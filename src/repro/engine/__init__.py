@@ -43,10 +43,13 @@ from .cache import (
     tree_fingerprint,
 )
 from .facade import Engine, ExecutionPlan, default_engine, set_default_engine
+from .topk import TopKReport, prunable
 
 __all__ = [
     "Engine",
     "ExecutionPlan",
+    "TopKReport",
+    "prunable",
     "default_engine",
     "set_default_engine",
     "RankingBackend",

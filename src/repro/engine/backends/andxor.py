@@ -27,12 +27,20 @@ from typing import Sequence
 
 import numpy as np
 
-from ...andxor.ranking import prf_values_tree, prfe_values_tree
+from ...andxor.ranking import prf_values_tree, prfe_topk_values_tree, prfe_values_tree
 from ...andxor.tree import AndXorTree
 from ...core.prf import LinearCombinationPRFe, PRFe, RankingFunction
 from ...core.result import RankingResult
 from ...core.tuples import Tuple
 from ..cache import CachedTree
+from ..topk import (
+    BOUND_SAFETY,
+    TopKReport,
+    certified,
+    prefix_top_k,
+    prunable,
+    validated_k,
+)
 from .base import RankingBackend, build_result, distribution_row
 
 __all__ = ["AndXorBackend"]
@@ -99,6 +107,61 @@ class AndXorBackend(RankingBackend):
             results.append(build_result(entry, self._values(entry, rf), tree.name))
         self.cache.enforce_budget()
         return results
+
+    def rank_top_k(
+        self, tree: AndXorTree, rf: RankingFunction, k: int, name: str = "", store: bool = True
+    ) -> tuple[RankingResult, TopKReport]:
+        """Top ``k`` under ``rf``, early-terminating Algorithm 3.
+
+        For prunable specs the incremental evaluation stops once the
+        k-th best confirmed value beats ``alpha * F^i(alpha, alpha)``
+        (the root value Algorithm 3 already maintains — the bound is
+        free).  A memoized *full* Algorithm 3 value vector, when present,
+        is served directly; an early-terminated prefix is memoized under
+        ``("topk", alpha)`` and promoted to the full memo when it runs to
+        the end, so pruned and full requests compose through the same
+        cache entry.
+        """
+        k = validated_k(k)
+        entry = self.entry(tree, store=store)
+        label = name or tree.name
+        n = entry.n
+        if not prunable(rf) or k >= n:
+            result = build_result(entry, self._values(entry, rf), label)
+            self.cache.enforce_budget()
+            return result[:k], TopKReport(k=k, n=n, examined=n, pruned=False)
+        if k == 0:
+            return RankingResult([], name=label), TopKReport(
+                k=0, n=n, examined=0, pruned=n > 0
+            )
+        alpha = complex(rf.alpha)
+        full = entry.extras.get(("prfe", alpha))
+        if full is not None:
+            result = build_result(entry, full, label)
+            self.cache.enforce_budget()
+            return result[:k], TopKReport(k=k, n=n, examined=n, pruned=False)
+        memo_key = ("topk", alpha)
+        memo = entry.extras.get(memo_key)
+        values = None
+        if memo is not None:
+            cached_values, cached_examined, cached_bound = memo
+            if cached_examined >= n or certified(
+                np.abs(cached_values), k, cached_bound
+            ):
+                values, examined = cached_values, cached_examined
+        if values is None:
+            _, values, examined, bound = prfe_topk_values_tree(
+                entry.tree, float(rf.alpha), k, safety=BOUND_SAFETY
+            )
+            if store and (memo is None or examined > memo[1]):
+                entry.extras[memo_key] = (values, examined, bound)
+            if store and examined == n:
+                # A prefix that ran to the end is the full Algorithm 3
+                # vector — promote it so future full rankings skip the walk.
+                entry.extras[("prfe", alpha)] = values
+        result = prefix_top_k(entry, values, k, label)
+        self.cache.enforce_budget()
+        return result, TopKReport(k=k, n=n, examined=examined, pruned=examined < n)
 
     def _rank_entry(self, entry: CachedTree, rf: RankingFunction, name: str) -> RankingResult:
         return build_result(entry, self._values(entry, rf), name)

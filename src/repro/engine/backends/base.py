@@ -23,6 +23,7 @@ import numpy as np
 from ...core.prf import RankingFunction
 from ...core.result import RankedItem, RankingResult
 from ...core.tuples import Tuple
+from ..topk import TopKReport, sort_columns, validated_k
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..facade import Engine
@@ -65,14 +66,7 @@ def build_result(
         if sort_keys is None
         else np.asarray(sort_keys, dtype=float)
     )
-    columns = entry.extras.get("sort_columns")
-    if columns is None:
-        columns = (
-            np.array([t.score for t in ordered], dtype=float),
-            np.array([str(t.tid) for t in ordered]),
-        )
-        entry.extras["sort_columns"] = columns
-    scores, tids = columns
+    scores, tids = sort_columns(entry)
     order = np.lexsort((tids, -scores, -keys))
     value_list = values.tolist()
     items = [
@@ -132,6 +126,25 @@ class RankingBackend(ABC):
         results = [self.rank(data, rf) for data in datasets]
         del store
         return results
+
+    def rank_top_k(
+        self, data, rf: RankingFunction, k: int, name: str = "", store: bool = True
+    ) -> tuple[RankingResult, "TopKReport"]:
+        """Top ``k`` of the ranking, with early termination where supported.
+
+        Returns ``(result, report)``: the first ``k`` items of the full
+        ranking (identical tuples, values and positions) and a
+        :class:`~repro.engine.topk.TopKReport` recording how much of the
+        dataset was examined.  This default ranks fully and truncates;
+        backends with a PRFe early-termination path override it and fall
+        back here whenever :func:`~repro.engine.topk.prunable` rejects
+        the spec or ``k`` covers the whole dataset.
+        """
+        k = validated_k(k)
+        del store
+        result = self.rank(data, rf, name=name)
+        n = len(result)
+        return result[:k], TopKReport(k=k, n=n, examined=n, pruned=False)
 
     # -- derived queries ---------------------------------------------------
     @abstractmethod

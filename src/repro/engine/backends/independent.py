@@ -37,6 +37,14 @@ from ..kernels import (
     batched_prfe_log_values,
     batched_prfe_values,
 )
+from ..topk import (
+    TopKReport,
+    certified,
+    independent_topk_log_values,
+    prefix_top_k,
+    prunable,
+    validated_k,
+)
 from .base import RankingBackend, build_result
 
 __all__ = ["IndependentBackend"]
@@ -95,6 +103,60 @@ class IndependentBackend(RankingBackend):
         values, _ = self._evaluate_stack([entry], n, rf)
         self.cache.enforce_budget()
         return build_result(entry, values[0], label)
+
+    # ------------------------------------------------------------------
+    # Top-k with early termination
+    # ------------------------------------------------------------------
+    def rank_top_k(
+        self,
+        relation: ProbabilisticRelation,
+        rf: RankingFunction,
+        k: int,
+        name: str = "",
+        store: bool = True,
+    ) -> tuple[RankingResult, TopKReport]:
+        """Top ``k`` under ``rf``, early-terminating the log-space PRFe kernel.
+
+        For prunable specs the streaming kernel of
+        :func:`~repro.engine.topk.independent_topk_log_values` examines a
+        geometrically growing score-sorted prefix and stops at the
+        geometric-decay bound; the returned items equal the first ``k``
+        of the full ranking bit for bit (values included — the examined
+        prefix reproduces the full kernel's arithmetic exactly).  The
+        examined log-values are memoized on the cache entry under
+        ``("topk", alpha)``, so repeated top-k requests (equal or
+        smaller ``k``, or any ``k`` the prefix still certifies) skip the
+        kernel entirely.
+        """
+        k = validated_k(k)
+        n = len(relation)
+        label = name or relation.name
+        if not prunable(rf) or k >= n:
+            return super().rank_top_k(relation, rf, k, name=label, store=store)
+        entry = self.entry(relation, store=store)
+        if k == 0:
+            return RankingResult([], name=label), TopKReport(
+                k=0, n=n, examined=0, pruned=n > 0
+            )
+        alpha = float(rf.alpha)
+        key = ("topk", alpha)
+        memo = entry.extras.get(key)
+        log_values = None
+        if memo is not None:
+            cached_values, cached_examined, cached_bound = memo
+            if cached_examined >= n or certified(cached_values, k, cached_bound):
+                log_values, examined, bound = cached_values, cached_examined, cached_bound
+        if log_values is None:
+            log_values, examined, bound = independent_topk_log_values(
+                entry.probabilities, alpha, k
+            )
+            if store and (memo is None or examined > memo[1]):
+                entry.extras[key] = (log_values, examined, bound)
+        with np.errstate(over="ignore", under="ignore"):
+            values = np.exp(log_values)
+        result = prefix_top_k(entry, values, k, label, sort_keys=log_values)
+        self.cache.enforce_budget()
+        return result, TopKReport(k=k, n=n, examined=examined, pruned=examined < n)
 
     # ------------------------------------------------------------------
     # Many relations, one ranking function

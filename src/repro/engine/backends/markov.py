@@ -18,6 +18,8 @@ rank_markov_network`, so the rankings are bit-identical.
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Sequence
 
 import numpy as np
@@ -26,8 +28,20 @@ from ...core.prf import RankingFunction
 from ...core.result import RankingResult
 from ...core.tuples import Tuple
 from ...graphical.model import MarkovNetworkRelation
-from ...graphical.ranking import prf_values_markov, rank_distribution_markov
+from ...graphical.ranking import (
+    prefix_count_distribution,
+    prf_values_markov,
+    rank_distribution_markov,
+)
 from ..cache import CachedNetwork
+from ..topk import (
+    BOUND_SAFETY,
+    TopKReport,
+    certified,
+    prefix_top_k,
+    prunable,
+    validated_k,
+)
 from .base import RankingBackend, build_result, distribution_row
 
 __all__ = ["MarkovBackend"]
@@ -81,6 +95,102 @@ class MarkovBackend(RankingBackend):
         ]
         self.cache.enforce_budget()
         return results
+
+    def rank_top_k(
+        self,
+        model: MarkovNetworkRelation,
+        rf: RankingFunction,
+        k: int,
+        name: str = "",
+        store: bool = True,
+    ) -> tuple[RankingResult, TopKReport]:
+        """Top ``k`` under ``rf``, early-terminating the junction-tree DP.
+
+        For prunable specs the backend runs one rank-distribution DP per
+        score-sorted tuple plus one evidence-free prefix-count DP for the
+        geometric-decay bound (:func:`~repro.graphical.ranking.
+        prefix_count_distribution`), stopping once the k-th best
+        confirmed value beats ``alpha * E[alpha^count]`` — about two DP
+        passes per *examined* tuple against ``n`` passes for the full
+        positional matrix.  A cached wide positional matrix short-cuts to
+        the full (already-paid-for) evaluation; an early-terminated
+        prefix is memoized under ``("topk", alpha)``.  The returned
+        *set* of tuples equals the full ranking's top ``k``; values may
+        differ in the last ulp (the full path evaluates all rows in one
+        matrix product, the pruned path row by row).
+        """
+        k = validated_k(k)
+        entry = self.entry(model, store=store)
+        label = name or model.name
+        n = entry.n
+        limit = self._clamped_limit(n, rf.weight.horizon)
+        positional = entry.positional
+        matrix_cached = positional is not None and positional.shape[1] >= limit
+        if not prunable(rf) or k >= n or matrix_cached:
+            result = self._rank_entry(entry, rf, label)
+            self.cache.enforce_budget()
+            return result[:k], TopKReport(k=k, n=n, examined=n, pruned=False)
+        if k == 0:
+            return RankingResult([], name=label), TopKReport(
+                k=0, n=n, examined=0, pruned=n > 0
+            )
+        alpha = float(rf.alpha)
+        memo_key = ("topk", alpha)
+        memo = entry.extras.get(memo_key)
+        if memo is not None:
+            cached_values, cached_examined, cached_bound = memo
+            if cached_examined >= n or certified(
+                np.abs(cached_values), k, cached_bound
+            ):
+                result = prefix_top_k(entry, cached_values, k, label)
+                return result, TopKReport(
+                    k=k, n=n, examined=cached_examined, pruned=cached_examined < n
+                )
+        values, examined, bound = self._streamed_topk_values(entry, rf, k)
+        if store and (memo is None or examined > memo[1]):
+            entry.extras[memo_key] = (values, examined, bound)
+        result = prefix_top_k(entry, values, k, label)
+        self.cache.enforce_budget()
+        return result, TopKReport(k=k, n=n, examined=examined, pruned=examined < n)
+
+    def _streamed_topk_values(
+        self, entry: CachedNetwork, rf: RankingFunction, k: int
+    ) -> tuple[np.ndarray, int, float]:
+        """Score-order streamed PRFe values until the decay bound certifies ``k``."""
+        n = entry.n
+        limit = self._clamped_limit(n, rf.weight.horizon)
+        alpha = float(rf.alpha)
+        tree = entry.junction_tree()
+        base = entry.calibrated()
+        weights = rf.weight.as_array(limit)[1:].astype(float)
+        ordered = entry.ordered
+        values = np.zeros(n, dtype=float)
+        best: list[float] = []
+        examined = 0
+        bound = math.inf
+        for i, t in enumerate(ordered):
+            row = rank_distribution_markov(
+                entry.model, t.tid, max_rank=limit, tree=tree, base=base
+            )[1:]
+            values[i] = float(row @ weights)
+            examined = i + 1
+            magnitude = abs(values[i])
+            if len(best) < k:
+                heapq.heappush(best, magnitude)
+            elif magnitude > best[0]:
+                heapq.heapreplace(best, magnitude)
+            if len(best) == k and examined < n:
+                counts = prefix_count_distribution(
+                    entry.model,
+                    [u.tid for u in ordered[:examined]],
+                    tree=tree,
+                    base=base,
+                )
+                decay = alpha ** np.arange(counts.size, dtype=float)
+                bound = BOUND_SAFETY * alpha * float(counts @ decay)
+                if best[0] > bound:
+                    break
+        return values[:examined], examined, bound
 
     def _rank_entry(self, entry: CachedNetwork, rf: RankingFunction, name: str) -> RankingResult:
         limit = self._clamped_limit(entry.n, rf.weight.horizon)

@@ -52,8 +52,15 @@ from ..core.result import RankingResult
 from ..core.tuples import Tuple
 from .backends import AndXorBackend, IndependentBackend, MarkovBackend, RankingBackend
 from .cache import RelationCache
+from .topk import TopKReport, prunable, validated_k
 
-__all__ = ["Engine", "ExecutionPlan", "default_engine", "set_default_engine"]
+__all__ = [
+    "Engine",
+    "ExecutionPlan",
+    "TopKReport",
+    "default_engine",
+    "set_default_engine",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,14 @@ class ExecutionPlan:
     algorithm: str
     #: The backend that will execute the plan.
     backend: RankingBackend = field(repr=False)
+    #: Requested top-k cutoff, or ``None`` for a full ranking.
+    top_k: int | None = None
+    #: Whether the backend will attempt geometric-decay early termination
+    #: for this request (``top_k`` set and the spec is prunable; the
+    #: backend may still run the full kernel when ``k`` covers the
+    #: dataset or a cached full evaluation makes pruning pointless —
+    #: the executed outcome is reported in :class:`TopKReport`).
+    prune: bool = False
 
 
 class Engine:
@@ -130,18 +145,36 @@ class Engine:
             "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
         )
 
-    def plan(self, data, rf: RankingFunction) -> ExecutionPlan:
-        """The (model, algorithm, backend) the planner picks for this input."""
-        backend = self.backend_for(data)
-        return ExecutionPlan(model=backend.model, algorithm=backend.algorithm(rf), backend=backend)
+    def plan(self, data, rf: RankingFunction, top_k: int | None = None) -> ExecutionPlan:
+        """The (model, algorithm, backend) the planner picks for this input.
 
-    def plan_batch(self, datasets: Iterable, rf: RankingFunction) -> list[ExecutionPlan]:
+        With ``top_k`` set the plan also records the pruning decision:
+        whether the request will route through the backend's
+        early-termination path (a prunable PRFe spec) or run the full
+        kernel and truncate.
+        """
+        backend = self.backend_for(data)
+        prune = top_k is not None and prunable(rf)
+        algorithm = backend.algorithm(rf)
+        if prune:
+            algorithm = f"{algorithm} + top-k early termination"
+        return ExecutionPlan(
+            model=backend.model,
+            algorithm=algorithm,
+            backend=backend,
+            top_k=top_k,
+            prune=prune,
+        )
+
+    def plan_batch(
+        self, datasets: Iterable, rf: RankingFunction, top_k: int | None = None
+    ) -> list[ExecutionPlan]:
         """Per-dataset execution plans for one batch (without executing it).
 
         The ranking service uses this to tag each coalesced response with
         the correlation model and Table-3 algorithm that served it.
         """
-        return [self.plan(data, rf) for data in datasets]
+        return [self.plan(data, rf, top_k=top_k) for data in datasets]
 
     # ------------------------------------------------------------------
     # Observability
@@ -173,9 +206,32 @@ class Engine:
     # ------------------------------------------------------------------
     # Single dataset, single ranking function
     # ------------------------------------------------------------------
-    def rank(self, data, rf: RankingFunction, name: str = "") -> RankingResult:
-        """Rank one dataset of any supported correlation model."""
+    def rank(
+        self, data, rf: RankingFunction, name: str = "", top_k: int | None = None
+    ) -> RankingResult:
+        """Rank one dataset of any supported correlation model.
+
+        With ``top_k`` set, returns only the best ``top_k`` items —
+        identical to the head of the full ranking — computed through the
+        backend's early-termination path when the spec admits it (see
+        :meth:`rank_top_k` for the execution report).
+        """
+        if top_k is not None:
+            return self.rank_top_k(data, rf, top_k, name=name)[0]
         return self.backend_for(data).rank(data, rf, name=name)
+
+    def rank_top_k(
+        self, data, rf: RankingFunction, k: int, name: str = ""
+    ) -> tuple[RankingResult, TopKReport]:
+        """Top ``k`` of the ranking plus a report of how it was executed.
+
+        The result holds the same items, values and positions as
+        ``self.rank(data, rf, name=name)[:k]``; for prunable PRFe specs
+        the backend examines only a score-sorted prefix certified by the
+        geometric-decay bound (see :mod:`repro.engine.topk`), and the
+        :class:`TopKReport` records the examined prefix length.
+        """
+        return self.backend_for(data).rank_top_k(data, rf, validated_k(k), name=name)
 
     # ------------------------------------------------------------------
     # Many datasets, one ranking function
@@ -186,6 +242,7 @@ class Engine:
         rf: RankingFunction,
         *,
         workers: int | None = None,
+        top_k: int | None = None,
     ) -> list[RankingResult]:
         """Rank a batch of datasets — freely mixing correlation models.
 
@@ -196,10 +253,19 @@ class Engine:
         process pool with chunked array transfer); trees and networks run
         through their cached evaluators.  Results come back in input
         order, bit-identical to the legacy per-model entry points.
+
+        With ``top_k`` set, each result holds only the best ``top_k``
+        items (equal to the head of the dataset's full ranking) and
+        prunable PRFe specs route through the per-dataset
+        early-termination path instead of the stacked kernels — examined
+        prefix lengths differ per dataset, so there is nothing to stack,
+        and sharding is skipped.
         """
         datasets = list(datasets)
         if not datasets:
             return []
+        if top_k is not None:
+            top_k = validated_k(top_k)
         by_backend: dict[int, tuple[RankingBackend, list[int]]] = {}
         for index, data in enumerate(datasets):
             backend = self.backend_for(data)
@@ -212,7 +278,12 @@ class Engine:
         for backend, indices in by_backend.values():
             subset = [datasets[i] for i in indices]
             subset_results = None
-            if isinstance(backend, IndependentBackend):
+            if top_k is not None:
+                subset_results = [
+                    backend.rank_top_k(data, rf, top_k, store=store)[0]
+                    for data in subset
+                ]
+            elif isinstance(backend, IndependentBackend):
                 pool_size = self.workers if workers is None else workers
                 if pool_size and pool_size > 1 and len(subset) >= self.shard_min_batch:
                     from .sharding import shard_rank_batch
@@ -230,6 +301,7 @@ class Engine:
         rf: RankingFunction,
         *,
         workers: int | None = None,
+        top_k: int | None = None,
     ) -> "concurrent.futures.Future[list[RankingResult]]":
         """Non-blocking :meth:`rank_batch`: submit and return a future.
 
@@ -238,12 +310,20 @@ class Engine:
         asyncio ranking service in particular — can overlap request
         coalescing with kernel execution instead of blocking on it.
         The returned :class:`concurrent.futures.Future` resolves to the
-        same results ``rank_batch`` would return; ``asyncio`` callers
-        can await it via :func:`asyncio.wrap_future`.
+        same results ``rank_batch`` would return (including ``top_k``
+        truncation and pruning); ``asyncio`` callers can await it via
+        :func:`asyncio.wrap_future`.
         """
         datasets = list(datasets)
         executor = self._executor()
-        return executor.submit(self.rank_batch, datasets, rf, workers=workers)
+        if top_k is None:
+            # Keep the historical call shape: subclasses overriding
+            # ``rank_batch`` without a ``top_k`` parameter stay usable
+            # for full rankings.
+            return executor.submit(self.rank_batch, datasets, rf, workers=workers)
+        return executor.submit(
+            self.rank_batch, datasets, rf, workers=workers, top_k=top_k
+        )
 
     def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
         """The lazily created background pool behind :meth:`submit_batch`."""
@@ -278,7 +358,7 @@ class Engine:
     # One dataset, many ranking functions
     # ------------------------------------------------------------------
     def rank_many(
-        self, data, rfs: Sequence[RankingFunction], name: str = ""
+        self, data, rfs: Sequence[RankingFunction], name: str = "", top_k: int | None = None
     ) -> list[RankingResult]:
         """Rank one dataset under many ranking functions, sharing intermediates.
 
@@ -287,7 +367,19 @@ class Engine:
         general-weight specs; trees share the memoized Algorithm 3 values
         and positional matrix; networks share the calibrated junction
         tree and DP matrix.
+
+        With ``top_k`` set, each spec runs through :meth:`rank_top_k`
+        instead (results truncated to the best ``top_k`` items); specs
+        sharing an alpha still compose through the cache entry's memoized
+        prefixes, but the stacked alpha sweep is skipped — per-spec
+        prefixes terminate at different lengths.
         """
+        if top_k is not None:
+            backend = self.backend_for(data)
+            return [
+                backend.rank_top_k(data, rf, validated_k(top_k), name=name)[0]
+                for rf in rfs
+            ]
         return self.backend_for(data).rank_many(data, rfs, name=name)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,272 @@
+"""Top-k early termination for PRFe ranking (the paper's pruning claim).
+
+The paper's central practical observation is that ``PRFe(alpha)`` with a
+real decay ``0 < alpha < 1`` admits *early termination*: walking tuples
+in score-descending order, the value of every not-yet-examined tuple is
+bounded above by a quantity that decays geometrically with the prefix,
+so a top-k query can stop once the k-th best confirmed value dominates
+the bound on everything that remains.
+
+The bound is correlation-model agnostic.  Let ``C_i`` be the random
+number of *present* tuples among the ``i`` highest-score tuples of the
+dataset.  For any unexamined tuple ``t_j`` ranked below the first ``i``
+tuples, the number of present higher-score tuples ``D_j`` satisfies
+``D_j >= C_i`` pointwise in every possible world (the first ``i`` tuples
+all outscore ``t_j``), hence for ``alpha <= 1``::
+
+    Upsilon^e(t_j) = E[alpha^{1 + D_j} * 1{t_j present}]
+                  <= alpha * E[alpha^{C_i}]
+
+Each backend computes ``E[alpha^{C_i}]`` from the intermediate it
+already maintains:
+
+* independent relations — the running log prefix sum
+  ``sum_{l < i} log(1 - p_l + p_l alpha)`` of the closed-form kernel;
+* and/xor trees — the root value ``F(alpha, alpha)`` that Algorithm 3
+  maintains incrementally (available for free each iteration);
+* Markov networks — an evidence-free junction-tree count-distribution
+  dynamic program over the prefix.
+
+Pruning is *skipped* (full evaluation, result truncated) whenever the
+bound cannot apply: non-``PRFe`` specs, complex or ``alpha >= 1``
+specs (no decay), ``k >= n``, or specs carrying a ``tuple_factor``.
+
+Floating-point rigor: on the independent log-space path the computed
+log-values of unexamined tuples are *provably* bounded by the computed
+``cumulative[-1] + log(alpha)`` — the cumulative sum of non-positive
+log-factors is monotone non-increasing under round-to-nearest, and
+adding the non-positive ``log(p)`` / ``log(alpha)`` terms preserves the
+ordering — so the strict comparison needs no safety margin and the
+pruned top-k set equals the full kernel's bit for bit.  The tree and
+network paths use guarded products and convolutions whose rounding is
+not monotone, so their bounds are inflated by :data:`BOUND_SAFETY`
+before comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.independent import uses_log_space
+from ..core.prf import RankingFunction
+from ..core.result import RankedItem, RankingResult
+
+__all__ = [
+    "BOUND_SAFETY",
+    "TopKReport",
+    "prunable",
+    "validated_k",
+    "sort_columns",
+    "independent_topk_log_values",
+    "certified",
+    "prefix_top_k",
+]
+
+_LOG_EPS = 1e-300
+
+#: Relative inflation applied to the and/xor and Markov pruning bounds
+#: before the strict stop comparison.  Their bound arithmetic (guarded
+#: products, junction-tree convolutions) carries rounding whose sign is
+#: not controlled, unlike the independent log-space path; inflating the
+#: bound by a few hundred ulps makes an early stop conservative at the
+#: cost of examining at most a handful of extra tuples.
+BOUND_SAFETY = 1.0 + 1e-9
+
+#: Smallest prefix the independent streaming kernel materializes; below
+#: this the vectorized kernel's fixed overhead dominates any saving.
+_MIN_PREFIX = 64
+
+#: Geometric growth factor between streaming kernel attempts.  Each
+#: attempt recomputes the kernel from scratch over the whole examined
+#: prefix (a carried cumulative-sum offset would break bit-identity with
+#: the full kernel, float addition not being associative), so the total
+#: work stays within a small constant factor of the final prefix.
+_GROWTH = 4
+
+
+@dataclass(frozen=True)
+class TopKReport:
+    """How one top-k request was executed (the pruning observability record).
+
+    Attributes
+    ----------
+    k:
+        The requested cutoff.
+    n:
+        Number of tuples in the dataset.
+    examined:
+        Number of score-sorted tuples whose value was actually computed.
+    pruned:
+        Whether early termination engaged (``examined < n`` via the
+        bound; ``False`` when the full kernel ran and was truncated).
+    """
+
+    k: int
+    n: int
+    examined: int
+    pruned: bool
+
+    @property
+    def fraction_examined(self) -> float:
+        """Examined prefix length as a fraction of the dataset size."""
+        return self.examined / self.n if self.n else 1.0
+
+
+def prunable(rf: RankingFunction) -> bool:
+    """Whether ``rf`` admits the geometric-decay early-termination bound.
+
+    True exactly for ``PRFe(alpha)`` with a real ``float`` alpha in
+    ``(0, 1)`` and no ``tuple_factor``: the log-space kernel family, minus
+    ``alpha == 1.0`` where the bound never decays (pruning would only add
+    overhead), minus per-tuple factors which break the uniform bound.
+    """
+    return uses_log_space(rf) and float(rf.alpha) < 1.0 and rf.tuple_factor is None
+
+
+def validated_k(k: int) -> int:
+    """``k`` as a validated non-negative ``int``.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` is negative or not integral.
+    """
+    validated = int(k)
+    if validated != k:
+        raise ValueError(f"k must be an integer, got {k!r}")
+    if validated < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return validated
+
+
+def sort_columns(entry) -> tuple[np.ndarray, np.ndarray]:
+    """The cached ``(scores, tids)`` lexsort columns of a cache entry.
+
+    The same columns :func:`repro.engine.backends.base.build_result`
+    caches under ``entry.extras["sort_columns"]`` — factored here so the
+    prefix result builder shares them with the full-ranking path (a
+    pruned request warms the cache for a later full ranking and vice
+    versa).
+    """
+    columns = entry.extras.get("sort_columns")
+    if columns is None:
+        ordered = entry.ordered
+        columns = (
+            np.array([t.score for t in ordered], dtype=float),
+            np.array([str(t.tid) for t in ordered]),
+        )
+        entry.extras["sort_columns"] = columns
+    return columns
+
+
+def independent_topk_log_values(
+    probabilities: np.ndarray, alpha: float, k: int
+) -> tuple[np.ndarray, int, float]:
+    """Early-terminated log-space PRFe kernel over one independent relation.
+
+    Streams the closed-form kernel of
+    :func:`repro.engine.kernels.batched_prfe_log_values` down the
+    score-descending probability vector in geometrically growing
+    prefixes, stopping once the k-th best confirmed log-value strictly
+    dominates ``cumulative[-1] + log(alpha)`` — an upper bound on every
+    unexamined tuple's log-value that holds for the *computed* values
+    too (see the module docstring), so the examined prefix provably
+    contains the exact top-k set of the full kernel.
+
+    Parameters
+    ----------
+    probabilities:
+        Existence probabilities in score-descending order.
+    alpha:
+        Real PRFe decay in ``(0, 1)`` (callers gate on :func:`prunable`).
+    k:
+        Requested cutoff, ``1 <= k`` (``k >= n`` degrades to one full
+        pass).
+
+    Returns
+    -------
+    tuple
+        ``(log_values, examined, bound)`` — the kernel's log-values over
+        the examined prefix (bit-identical to the same slice of the full
+        kernel), the prefix length, and the log-space bound on every
+        unexamined tuple (``-inf`` when nothing remains unexamined is
+        *not* guaranteed; when ``examined == n`` the bound is unused).
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    n = int(probabilities.size)
+    alpha = float(alpha)
+    log_alpha = math.log(max(alpha, _LOG_EPS))
+    if n == 0:
+        return np.zeros(0, dtype=float), 0, -math.inf
+    m = n if k >= n else min(n, max(_GROWTH * k, _MIN_PREFIX))
+    while True:
+        p = probabilities[:m]
+        # Operation-for-operation the scalar-alpha row of
+        # batched_prfe_log_values, so every examined log-value is
+        # bit-identical to the full kernel's.
+        factors = 1.0 - p + p * alpha
+        log_factors = np.log(np.maximum(factors, _LOG_EPS))
+        cumulative = np.cumsum(log_factors)
+        prefix_log = np.zeros(m, dtype=float)
+        prefix_log[1:] = cumulative[:-1]
+        with np.errstate(divide="ignore"):
+            log_probabilities = np.where(
+                p > 0.0, np.log(np.maximum(p, _LOG_EPS)), -np.inf
+            )
+        log_values = prefix_log + log_probabilities + log_alpha
+        bound = cumulative[-1] + log_alpha
+        if m == n or certified(log_values, k, bound):
+            return log_values, m, bound
+        m = min(n, _GROWTH * m)
+
+
+def certified(keys: np.ndarray, k: int, bound: float) -> bool:
+    """Whether an examined prefix provably contains the true top ``k``.
+
+    True when the k-th largest of ``keys`` strictly exceeds ``bound``,
+    the upper bound on every unexamined tuple's key.  Strictness matters:
+    on the independent path the computed keys of unexamined tuples are
+    ``<= bound`` exactly, so a strict win rules out boundary ties with
+    anything outside the prefix.
+    """
+    m = keys.size
+    if k > m or k < 1:
+        return False
+    kth = np.partition(keys, m - k)[m - k]
+    return bool(kth > bound)
+
+
+def prefix_top_k(
+    entry,
+    values: np.ndarray,
+    k: int,
+    name: str,
+    sort_keys: np.ndarray | None = None,
+) -> RankingResult:
+    """Top-k :class:`RankingResult` from values over an examined prefix.
+
+    The prefix-restricted twin of
+    :func:`repro.engine.backends.base.build_result`: the same
+    ``(-key, -score, str(tid))`` lexsort over the examined slice of the
+    cached sort columns, truncated to the best ``k`` items with
+    positions ``1 .. k``.  Because the early-termination bound
+    guarantees every unexamined tuple sorts strictly below the k-th
+    examined key, this equals the first ``k`` items of the full ranking.
+    """
+    values = np.asarray(values)
+    m = values.shape[0]
+    keys = (
+        np.abs(values) if sort_keys is None else np.asarray(sort_keys, dtype=float)
+    )
+    scores, tids = sort_columns(entry)
+    order = np.lexsort((tids[:m], -scores[:m], -keys))[:k]
+    value_list = values.tolist()
+    ordered = entry.ordered
+    items = [
+        RankedItem(position=position + 1, item=ordered[i], value=value_list[i])
+        for position, i in enumerate(order)
+    ]
+    return RankingResult(items, name=name)

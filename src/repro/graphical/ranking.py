@@ -34,6 +34,7 @@ from .model import MarkovNetworkRelation
 __all__ = [
     "junction_tree_for",
     "rank_distribution_markov",
+    "prefix_count_distribution",
     "positional_probabilities_markov",
     "prf_values_markov",
     "rank_markov_network",
@@ -182,6 +183,36 @@ def rank_distribution_markov(
     distribution = np.zeros(limit + 1, dtype=float)
     upto = min(limit, count_distribution.size)
     distribution[1 : upto + 1] = present_probability * count_distribution[:upto]
+    return distribution
+
+
+def prefix_count_distribution(
+    model: MarkovNetworkRelation,
+    prefix_tids: Sequence[Any],
+    tree: JunctionTree | None = None,
+    base: CalibratedTree | None = None,
+) -> np.ndarray:
+    """Evidence-free distribution of the present-tuple count over a prefix.
+
+    Returns ``d`` with ``d[c] = Pr(exactly c of the tuples named by
+    ``prefix_tids`` are present)`` — the same partial-sum dynamic program
+    as :func:`rank_distribution_markov` but without conditioning on any
+    tuple, run once over the whole junction forest.  The engine's top-k
+    pruning uses ``alpha * E[alpha^count]`` computed from this
+    distribution as the upper bound on every tuple scoring below the
+    prefix; passing ``tree``/``base`` shares the cached junction tree
+    and its evidence-free calibration across the examined tuples.
+    """
+    tree = tree or junction_tree_for(model)
+    base = base or tree.calibrate()
+    prefix = set(prefix_tids)
+    deltas = {
+        variable: (1 if variable in prefix else 0) for variable in model.variables()
+    }
+    distribution = np.ones(1, dtype=float)
+    for component in tree.components():
+        part = _component_count_distribution(base, component, deltas)
+        distribution = _convolve(distribution, part)
     return distribution
 
 

@@ -48,11 +48,20 @@ class AsyncRankingClient:
         return await self.service.submit(data, rf, name=name)
 
     async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
-        """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
-        if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
-        reply = await self.service.submit(data, rf, name=name)
-        return reply.top_k(k)
+        """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
+
+        Routed through ``submit(..., top_k=k)``, so the engine may
+        early-terminate the kernel instead of ranking everything; the
+        returned identifiers equal the full ranking's top ``k``.
+        """
+        reply = await self.service.submit(data, rf, name=name, top_k=k)
+        return [item.tid for item in reply.result]
+
+    async def top_k_detailed(
+        self, data, rf: RankingFunction, k: int, *, name: str = ""
+    ) -> ServiceReply:
+        """The full reply envelope of a pruned top-``k`` request."""
+        return await self.service.submit(data, rf, name=name, top_k=k)
 
     async def rank_all(
         self, requests: Iterable[tuple[Any, RankingFunction]]
@@ -227,9 +236,22 @@ class TCPRankingClient:
         return await self._call(message)
 
     async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
-        """Identifiers of the ``k`` highest-ranked tuples under ``rf``."""
-        ranking = await self.rank(data, rf, k=k, name=name)
-        return [tid for tid, _ in ranking]
+        """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
+
+        Sends the ``top_k`` op, which pushes ``k`` into the server's
+        engine so the kernels early-terminate; the identifiers equal the
+        full ranking's top ``k``.
+        """
+        message: dict[str, Any] = {
+            "op": "top_k",
+            "dataset": {"ref": data} if isinstance(data, str) else dataset_to_payload(data),
+            "rf": ranking_function_to_payload(rf),
+            "k": int(k),
+        }
+        if name:
+            message["name"] = name
+        response = await self._call(message)
+        return [entry["tid"] for entry in response["ranking"]]
 
     async def register(self, dataset_name: str, data) -> None:
         """Upload a dataset once; later requests may reference it by name."""

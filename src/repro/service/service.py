@@ -22,6 +22,11 @@ Replies are **bit-identical** to direct ``Engine.rank`` calls: the
 service never re-sorts, rescales or re-labels values, it only routes
 them, and ``rank_batch`` is verified (tests/test_backends.py) to equal
 the single-dataset path exactly.
+
+Top-k requests (``submit(..., top_k=k)``) ride the same machinery with
+``top_k`` folded into the request identity — cache entries, in-flight
+dedup, and coalesced windows are all keyed per ``k``, and the engine is
+free to early-terminate the kernels (see :mod:`repro.engine.topk`).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from ..core.prf import RankingFunction
 from ..core.result import RankingResult
 from ..engine.cache import dataset_fingerprint
 from ..engine.facade import Engine
+from ..engine.topk import validated_k
 from .spec import ranking_function_key
 
 __all__ = [
@@ -67,6 +73,11 @@ class ServiceReply:
     deduplicated: bool = False
     #: Number of requests in the coalesced window that produced this reply.
     batch_size: int = 1
+    #: The ``top_k`` bound the request ran under, or ``None`` for a full
+    #: ranking.  When set, ``result`` holds only the best ``k`` items
+    #: (the same set/order as the full ranking's prefix) and the engine
+    #: may have early-terminated the kernel.
+    k: int | None = None
 
     def top_k(self, k: int) -> list[Any]:
         """Identifiers of the top ``k`` tuples (best first)."""
@@ -174,6 +185,7 @@ class _PendingRequest:
     rf: RankingFunction
     name: str
     key: Hashable | None
+    top_k: int | None = None
     future: "asyncio.Future[ServiceReply]" = field(repr=False, default=None)
 
 
@@ -278,17 +290,26 @@ class RankingService:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    async def submit(self, data, rf: RankingFunction, *, name: str = "") -> ServiceReply:
+    async def submit(
+        self, data, rf: RankingFunction, *, name: str = "", top_k: int | None = None
+    ) -> ServiceReply:
         """Rank one dataset, coalescing with every other in-flight request.
 
         Returns a :class:`ServiceReply` whose ``result`` is bit-identical
-        to ``Engine.rank(data, rf, name=name)``.  Raises
-        :class:`ServiceOverloadedError` when the request is shed.
+        to ``Engine.rank(data, rf, name=name)``.  With ``top_k`` set the
+        result holds only the best ``top_k`` items — the same set as the
+        full ranking's prefix, with the engine free to early-terminate
+        the kernel — and caching/dedup key on ``top_k`` too, so a top-5
+        request never serves a stale top-50 (or full) reply and vice
+        versa.  Raises :class:`ServiceOverloadedError` when the request
+        is shed.
         """
         if not self.running:
             raise RuntimeError("RankingService is not running; call start() first")
+        if top_k is not None:
+            top_k = validated_k(top_k)
         self.stats.requests += 1
-        key = self._request_key(data, rf, name)
+        key = self._request_key(data, rf, name, top_k)
         if key is not None:
             hit = self.results.get(key)
             if hit is not None:
@@ -308,7 +329,9 @@ class RankingService:
         # Shedding/stop paths may leave the exception unretrieved by a
         # cancelled submitter; mark it retrieved to keep logs clean.
         future.add_done_callback(_consume_exception)
-        request = _PendingRequest(data=data, rf=rf, name=name, key=key, future=future)
+        request = _PendingRequest(
+            data=data, rf=rf, name=name, key=key, top_k=top_k, future=future
+        )
         if key is not None:
             self._inflight[key] = future
         self._pending += 1
@@ -326,12 +349,19 @@ class RankingService:
         snapshot["engine_cache"] = self.engine.cache_info()
         return snapshot
 
-    def _request_key(self, data, rf: RankingFunction, name: str) -> Hashable | None:
-        """Content identity of a request, or ``None`` for opaque specs."""
+    def _request_key(
+        self, data, rf: RankingFunction, name: str, top_k: int | None = None
+    ) -> Hashable | None:
+        """Content identity of a request, or ``None`` for opaque specs.
+
+        ``top_k`` is part of the identity: a truncated reply must never
+        satisfy a full request (or one with a different ``k``), so each
+        bound gets its own cache/dedup slot.
+        """
         rf_key = ranking_function_key(rf)
         if rf_key is None:
             return None
-        return (dataset_fingerprint(data), rf_key, name)
+        return (dataset_fingerprint(data), rf_key, name, top_k)
 
     # ------------------------------------------------------------------
     # The micro-batching loop
@@ -374,14 +404,20 @@ class RankingService:
         groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
         for request in batch:
             rf_key = ranking_function_key(request.rf)
-            group_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
-            groups.setdefault(group_key, []).append(request)
+            base_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
+            # top_k is part of the group identity: a window mixing a
+            # top-5 and a full request for the same spec must run them
+            # as separate engine batches.
+            groups.setdefault((base_key, request.top_k), []).append(request)
         for requests in groups.values():
             datasets = [request.data for request in requests]
             rf = requests[0].rf
+            top_k = requests[0].top_k
             try:
-                plans = self.engine.plan_batch(datasets, rf)
-                results = await asyncio.wrap_future(self.engine.submit_batch(datasets, rf))
+                plans = self.engine.plan_batch(datasets, rf, top_k=top_k)
+                results = await asyncio.wrap_future(
+                    self.engine.submit_batch(datasets, rf, top_k=top_k)
+                )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
                 self.stats.errors += len(requests)
                 for request in requests:
@@ -395,6 +431,7 @@ class RankingService:
                     model=plan.model,
                     algorithm=plan.algorithm,
                     batch_size=len(batch),
+                    k=top_k,
                 )
                 if request.key is not None:
                     self.results.put(request.key, reply)

@@ -9,17 +9,22 @@ Request objects::
 
     {"id": 1, "op": "rank", "dataset": <payload|{"ref": name}>,
      "rf": <payload>, "k": 10, "name": "label"}
-    {"id": 2, "op": "register", "name": "hot-set", "dataset": <payload>}
-    {"id": 3, "op": "stats"}
-    {"id": 4, "op": "ping"}
+    {"id": 2, "op": "top_k", "dataset": <payload|{"ref": name}>,
+     "rf": <payload>, "k": 10, "name": "label"}
+    {"id": 3, "op": "register", "name": "hot-set", "dataset": <payload>}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "ping"}
 
 Responses carry ``ok``; successful ``rank`` responses hold ``ranking``
 (position/tid/value records, truncated to ``k`` when given) plus the
 planner tags ``model`` and ``algorithm`` and the ``cached`` /
-``deduplicated`` / ``batch_size`` serving metadata.  Failures hold
-``error: {type, message}`` with type ``"overloaded"`` for shed requests
-and ``"protocol"`` for malformed payloads.  Dataset and value payload
-formats live in :mod:`repro.service.spec`.
+``deduplicated`` / ``batch_size`` serving metadata.  ``rank`` always
+computes the full ranking and truncates the *response*; ``top_k``
+(which requires ``k``) pushes the bound into the engine so the kernels
+early-terminate, and its response additionally echoes ``k``.  Failures
+hold ``error: {type, message}`` with type ``"overloaded"`` for shed
+requests and ``"protocol"`` for malformed payloads.  Dataset and value
+payload formats live in :mod:`repro.service.spec`.
 """
 
 from __future__ import annotations
@@ -168,6 +173,8 @@ async def _dispatch(
         return {"id": request_id, "ok": True, "registered": dataset_name}
     if op == "rank":
         return await _rank(service, registry, message)
+    if op == "top_k":
+        return await _top_k(service, registry, message)
     raise ProtocolError(f"unknown op {op!r}")
 
 
@@ -194,8 +201,29 @@ async def _rank(
         raise ProtocolError(f"k must be a non-negative integer, got {k!r}")
     reply = await service.submit(data, rf, name=name)
     items = reply.result[: k] if k is not None else reply.result
+    return _ranking_response(message.get("id"), reply, items)
+
+
+async def _top_k(
+    service: RankingService, registry: dict[str, Any], message: dict[str, Any]
+) -> dict[str, Any]:
+    """Execute one top-k request, pushing ``k`` into the engine."""
+    data = _resolve_dataset(registry, message.get("dataset"))
+    rf = ranking_function_from_payload(message.get("rf"))
+    name = str(message.get("name", ""))
+    k = message.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+        raise ProtocolError(f"top_k requires a non-negative integer 'k', got {k!r}")
+    reply = await service.submit(data, rf, name=name, top_k=k)
+    response = _ranking_response(message.get("id"), reply, reply.result)
+    response["k"] = k
+    return response
+
+
+def _ranking_response(request_id: Any, reply, items) -> dict[str, Any]:
+    """The shared success-response shape of ``rank`` and ``top_k``."""
     return {
-        "id": message.get("id"),
+        "id": request_id,
         "ok": True,
         "name": reply.result.name,
         "model": reply.model,
