@@ -18,14 +18,16 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro import Engine, PRFOmega, PRFe, ProbabilisticRelation, Tuple
 from repro.algorithms.independent import rank_independent
 from repro.andxor.ranking import rank_tree
-from repro.core.weights import StepWeight
-from repro.datasets import syn_xor
+from repro.core.columnar import ColumnarRelation
+from repro.core.weights import StepWeight, TabulatedWeight
+from repro.datasets import generate_independent, syn_xor
 from repro.graphical import MarkovChainRelation
 from repro.graphical.ranking import rank_markov_network
 
@@ -42,6 +44,10 @@ TREE_BATCH = 12 if SMOKE else 30
 TREE_SIZE = 150 if SMOKE else 400
 MARKOV_BATCH = 3 if SMOKE else 5
 MARKOV_SIZE = 12 if SMOKE else 24
+COLUMNAR_N = 20_000 if SMOKE else 1_000_000
+APPROX_SIZES = (5_000, 20_000) if SMOKE else (100_000, 300_000, 1_000_000)
+APPROX_HORIZON = 400 if SMOKE else 2_000
+APPROX_BUDGET = 1e-3
 
 
 def _cache_stats(engine: Engine) -> dict:
@@ -251,3 +257,150 @@ def test_rank_batch_cached_networks_beats_markov_loop(benchmark, save_result):
     )
     if not SMOKE:
         assert speedup > 1.3, f"cached Markov batch not faster than the loop: {speedup:.2f}x"
+
+
+def _traced_peak_mib(function) -> float:
+    """Peak traced allocation of one call, in MiB (the memory column)."""
+    tracemalloc.start()
+    try:
+        function()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
+def test_columnar_rank_batch_beats_tuple_path(benchmark, save_result):
+    """Million-tuple data plane: columnar ``rank_batch`` versus the tuple path.
+
+    The same scores/probabilities ranked through a tuple-backed
+    ``ProbabilisticRelation`` (per-tuple Python objects, array
+    extraction on every request) and through a ``ColumnarRelation``
+    (contiguous float64 columns consumed zero-copy by the independent
+    backend).  Rankings must agree tuple for tuple; the columnar plane
+    must be at least 5x faster at n = 10^6 and the memory column must
+    show the per-request footprint collapsing to O(arrays).
+    """
+    rng = np.random.default_rng(97)
+    scores = rng.uniform(0.0, 10_000.0, size=COLUMNAR_N)
+    probabilities = rng.uniform(0.0, 1.0, size=COLUMNAR_N)
+    tuple_form = ProbabilisticRelation.from_arrays(scores, probabilities, name="plane")
+    columnar_form = ColumnarRelation(scores, probabilities, name="plane")
+    rf = PRFe(0.95)
+
+    # Fresh engine per call: this measures the cold per-request path
+    # (array extraction + kernel), not cache warmth.
+    tuple_results, tuple_time = _best_of(
+        lambda: Engine().rank_batch([tuple_form], rf), repeats=3 if SMOKE else 2
+    )
+    columnar_results, columnar_time = _best_of(
+        lambda: Engine().rank_batch([columnar_form], rf)
+    )
+    run_once(benchmark, lambda: Engine().rank_batch([columnar_form], rf))
+
+    assert columnar_results[0].tids() == tuple_results[0].tids()
+
+    tuple_mib = _traced_peak_mib(lambda: Engine().rank_batch([tuple_form], rf))
+    columnar_mib = _traced_peak_mib(lambda: Engine().rank_batch([columnar_form], rf))
+
+    speedup = tuple_time / max(columnar_time, 1e-9)
+    benchmark.extra_info["n"] = COLUMNAR_N
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["peak_mib"] = round(columnar_mib, 2)
+    benchmark.extra_info["tuple_peak_mib"] = round(tuple_mib, 2)
+    save_result(
+        "engine_columnar_plane",
+        "\n".join(
+            [
+                f"relation            n={COLUMNAR_N}, PRFe(0.95), fresh engine per call",
+                f"tuple path (s)      {tuple_time:.4f}",
+                f"columnar path (s)   {columnar_time:.4f}",
+                f"speedup             {speedup:.2f}x",
+                f"tuple peak (MiB)    {tuple_mib:.1f}",
+                f"columnar peak (MiB) {columnar_mib:.1f}",
+            ]
+        ),
+    )
+    if not SMOKE:
+        assert speedup > 5.0, f"columnar plane not 5x over the tuple path: {speedup:.2f}x"
+        assert columnar_mib < tuple_mib, (
+            f"columnar path should allocate less than the tuple path: "
+            f"{columnar_mib:.1f} MiB vs {tuple_mib:.1f} MiB"
+        )
+
+
+def test_approx_knob_beats_exact_prfomega(benchmark, save_result):
+    """Exact-vs-approx scaling curve for the planner's ``approx=`` knob.
+
+    A smooth Gaussian PRFomega weight (support ``APPROX_HORIZON``) ranked
+    exactly and with ``approx=1e-3`` over growing Syn-IND columnar
+    relations.  The planner's certified DFT approximation (Section 5.1)
+    replaces the O(n h) prefix-matrix evaluation with ``L`` cumulative
+    products; at n = 10^6 the knob must buy at least 10x.
+    """
+    ranks = np.arange(1, APPROX_HORIZON + 1, dtype=float)
+    weight = TabulatedWeight(np.exp(-0.5 * (ranks / (APPROX_HORIZON / 5.0)) ** 2))
+    rf = PRFOmega(weight)
+
+    lines = [
+        f"weight              Gaussian PRFomega, support={APPROX_HORIZON}, budget={APPROX_BUDGET:g}",
+    ]
+    curve = []
+    relation = None
+    speedup = 0.0
+    exact_time = approx_time = 0.0
+    for n in APPROX_SIZES:
+        relation = generate_independent(n, rng=101, columnar=True)
+        exact_result, exact_time = _best_of(
+            lambda: Engine().rank(relation, rf), repeats=1
+        )
+        approx_result, approx_time = _best_of(
+            lambda: Engine().rank(relation, rf, approx=APPROX_BUDGET), repeats=2
+        )
+        speedup = exact_time / max(approx_time, 1e-9)
+        curve.append({"n": n, "exact_s": round(exact_time, 4),
+                      "approx_s": round(approx_time, 4), "speedup": round(speedup, 2)})
+        lines.append(
+            f"n={n:<9} exact {exact_time:8.4f}s   approx {approx_time:8.4f}s   "
+            f"speedup {speedup:6.2f}x"
+        )
+        if n == APPROX_SIZES[0]:
+            # Realized error versus the budget, checked once at the
+            # smallest size (the guarantee itself is n-independent and
+            # property-tested in tests/test_approx_knob.py).
+            exact_values = exact_result.values()
+            realized = max(
+                abs(value - exact_values[tid])
+                for tid, value in approx_result.values().items()
+            )
+            assert realized <= APPROX_BUDGET, (
+                f"realized error {realized:.2e} exceeds budget {APPROX_BUDGET:g}"
+            )
+
+    plan = Engine().plan(relation, rf, approx=APPROX_BUDGET)
+    decision = plan.approx
+    run_once(benchmark, lambda: Engine().rank(relation, rf, approx=APPROX_BUDGET))
+
+    exact_mib = _traced_peak_mib(lambda: Engine().rank(relation, rf))
+    approx_mib = _traced_peak_mib(
+        lambda: Engine().rank(relation, rf, approx=APPROX_BUDGET)
+    )
+
+    benchmark.extra_info["curve"] = curve
+    benchmark.extra_info["approx"] = decision.as_dict()
+    benchmark.extra_info["peak_mib"] = round(approx_mib, 2)
+    benchmark.extra_info["exact_peak_mib"] = round(exact_mib, 2)
+    lines += [
+        f"decision            used={decision.used} terms={decision.terms} "
+        f"bound={decision.error_bound:.2e}",
+        f"exact peak (MiB)    {exact_mib:.1f}",
+        f"approx peak (MiB)   {approx_mib:.1f}",
+    ]
+    save_result("engine_approx_scaling", "\n".join(lines))
+
+    assert decision.used, "planner did not engage the DFT approximation"
+    if not SMOKE:
+        assert speedup > 10.0, (
+            f"approx knob not 10x over exact PRFomega at n={APPROX_SIZES[-1]}: "
+            f"{speedup:.2f}x"
+        )

@@ -52,31 +52,47 @@ def measure_calibration(repeats: int = 5) -> float:
     return best
 
 
-def load_benchmarks(paths: list[Path]) -> dict[str, float]:
-    """``{benchmark name: mean seconds}`` across the given JSON files."""
-    means: dict[str, float] = {}
+def load_benchmarks(paths: list[Path]) -> dict[str, tuple[float, float | None]]:
+    """``{benchmark name: (mean seconds, peak MiB or None)}`` across the files.
+
+    The peak comes from a benchmark's ``extra_info["peak_mib"]`` when the
+    benchmark records one (the memory-footprint column); benchmarks
+    without it are gated on time alone.
+    """
+    rows: dict[str, tuple[float, float | None]] = {}
     for path in paths:
         document = json.loads(path.read_text())
         for benchmark in document.get("benchmarks", []):
             name = benchmark["name"]
-            if name in means:
+            if name in rows:
                 raise SystemExit(f"duplicate benchmark name across inputs: {name!r}")
-            means[name] = float(benchmark["stats"]["mean"])
-    if not means:
+            peak = benchmark.get("extra_info", {}).get("peak_mib")
+            rows[name] = (
+                float(benchmark["stats"]["mean"]),
+                None if peak is None else float(peak),
+            )
+    if not rows:
         raise SystemExit(f"no benchmarks found in {', '.join(map(str, paths))}")
-    return means
+    return rows
 
 
 def update_baselines(paths: list[Path], baseline_path: Path) -> int:
     """Rewrite the baseline file from the given benchmark JSON files."""
+    rows = load_benchmarks(paths)
     document = {
         "version": BASELINE_VERSION,
         "calibration_seconds": measure_calibration(),
-        "benchmarks": load_benchmarks(paths),
+        "benchmarks": {name: mean for name, (mean, _) in rows.items()},
+        "memory_mib": {
+            name: peak for name, (_, peak) in rows.items() if peak is not None
+        },
     }
     baseline_path.parent.mkdir(parents=True, exist_ok=True)
     baseline_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(document['benchmarks'])} baselines to {baseline_path}")
+    print(
+        f"wrote {len(document['benchmarks'])} baselines "
+        f"({len(document['memory_mib'])} with memory columns) to {baseline_path}"
+    )
     return 0
 
 
@@ -96,12 +112,14 @@ def check(
     scale = max(1.0, measure_calibration() / float(baseline["calibration_seconds"]))
     print(f"machine speed scale vs baseline: {scale:.3f}x")
 
+    baseline_memory = baseline.get("memory_mib", {})
     failures: list[str] = []
     for name, baseline_mean in sorted(baseline["benchmarks"].items()):
-        mean = current.get(name)
-        if mean is None:
+        row = current.get(name)
+        if row is None:
             failures.append(f"{name}: missing from the current run")
             continue
+        mean, peak = row
         allowed = baseline_mean * scale * tolerance
         ratio = mean / max(baseline_mean * scale, 1e-12)
         status = "ok"
@@ -111,12 +129,28 @@ def check(
                 f"{name}: {mean * 1e3:.2f} ms vs allowed {allowed * 1e3:.2f} ms "
                 f"({ratio:.2f}x of scaled baseline)"
             )
+        memory_column = ""
+        baseline_peak = baseline_memory.get(name)
+        if peak is not None and baseline_peak is not None:
+            # Memory needs no machine calibration — traced allocations of a
+            # deterministic workload are machine-independent.  The band is
+            # wide (1.5x plus a 32 MiB floor) so allocator jitter never
+            # flags; real footprint regressions are step changes.
+            memory_allowed = baseline_peak * 1.5 + 32.0
+            memory_column = f", peak {peak:.1f} MiB (baseline {baseline_peak:.1f})"
+            if peak > memory_allowed:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: peak {peak:.1f} MiB vs allowed "
+                    f"{memory_allowed:.1f} MiB (baseline {baseline_peak:.1f} MiB)"
+                )
         print(
             f"  {status:<10} {name}: {mean * 1e3:.2f} ms "
             f"(baseline {baseline_mean * 1e3:.2f} ms, {ratio:.2f}x scaled)"
+            f"{memory_column}"
         )
     for name in sorted(set(current) - set(baseline["benchmarks"])):
-        print(f"  new        {name}: {current[name] * 1e3:.2f} ms (no baseline yet)")
+        print(f"  new        {name}: {current[name][0] * 1e3:.2f} ms (no baseline yet)")
 
     if failures:
         print("\nbenchmark regressions detected:", file=sys.stderr)

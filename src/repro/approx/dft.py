@@ -60,6 +60,11 @@ class ExponentialApproximation:
     alphas: np.ndarray
     support: int
     stages: tuple[str, ...]
+    #: The DFT sampling domain ``a * N`` (0 for approximations built
+    #: before the field existed); beyond it the damped exponentials decay
+    #: geometrically, which :meth:`error_bound` exploits for a closed-form
+    #: tail bound.
+    domain: int = 0
 
     def __len__(self) -> int:
         return int(self.coefficients.size)
@@ -83,6 +88,47 @@ class ExponentialApproximation:
         target = _tabulate(weight, limit)
         return float(np.max(np.abs(self.evaluate(ranks) - target)))
 
+    def error_bound(self, weight: WeightFunction | Sequence[float], upto: int) -> float:
+        """Certified ``max_{1 <= i <= upto} |approx(i) - omega(i)|`` (complex modulus).
+
+        Unlike :meth:`max_error` (which tracks the real part for the
+        Figure 4/5 plots), this uses the full complex deviation: ranking
+        compares value *magnitudes*, and ``||Y_a| - |Y_e|| <= |Y_a - Y_e|
+        <= sum_i |omega_a(i) - omega(i)| Pr(r(t) = i) <= max_i
+        |omega_a(i) - omega(i)|`` because positional probabilities sum to
+        at most one — so this bound certifies the planner's per-value
+        error budget.
+
+        Ranks inside the DFT domain are checked by exact tabulation
+        (``upto`` may far exceed the domain; only ``min(upto, domain)``
+        ranks are evaluated).  Beyond the domain the true weight is zero
+        (``omega`` has support ``<= N < domain``) while every term decays
+        like ``eta**i`` with ``eta = max |alpha_l| <= 1``, so the tail is
+        bounded in closed form by ``sum_l |u_l| * eta**(head+1)`` — no
+        per-rank evaluation at ``upto ~ 10^7`` is ever needed.
+        """
+        limit = int(upto)
+        if limit < 1:
+            return 0.0
+        domain = int(self.domain) if self.domain else max(limit, self.support)
+        head = min(limit, domain)
+        ranks = np.arange(1, head + 1, dtype=float)
+        approx = np.zeros(head, dtype=complex)
+        # Term-by-term accumulation keeps memory at O(head) instead of the
+        # O(head * L) broadcast of ``evaluate``.
+        for coefficient, alpha in zip(self.coefficients, self.alphas):
+            approx += coefficient * alpha ** ranks
+        error = float(np.max(np.abs(approx - _tabulate(weight, head))))
+        if limit > head and len(self):
+            decay = float(np.max(np.abs(self.alphas)))
+            weight_sum = float(np.sum(np.abs(self.coefficients)))
+            if decay < 1.0:
+                tail = weight_sum * decay ** (head + 1)
+            else:
+                tail = weight_sum  # undamped bases: |alpha_l**i| == 1 for all i
+            error = max(error, tail)
+        return error
+
 
 def _tabulate(weight: WeightFunction | Sequence[float], support: int) -> np.ndarray:
     """Values ``omega(1) .. omega(support)`` of a weight function or table."""
@@ -104,6 +150,8 @@ def dft_approximation(
     domain_multiplier: int = 2,
     damping_epsilon: float = 1e-5,
     extension_fraction: float = 0.1,
+    smooth_extension: bool = False,
+    conjugate_symmetric: bool = False,
 ) -> ExponentialApproximation:
     """Approximate a weight function by ``num_terms`` complex exponentials.
 
@@ -130,6 +178,23 @@ def dft_approximation(
     extension_fraction:
         The constant ``b`` of the extend-and-shift stage: the weight is
         extended ``b * N`` positions to the left of zero.
+    smooth_extension:
+        Replace the flat ``omega(1)`` left extension with a raised-cosine
+        ramp from zero up to ``omega(1)``.  The ramp lives entirely at
+        ranks below 1 — the approximated target on ranks ``1 .. N`` is
+        unchanged — but it removes the periodic wraparound discontinuity
+        of the sampled sequence, so far fewer terms reach a given error
+        for weights that start flat (the planner's ``approx=`` path
+        enables this; the default keeps the paper's Figure 4 construction
+        byte-for-byte).
+    conjugate_symmetric:
+        Close the chosen spectral indices under ``k -> domain - k`` and
+        force each partner's ``(u, alpha)`` to the *bitwise* conjugate of
+        its representative (real-input FFT symmetry holds only up to
+        rounding).  The term count may grow by up to one partner per
+        chosen index; in exchange the approximation is exactly real on
+        real inputs and evaluation kernels can run one cumulative
+        product per conjugate pair instead of per term.
     """
     stage_set = {stage.lower() for stage in stages} | {"dft"}
     unknown = stage_set - _VALID_STAGES
@@ -163,6 +228,9 @@ def dft_approximation(
         table[0],
         np.where(positions <= support, table[np.clip(positions, 1, support) - 1], 0.0),
     ).astype(float)
+    if smooth_extension and shift:
+        ramp = np.arange(shift + 1)
+        sequence[: shift + 1] = 0.5 * (1.0 - np.cos(np.pi * ramp / shift)) * table[0]
 
     magnitude_bound = float(np.max(np.abs(sequence))) or 1.0
     if "df" in stage_set:
@@ -180,17 +248,50 @@ def dft_approximation(
     num_terms = min(num_terms, domain)
     chosen = np.argsort(np.abs(spectrum))[::-1][:num_terms]
 
-    base_alphas = eta * np.exp(2j * np.pi * chosen / domain)
-    coefficients = spectrum[chosen] / domain
-    if shift:
-        # omega(i) = sequence(i + shift)  =>  fold alpha**shift into u.
-        coefficients = coefficients * base_alphas ** shift
+    if conjugate_symmetric:
+        representatives: list[int] = []
+        seen: set[int] = set()
+        for k in chosen.tolist():
+            rep = min(k, (-k) % domain)
+            if rep not in seen:
+                seen.add(rep)
+                representatives.append(rep)
+        reps = np.asarray(representatives, dtype=int)
+        rep_alphas = eta * np.exp(2j * np.pi * reps / domain)
+        # Averaging X[k] with conj(X[-k]) symmetrizes away FFT rounding;
+        # for an exactly real input spectrum the average is a no-op.
+        rep_coefficients = (
+            0.5 * (spectrum[reps] + np.conj(spectrum[(-reps) % domain])) / domain
+        )
+        if shift:
+            rep_coefficients = rep_coefficients * rep_alphas ** shift
+        alpha_list: list[complex] = []
+        coefficient_list: list[complex] = []
+        for index, k in enumerate(reps.tolist()):
+            alpha = complex(rep_alphas[index])
+            u = complex(rep_coefficients[index])
+            if k == (-k) % domain:
+                # Self-paired index (DC or Nyquist): exactly real term.
+                alpha_list.append(complex(alpha.real, 0.0))
+                coefficient_list.append(complex(u.real, 0.0))
+            else:
+                alpha_list.extend((alpha, alpha.conjugate()))
+                coefficient_list.extend((u, u.conjugate()))
+        base_alphas = np.asarray(alpha_list, dtype=complex)
+        coefficients = np.asarray(coefficient_list, dtype=complex)
+    else:
+        base_alphas = eta * np.exp(2j * np.pi * chosen / domain)
+        coefficients = spectrum[chosen] / domain
+        if shift:
+            # omega(i) = sequence(i + shift)  =>  fold alpha**shift into u.
+            coefficients = coefficients * base_alphas ** shift
 
     return ExponentialApproximation(
         coefficients=coefficients.astype(complex),
         alphas=base_alphas.astype(complex),
         support=support,
         stages=tuple(sorted(stage_set)),
+        domain=domain,
     )
 
 

@@ -15,8 +15,9 @@ from .prf import (
     PRFOmega,
     RankingFunction,
 )
+from .columnar import ColumnarRelation
 from .ranking import positional_probability, rank, rank_distribution, top_k
-from .result import RankedItem, RankingResult
+from .result import ColumnarRankingResult, RankedItem, RankingResult
 from .tuples import ProbabilisticRelation, Tuple
 from .weights import (
     CallableWeight,
@@ -48,7 +49,9 @@ __all__ = [
     "positional_probability",
     "RankedItem",
     "RankingResult",
+    "ColumnarRankingResult",
     "ProbabilisticRelation",
+    "ColumnarRelation",
     "Tuple",
     "WeightFunction",
     "ConstantWeight",

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from .tuples import Tuple
 
-__all__ = ["RankedItem", "RankingResult"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import numpy as np
+
+    from .columnar import ColumnarRelation
+
+__all__ = ["RankedItem", "RankingResult", "ColumnarRankingResult"]
 
 
 @dataclass(frozen=True)
@@ -123,3 +128,127 @@ class RankingResult:
             if item.tid == tid:
                 return item.position
         raise KeyError(f"tuple {tid!r} not present in result")
+
+
+class ColumnarRankingResult(RankingResult):
+    """A ranking backed by a :class:`~repro.core.columnar.ColumnarRelation`.
+
+    Instead of eagerly building one :class:`RankedItem` (and one
+    :class:`Tuple`) per tuple, the result stores the ranking as a
+    permutation of original positions plus the aligned value array.
+    Identifier queries (:meth:`top_k`, :meth:`tids`, :meth:`position_of`)
+    are answered straight from the arrays; :class:`RankedItem` objects
+    are materialized only if a caller actually iterates or indexes the
+    result, and then behave exactly like the eager container.
+    """
+
+    def __init__(
+        self,
+        relation: "ColumnarRelation",
+        original_indices: "np.ndarray",
+        values: "np.ndarray",
+        name: str = "",
+    ) -> None:
+        # ``original_indices[pos]`` is the original position of the tuple
+        # ranked at 0-based ``pos``; ``values`` is aligned with it.
+        if len(original_indices) != len(values):
+            raise ValueError("original_indices and values must have equal length")
+        self.name = name
+        self._relation = relation
+        self._original = original_indices
+        self._value_array = values
+        self._item_cache: list[RankedItem] | None = None
+        self._position_index: dict[Any, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Zero-copy accessors
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> "ColumnarRelation":
+        """The columnar relation this ranking refers into."""
+        return self._relation
+
+    def original_indices(self) -> "np.ndarray":
+        """Original tuple positions in ranking order (best first)."""
+        return self._original
+
+    def values_array(self) -> "np.ndarray":
+        """Ranking values aligned with :meth:`original_indices`."""
+        return self._value_array
+
+    # ------------------------------------------------------------------
+    # Lazy item materialization
+    # ------------------------------------------------------------------
+    @property
+    def _items(self) -> list[RankedItem]:
+        if self._item_cache is None:
+            relation = self._relation
+            scores = relation.scores()
+            probabilities = relation.probabilities()
+            value_list = self._value_array.tolist()
+            tids = relation.tid_values(self._original)
+            self._item_cache = [
+                RankedItem(
+                    position=pos + 1,
+                    item=Tuple(tid, scores[i], probabilities[i]),
+                    value=value_list[pos],
+                )
+                for pos, (i, tid) in enumerate(zip(self._original.tolist(), tids))
+            ]
+        return self._item_cache
+
+    def _item_at(self, pos: int) -> RankedItem:
+        relation = self._relation
+        i = int(self._original[pos])
+        return RankedItem(
+            position=pos + 1,
+            item=Tuple(relation.tid_of(i), relation.scores()[i], relation.probabilities()[i]),
+            value=self._value_array[pos].item(),
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol / views (array-backed fast paths)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._original)
+
+    def __getitem__(self, index):
+        if self._item_cache is not None:
+            return super().__getitem__(index)
+        if isinstance(index, slice):
+            positions = range(len(self))[index]
+            return RankingResult([self._item_at(p) for p in positions], name=self.name)
+        return self._item_at(range(len(self))[index])
+
+    def top_k(self, k: int) -> list[Any]:
+        """Identifiers of the top ``k`` tuples (best first)."""
+        return self._relation.tid_values(self._original[:k])
+
+    def tids(self) -> list[Any]:
+        """All tuple identifiers in ranking order."""
+        return self._relation.tid_values(self._original)
+
+    def values(self) -> dict[Any, complex]:
+        """Mapping from tuple id to its ranking value."""
+        return dict(zip(self.tids(), self._value_array.tolist()))
+
+    def _positions(self) -> dict[Any, int]:
+        if self._position_index is None:
+            self._position_index = {
+                tid: pos for pos, tid in enumerate(self.tids())
+            }
+        return self._position_index
+
+    def value_of(self, tid: Any) -> complex:
+        """Ranking value of a specific tuple."""
+        pos = self._positions().get(tid)
+        if pos is None:
+            raise KeyError(f"tuple {tid!r} not present in result")
+        return self._value_array[pos].item()
+
+    def position_of(self, tid: Any) -> int:
+        """1-based position of a specific tuple in the ranking."""
+        pos = self._positions().get(tid)
+        if pos is None:
+            raise KeyError(f"tuple {tid!r} not present in result")
+        return pos + 1

@@ -174,6 +174,25 @@ class ProbabilisticRelation:
         return {t.tid: i for i, t in enumerate(self.sorted_by_score())}
 
     # ------------------------------------------------------------------
+    # Columnar interop
+    # ------------------------------------------------------------------
+    def to_columnar(self):
+        """This relation as a :class:`~repro.core.columnar.ColumnarRelation`.
+
+        The columnar twin fingerprints identically and ranks
+        bit-identically; relations whose tuples carry attributes cannot
+        be converted (columns have no attribute storage).
+        """
+        from .columnar import ColumnarRelation
+
+        return ColumnarRelation.from_relation(self)
+
+    @classmethod
+    def from_columnar(cls, columnar) -> "ProbabilisticRelation":
+        """Materialize a columnar relation back into tuple-list form."""
+        return columnar.to_relation()
+
+    # ------------------------------------------------------------------
     # Derivation helpers
     # ------------------------------------------------------------------
     def subset(self, tids: Iterable[Any], name: str = "") -> "ProbabilisticRelation":

@@ -93,6 +93,11 @@ class ConstantWeight(WeightFunction):
             raise ValueError(f"ranks are 1-based, got {rank}")
         return self.value
 
+    def as_array(self, n: int, dtype=None) -> np.ndarray:
+        array = np.full(n + 1, self.value, dtype=float)
+        array[0] = 0.0
+        return array.astype(dtype) if dtype is not None else array
+
     def __repr__(self) -> str:
         return f"ConstantWeight({self.value})"
 
@@ -110,6 +115,11 @@ class StepWeight(WeightFunction):
         if rank < 1:
             raise ValueError(f"ranks are 1-based, got {rank}")
         return 1.0 if rank <= self.h else 0.0
+
+    def as_array(self, n: int, dtype=None) -> np.ndarray:
+        array = np.zeros(n + 1, dtype=float)
+        array[1 : min(self.h, n) + 1] = 1.0
+        return array.astype(dtype) if dtype is not None else array
 
     def __repr__(self) -> str:
         return f"StepWeight(h={self.h})"
@@ -129,6 +139,12 @@ class PositionWeight(WeightFunction):
             raise ValueError(f"ranks are 1-based, got {rank}")
         return 1.0 if rank == self.position else 0.0
 
+    def as_array(self, n: int, dtype=None) -> np.ndarray:
+        array = np.zeros(n + 1, dtype=float)
+        if self.position <= n:
+            array[self.position] = 1.0
+        return array.astype(dtype) if dtype is not None else array
+
     def __repr__(self) -> str:
         return f"PositionWeight(position={self.position})"
 
@@ -140,6 +156,11 @@ class LinearWeight(WeightFunction):
         if rank < 1:
             raise ValueError(f"ranks are 1-based, got {rank}")
         return -float(rank)
+
+    def as_array(self, n: int, dtype=None) -> np.ndarray:
+        array = -np.arange(n + 1, dtype=float)
+        array[0] = 0.0
+        return array.astype(dtype) if dtype is not None else array
 
     def __repr__(self) -> str:
         return "LinearWeight()"
@@ -196,6 +217,12 @@ class TabulatedWeight(WeightFunction):
             return 0.0
         value = self.values[rank - 1]
         return complex(value) if np.iscomplexobj(self.values) else float(value)
+
+    def as_array(self, n: int, dtype=None) -> np.ndarray:
+        array = np.zeros(n + 1, dtype=self.values.dtype)
+        used = min(self.values.size, n)
+        array[1 : used + 1] = self.values[:used]
+        return array.astype(dtype) if dtype is not None else array
 
     def is_real(self) -> bool:
         return not np.iscomplexobj(self.values)

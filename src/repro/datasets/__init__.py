@@ -6,7 +6,14 @@ from .iceberg import (
     generate_iip_like,
     iip_like,
 )
-from .io import load_relation_csv, load_tree_json, save_relation_csv, save_tree_json
+from .io import (
+    load_columnar,
+    load_relation_csv,
+    load_tree_json,
+    save_columnar,
+    save_relation_csv,
+    save_tree_json,
+)
 from .synthetic import (
     SYNTHETIC_FAMILIES,
     TreeShape,
@@ -25,8 +32,10 @@ __all__ = [
     "CONFIDENCE_PROBABILITIES",
     "generate_iip_like",
     "iip_like",
+    "load_columnar",
     "load_relation_csv",
     "load_tree_json",
+    "save_columnar",
     "save_relation_csv",
     "save_tree_json",
     "SYNTHETIC_FAMILIES",

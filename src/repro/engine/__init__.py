@@ -30,13 +30,16 @@ Quickstart — one batch may freely mix correlation models::
     print(engine.cache_stats())
 """
 
+from .approx import ApproxDecision, plan_approx
 from .backends import AndXorBackend, IndependentBackend, MarkovBackend, RankingBackend
 from .cache import (
+    CachedColumnar,
     CachedNetwork,
     CachedRelation,
     CachedTree,
     CacheStats,
     RelationCache,
+    columnar_fingerprint,
     dataset_fingerprint,
     network_fingerprint,
     relation_fingerprint,
@@ -48,6 +51,8 @@ from .topk import TopKReport, prunable
 __all__ = [
     "Engine",
     "ExecutionPlan",
+    "ApproxDecision",
+    "plan_approx",
     "TopKReport",
     "prunable",
     "default_engine",
@@ -58,10 +63,12 @@ __all__ = [
     "MarkovBackend",
     "RelationCache",
     "CachedRelation",
+    "CachedColumnar",
     "CachedTree",
     "CachedNetwork",
     "CacheStats",
     "relation_fingerprint",
+    "columnar_fingerprint",
     "tree_fingerprint",
     "network_fingerprint",
     "dataset_fingerprint",

@@ -26,6 +26,7 @@ from ...algorithms.independent import (
     prf_values,
     uses_log_space,
 )
+from ...core.columnar import ColumnarRelation
 from ...core.prf import LinearCombinationPRFe, PRFe, RankingFunction
 from ...core.result import RankingResult
 from ...core.tuples import ProbabilisticRelation, Tuple
@@ -56,8 +57,8 @@ class IndependentBackend(RankingBackend):
     model = "independent"
 
     def handles(self, data) -> bool:
-        """Whether ``data`` is a tuple-independent relation."""
-        return isinstance(data, ProbabilisticRelation)
+        """Whether ``data`` is a tuple-independent relation (either storage)."""
+        return isinstance(data, (ProbabilisticRelation, ColumnarRelation))
 
     def algorithm(self, rf: RankingFunction) -> str:
         """Label of the Table-3 algorithm picked for ``rf``."""
@@ -401,6 +402,8 @@ class IndependentBackend(RankingBackend):
 
     def marginal_probabilities(self, relation: ProbabilisticRelation) -> dict:
         """Existence probability per tuple identifier (trivial when independent)."""
+        if isinstance(relation, ColumnarRelation):
+            return dict(zip(relation.tid_values(), relation.probabilities().tolist()))
         return {t.tid: t.probability for t in relation}
 
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..core.columnar import ColumnarRelation
 from ..core.tuples import ProbabilisticRelation, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -48,10 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 
 __all__ = [
     "relation_fingerprint",
+    "columnar_fingerprint",
     "tree_fingerprint",
     "network_fingerprint",
     "dataset_fingerprint",
     "CachedRelation",
+    "CachedColumnar",
     "CachedTree",
     "CachedNetwork",
     "RelationCache",
@@ -106,6 +109,35 @@ def relation_fingerprint(relation: ProbabilisticRelation) -> str:
         setattr(relation, _FINGERPRINT_ATTR, fingerprint)
     except AttributeError:  # pragma: no cover - slotted subclasses
         pass
+    return fingerprint
+
+
+def columnar_fingerprint(relation: ColumnarRelation) -> str:
+    """A stable content hash of a columnar relation.
+
+    Byte-for-byte the same hash input as :func:`relation_fingerprint`
+    over a tuple-list relation of equal content — length, the raw score
+    and probability buffers, then the per-tuple tid sections — so a
+    :class:`ColumnarRelation` and its materialized twin share one
+    content identity (service dedup, result caches) without either ever
+    being converted.  Columnar tuples carry no attributes, so the
+    attribute bytes of the tuple-list form never appear on either side
+    of the comparison (conversion rejects attribute-carrying relations).
+    """
+    cached = getattr(relation, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(relation)).encode())
+    digest.update(np.ascontiguousarray(relation.scores()).tobytes())
+    digest.update(np.ascontiguousarray(relation.probabilities()).tobytes())
+    if relation.has_implicit_tids:
+        section = "".join(f"'t{i}'\x00\x01" for i in range(1, len(relation) + 1))
+    else:
+        section = "".join(f"{tid!r}\x00\x01" for tid in relation.tid_values())
+    digest.update(section.encode())
+    fingerprint = digest.hexdigest()
+    setattr(relation, _FINGERPRINT_ATTR, fingerprint)
     return fingerprint
 
 
@@ -171,6 +203,8 @@ def dataset_fingerprint(data) -> str:
     """The content fingerprint of any supported dataset kind."""
     if isinstance(data, ProbabilisticRelation):
         return relation_fingerprint(data)
+    if isinstance(data, ColumnarRelation):
+        return columnar_fingerprint(data)
     from ..andxor.tree import AndXorTree
 
     if isinstance(data, AndXorTree):
@@ -274,6 +308,109 @@ class CachedRelation:
         captured array, so concurrent growers and a budget-driven
         ``prefix = None`` wipe can never yield a too-narrow or ``None``
         matrix to a caller.
+        """
+        from ..algorithms.independent import prefix_polynomial_matrix
+
+        with self.lock:
+            prefix = self.prefix
+            if prefix is None or prefix.shape[1] < limit:
+                prefix = prefix_polynomial_matrix(self.probabilities, limit)
+                self.prefix = prefix
+        return prefix[:, :limit]
+
+    def store_prefix(self, matrix: np.ndarray) -> None:
+        """Adopt an externally computed prefix matrix if wider than the cached one."""
+        with self.lock:
+            if self.prefix is None or self.prefix.shape[1] < matrix.shape[1]:
+                self.prefix = matrix
+
+    def positional_matrix(self, limit: int) -> np.ndarray:
+        """``Pr(r(t_i) = j)`` for ``j = 1 .. limit`` from the cached prefix."""
+        prefix = self.prefix_matrix(limit)
+        if self.n == 0 or limit == 0:
+            return prefix
+        return prefix * self.probabilities[:, None]
+
+
+@dataclass
+class CachedColumnar:
+    """The cached intermediates of one columnar relation.
+
+    Unlike :class:`CachedRelation`, no ``Tuple`` list exists up front:
+    the probability vector is a gather of the relation's own column by
+    its cached sort permutation, the sort columns (scores + tid strings)
+    are served from arrays, and tuple objects materialize only if a
+    legacy consumer (general-weight streaming, ``tuple_factor``) asks
+    for :attr:`ordered`.
+    """
+
+    relation: ColumnarRelation = field(repr=False, default=None)
+    probabilities: np.ndarray = None  # score-descending order
+    prefix: np.ndarray | None = None  # (n, limit_computed) or None
+    extras: dict[Any, Any] = field(default_factory=dict)
+    source: weakref.ref | None = field(default=None, repr=False)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def n(self) -> int:
+        """Number of tuples in the cached dataset."""
+        return len(self.relation)
+
+    @property
+    def ordered(self) -> list[Tuple]:
+        """Score-descending ``Tuple`` list, materialized on first use.
+
+        The relation caches the materialization, so repeated legacy-path
+        hits pay the object construction once.
+        """
+        return self.relation.sorted_by_score()
+
+    def elements(self) -> int:
+        """Cached size in float64-equivalent elements (for the eviction budget).
+
+        The entry pins the relation's columns (unlike the tuple case,
+        where the ``Tuple`` objects are uncounted Python overhead), so
+        they are charged to the budget together with the gathered
+        probability vector, the prefix matrix and the extras.
+        """
+        total_bytes = self.relation.nbytes + self.probabilities.nbytes
+        if self.prefix is not None:
+            total_bytes += self.prefix.nbytes
+        total_bytes += _extras_bytes(self.extras)
+        return total_bytes // 8
+
+    def shed(self) -> None:
+        """Drop the heavy derived arrays, keeping the columns themselves."""
+        self.prefix = None
+        _drop_array_extras(self.extras)
+
+    def sort_columns(self, limit: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """``(scores, tid strings)`` in score-descending order.
+
+        With a ``limit``, only the first ``limit`` tid strings are built
+        (the top-k prefix path); the full string column is cached in
+        ``extras`` so complete rankings pay the conversion once.
+        """
+        relation = self.relation
+        scores = relation.sorted_scores()
+        if limit is not None and limit < scores.size:
+            return scores[:limit], relation.tid_strings_for(relation.order()[:limit])
+        tids = self.extras.get("sort_tids")
+        if tids is None:
+            tids = relation.tid_strings_for(relation.order())
+            self.extras["sort_tids"] = tids
+        return scores, tids
+
+    def tuple_at(self, position: int) -> Tuple:
+        """The :class:`Tuple` at score-descending ``position``, built on demand."""
+        relation = self.relation
+        i = int(relation.order()[position])
+        return Tuple(relation.tid_of(i), relation.scores()[i], relation.probabilities()[i])
+
+    def prefix_matrix(self, limit: int) -> np.ndarray:
+        """The prefix polynomial matrix truncated to ``limit`` columns.
+
+        Same grow-or-slice contract as :meth:`CachedRelation.prefix_matrix`.
         """
         from ..algorithms.independent import prefix_polynomial_matrix
 
@@ -491,12 +628,26 @@ class RelationCache:
         of the LRU.
         """
         key = dataset_fingerprint(data)
+        if isinstance(data, ColumnarRelation):
+            # Columnar and tuple-list twins share a *content* fingerprint
+            # (service dedup relies on that) but need different entry
+            # shapes, so the cache keys them apart.
+            key = "col:" + key
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
         if entry is not None:
+            if isinstance(entry, CachedColumnar):
+                if entry.source is None or entry.source() is not data:
+                    # Content-equal but distinct relation: repoint the
+                    # entry at the caller's columns (results must refer
+                    # to the caller's own object); derived arrays are
+                    # bit-identical by fingerprint, so they are kept.
+                    entry.relation = data
+                    entry.source = weakref.ref(data)
+                return entry
             if entry.source is None or entry.source() is not data:
                 # Content-equal but distinct dataset: rebind the tuple
                 # objects so results carry the caller's own tuples.  One
@@ -517,6 +668,12 @@ class RelationCache:
 
     @staticmethod
     def _build_entry(data):
+        if isinstance(data, ColumnarRelation):
+            return CachedColumnar(
+                relation=data,
+                probabilities=data.sorted_probabilities(),
+                source=weakref.ref(data),
+            )
         if isinstance(data, ProbabilisticRelation):
             ordered = data.sorted_by_score()
             return CachedRelation(

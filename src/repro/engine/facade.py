@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -50,6 +51,7 @@ import numpy as np
 from ..core.prf import RankingFunction
 from ..core.result import RankingResult
 from ..core.tuples import Tuple
+from .approx import ApproxDecision, plan_approx, validated_budget
 from .backends import AndXorBackend, IndependentBackend, MarkovBackend, RankingBackend
 from .cache import RelationCache
 from .topk import TopKReport, prunable, validated_k
@@ -57,10 +59,14 @@ from .topk import TopKReport, prunable, validated_k
 __all__ = [
     "Engine",
     "ExecutionPlan",
+    "ApproxDecision",
     "TopKReport",
     "default_engine",
     "set_default_engine",
 ]
+
+#: Number of (spec, n, budget) approx decisions memoized per engine.
+_APPROX_MEMO_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,11 @@ class ExecutionPlan:
     #: dataset or a cached full evaluation makes pruning pointless —
     #: the executed outcome is reported in :class:`TopKReport`).
     prune: bool = False
+    #: The exact-vs-approximate decision for a request carrying an
+    #: ``approx=`` error budget (``None`` when no budget was given).
+    #: Records whether the DFT approximation engaged, its term count and
+    #: the certified error bound.
+    approx: ApproxDecision | None = None
 
 
 class Engine:
@@ -131,6 +142,8 @@ class Engine:
         )
         self._submit_executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._submit_lock = threading.Lock()
+        self._approx_memo: "OrderedDict[tuple, ApproxDecision]" = OrderedDict()
+        self._approx_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Planning
@@ -145,17 +158,65 @@ class Engine:
             "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
         )
 
-    def plan(self, data, rf: RankingFunction, top_k: int | None = None) -> ExecutionPlan:
+    def approx_decision(self, data, rf: RankingFunction, budget: float) -> ApproxDecision:
+        """The exact-vs-approximate choice for one ``approx=`` request.
+
+        Memoized per ``(spec key, dataset size, budget)``: the decision
+        depends on the weight function and on ``n`` (the certified error
+        bound covers ranks up to ``n``), not on the dataset's contents,
+        so repeated requests skip the DFT construction entirely.  Specs
+        without a canonical key (opaque callables) are planned afresh
+        each time.
+        """
+        from ..service.spec import ranking_function_key
+
+        budget = validated_budget(budget)
+        n = len(data)
+        key = None
+        spec_key = ranking_function_key(rf)
+        if spec_key is not None:
+            key = (spec_key, n, budget)
+            with self._approx_lock:
+                hit = self._approx_memo.get(key)
+                if hit is not None:
+                    self._approx_memo.move_to_end(key)
+                    return hit
+        decision = plan_approx(rf, n, budget)
+        if key is not None:
+            with self._approx_lock:
+                self._approx_memo[key] = decision
+                while len(self._approx_memo) > _APPROX_MEMO_SIZE:
+                    self._approx_memo.popitem(last=False)
+        return decision
+
+    def plan(
+        self,
+        data,
+        rf: RankingFunction,
+        top_k: int | None = None,
+        approx: float | None = None,
+    ) -> ExecutionPlan:
         """The (model, algorithm, backend) the planner picks for this input.
 
         With ``top_k`` set the plan also records the pruning decision:
         whether the request will route through the backend's
         early-termination path (a prunable PRFe spec) or run the full
-        kernel and truncate.
+        kernel and truncate.  With an ``approx=`` error budget the plan
+        records the exact-vs-approximate decision (and the algorithm
+        label reflects the ranking function actually executed).
         """
+        decision = None
+        if approx is not None:
+            decision = self.approx_decision(data, rf, approx)
+            rf = decision.effective
         backend = self.backend_for(data)
         prune = top_k is not None and prunable(rf)
         algorithm = backend.algorithm(rf)
+        if decision is not None and decision.used:
+            algorithm = (
+                f"{algorithm} + dft-approx(L={decision.terms}, "
+                f"err<={decision.error_bound:.2e})"
+            )
         if prune:
             algorithm = f"{algorithm} + top-k early termination"
         return ExecutionPlan(
@@ -164,17 +225,22 @@ class Engine:
             backend=backend,
             top_k=top_k,
             prune=prune,
+            approx=decision,
         )
 
     def plan_batch(
-        self, datasets: Iterable, rf: RankingFunction, top_k: int | None = None
+        self,
+        datasets: Iterable,
+        rf: RankingFunction,
+        top_k: int | None = None,
+        approx: float | None = None,
     ) -> list[ExecutionPlan]:
         """Per-dataset execution plans for one batch (without executing it).
 
         The ranking service uses this to tag each coalesced response with
         the correlation model and Table-3 algorithm that served it.
         """
-        return [self.plan(data, rf, top_k=top_k) for data in datasets]
+        return [self.plan(data, rf, top_k=top_k, approx=approx) for data in datasets]
 
     # ------------------------------------------------------------------
     # Observability
@@ -207,7 +273,12 @@ class Engine:
     # Single dataset, single ranking function
     # ------------------------------------------------------------------
     def rank(
-        self, data, rf: RankingFunction, name: str = "", top_k: int | None = None
+        self,
+        data,
+        rf: RankingFunction,
+        name: str = "",
+        top_k: int | None = None,
+        approx: float | None = None,
     ) -> RankingResult:
         """Rank one dataset of any supported correlation model.
 
@@ -215,13 +286,27 @@ class Engine:
         identical to the head of the full ranking — computed through the
         backend's early-termination path when the spec admits it (see
         :meth:`rank_top_k` for the execution report).
+
+        With ``approx=epsilon`` set, the planner may substitute an
+        ``L``-term exponential approximation of the weight whose values
+        are *certified* to differ from the exact ones by at most
+        ``epsilon`` (see :meth:`approx_decision`); when no approximation
+        fits the budget the exact kernel runs, so the budget is always
+        honoured.
         """
+        if approx is not None:
+            rf = self.approx_decision(data, rf, approx).effective
         if top_k is not None:
             return self.rank_top_k(data, rf, top_k, name=name)[0]
         return self.backend_for(data).rank(data, rf, name=name)
 
     def rank_top_k(
-        self, data, rf: RankingFunction, k: int, name: str = ""
+        self,
+        data,
+        rf: RankingFunction,
+        k: int,
+        name: str = "",
+        approx: float | None = None,
     ) -> tuple[RankingResult, TopKReport]:
         """Top ``k`` of the ranking plus a report of how it was executed.
 
@@ -230,7 +315,15 @@ class Engine:
         the backend examines only a score-sorted prefix certified by the
         geometric-decay bound (see :mod:`repro.engine.topk`), and the
         :class:`TopKReport` records the examined prefix length.
+
+        ``approx=epsilon`` substitutes a certified approximation of the
+        weight before execution (see :meth:`rank`); since an engaged
+        approximation is a :class:`~repro.core.prf.LinearCombinationPRFe`,
+        it additionally unlocks the early-termination path for weights
+        that would otherwise run the full O(n h) kernel.
         """
+        if approx is not None:
+            rf = self.approx_decision(data, rf, approx).effective
         return self.backend_for(data).rank_top_k(data, rf, validated_k(k), name=name)
 
     # ------------------------------------------------------------------
@@ -243,6 +336,7 @@ class Engine:
         *,
         workers: int | None = None,
         top_k: int | None = None,
+        approx: float | None = None,
     ) -> list[RankingResult]:
         """Rank a batch of datasets — freely mixing correlation models.
 
@@ -260,10 +354,37 @@ class Engine:
         early-termination path instead of the stacked kernels — examined
         prefix lengths differ per dataset, so there is nothing to stack,
         and sharding is skipped.
+
+        ``approx=epsilon`` resolves the exact-vs-approximate decision per
+        dataset (the certified bound depends on the dataset size); the
+        memoized decisions make equal-size datasets share one effective
+        ranking function, so homogeneous batches still stack into single
+        kernel invocations.
         """
         datasets = list(datasets)
         if not datasets:
             return []
+        if approx is not None:
+            effectives = [
+                self.approx_decision(data, rf, approx).effective for data in datasets
+            ]
+            groups: "OrderedDict[int, tuple[RankingFunction, list[int]]]" = OrderedDict()
+            for index, effective in enumerate(effectives):
+                groups.setdefault(id(effective), (effective, []))[1].append(index)
+            if len(groups) == 1:
+                rf = effectives[0]
+            else:
+                results: list[RankingResult | None] = [None] * len(datasets)
+                for effective, indices in groups.values():
+                    subset_results = self.rank_batch(
+                        [datasets[i] for i in indices],
+                        effective,
+                        workers=workers,
+                        top_k=top_k,
+                    )
+                    for index, result in zip(indices, subset_results):
+                        results[index] = result
+                return [result for result in results if result is not None]
         if top_k is not None:
             top_k = validated_k(top_k)
         by_backend: dict[int, tuple[RankingBackend, list[int]]] = {}
@@ -302,6 +423,7 @@ class Engine:
         *,
         workers: int | None = None,
         top_k: int | None = None,
+        approx: float | None = None,
     ) -> "concurrent.futures.Future[list[RankingResult]]":
         """Non-blocking :meth:`rank_batch`: submit and return a future.
 
@@ -316,14 +438,17 @@ class Engine:
         """
         datasets = list(datasets)
         executor = self._executor()
-        if top_k is None:
+        if top_k is None and approx is None:
             # Keep the historical call shape: subclasses overriding
-            # ``rank_batch`` without a ``top_k`` parameter stay usable
+            # ``rank_batch`` without the newer parameters stay usable
             # for full rankings.
             return executor.submit(self.rank_batch, datasets, rf, workers=workers)
-        return executor.submit(
-            self.rank_batch, datasets, rf, workers=workers, top_k=top_k
-        )
+        kwargs: dict[str, Any] = {"workers": workers}
+        if top_k is not None:
+            kwargs["top_k"] = top_k
+        if approx is not None:
+            kwargs["approx"] = approx
+        return executor.submit(self.rank_batch, datasets, rf, **kwargs)
 
     def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
         """The lazily created background pool behind :meth:`submit_batch`."""
@@ -358,7 +483,12 @@ class Engine:
     # One dataset, many ranking functions
     # ------------------------------------------------------------------
     def rank_many(
-        self, data, rfs: Sequence[RankingFunction], name: str = "", top_k: int | None = None
+        self,
+        data,
+        rfs: Sequence[RankingFunction],
+        name: str = "",
+        top_k: int | None = None,
+        approx: float | None = None,
     ) -> list[RankingResult]:
         """Rank one dataset under many ranking functions, sharing intermediates.
 
@@ -373,7 +503,13 @@ class Engine:
         sharing an alpha still compose through the cache entry's memoized
         prefixes, but the stacked alpha sweep is skipped — per-spec
         prefixes terminate at different lengths.
+
+        ``approx=epsilon`` resolves the exact-vs-approximate decision
+        independently per spec; engaged approximations (being PRFe
+        combinations) join the stacked alpha sweep.
         """
+        if approx is not None:
+            rfs = [self.approx_decision(data, rf, approx).effective for rf in rfs]
         if top_k is not None:
             backend = self.backend_for(data)
             return [

@@ -133,22 +133,116 @@ def batched_prfe_values(P: np.ndarray, alpha: complex) -> np.ndarray:
     return prefix * P * alpha_value
 
 
+def _conjugate_pair_split(
+    coefficients: np.ndarray, alphas: np.ndarray
+) -> tuple[list[int], list[int]] | None:
+    """Split term indices into ``(real_singles, pair_representatives)``.
+
+    Succeeds only when the term multiset is *exactly* closed under
+    conjugation — every complex ``(u, alpha)`` has a bitwise-conjugate
+    partner (the planner's ``conjugate_symmetric`` DFT construction
+    guarantees this).  Returns ``None`` for arbitrary term sets, which
+    then run the generic complex loop.
+    """
+    count = int(alphas.size)
+    used = [False] * count
+    singles: list[int] = []
+    representatives: list[int] = []
+    for l in range(count):
+        if used[l]:
+            continue
+        used[l] = True
+        alpha = complex(alphas[l])
+        coefficient = complex(coefficients[l])
+        if alpha.imag == 0.0 and coefficient.imag == 0.0:
+            singles.append(l)
+            continue
+        partner = None
+        for m in range(l + 1, count):
+            if (
+                not used[m]
+                and complex(alphas[m]) == alpha.conjugate()
+                and complex(coefficients[m]) == coefficient.conjugate()
+            ):
+                partner = m
+                break
+        if partner is None:
+            return None
+        used[partner] = True
+        representatives.append(l)
+    return singles, representatives
+
+
 def batched_lincomb_values(
     P: np.ndarray, coefficients: np.ndarray, alphas: np.ndarray
 ) -> np.ndarray:
     """``sum_l u_l PRFe(alpha_l)`` values per row, shape ``(B, n)``.
 
     Mirrors the LinearCombinationPRFe fast path of
-    :func:`repro.algorithms.independent.prf_values`: each exponential term
-    is a cumulative product along the tuple axis, evaluated for all terms
-    and all relations in one ``(B, n, L)`` pass.
+    :func:`repro.algorithms.independent.prf_values`, evaluated one
+    contiguous ``(B, n)`` pass per term instead of a single strided
+    ``(B, n, L)`` pass: the cumulative products run along the innermost
+    axis and peak memory stays ``O(B n)``, which at n = 10^6 and L = 16
+    (the planner's DFT approximations) is the difference between a
+    sub-second kernel and a gigabyte of axis-1 cumprod.
+
+    Term multisets exactly closed under conjugation (the planner's
+    symmetrized DFT approximations) take a further-halved path: each
+    conjugate pair contributes ``2 Re(u alpha prefix) p`` from one
+    cumulative product, all in real arithmetic, and the returned array
+    is real float64.  Arbitrary term sets keep the generic complex loop.
     """
     P = np.asarray(P, dtype=float)
     coefficients = np.asarray(coefficients, dtype=complex)
     alphas = np.asarray(alphas, dtype=complex)
-    factors = (1.0 - P)[:, :, None] + P[:, :, None] * alphas[None, None, :]
-    prefix = np.ones_like(factors)
-    if P.shape[1] > 1:
-        prefix[:, 1:, :] = np.cumprod(factors[:, :-1, :], axis=1)
-    term_values = prefix * P[:, :, None] * alphas[None, None, :]
-    return term_values @ coefficients
+    B, n = P.shape
+    if n == 0:
+        return np.zeros((B, n), dtype=complex)
+    complement = 1.0 - P
+    pairing = _conjugate_pair_split(coefficients, alphas)
+    if pairing is not None:
+        singles, representatives = pairing
+        values = np.zeros((B, n), dtype=float)
+        accumulator = np.empty((B, n), dtype=float)
+        if singles:
+            real_factors = np.empty((B, n), dtype=float)
+            real_prefix = np.empty((B, n), dtype=float)
+            for l in singles:
+                alpha = float(alphas[l].real)
+                np.multiply(P, alpha, out=real_factors)
+                real_factors += complement
+                real_prefix[:, 0] = 1.0
+                if n > 1:
+                    np.cumprod(real_factors[:, :-1], axis=1, out=real_prefix[:, 1:])
+                np.multiply(real_prefix, P, out=accumulator)
+                accumulator *= float((coefficients[l] * alphas[l]).real)
+                values += accumulator
+        if representatives:
+            factors = np.empty((B, n), dtype=complex)
+            prefix = np.empty((B, n), dtype=complex)
+            for l in representatives:
+                alpha = complex(alphas[l])
+                np.multiply(P, alpha, out=factors)
+                factors += complement
+                prefix[:, 0] = 1.0
+                if n > 1:
+                    np.cumprod(factors[:, :-1], axis=1, out=prefix[:, 1:])
+                # u* conj-term + u term = 2 Re(u alpha prefix) p per tuple.
+                prefix *= 2.0 * (coefficients[l] * alphas[l])
+                np.multiply(prefix.real, P, out=accumulator)
+                values += accumulator
+        return values
+    values = np.zeros((B, n), dtype=complex)
+    factors = np.empty((B, n), dtype=complex)
+    prefix = np.empty((B, n), dtype=complex)
+    for coefficient, alpha in zip(coefficients, alphas):
+        np.multiply(P, alpha, out=factors)
+        factors += complement
+        prefix[:, 0] = 1.0
+        if n > 1:
+            np.cumprod(factors[:, :-1], axis=1, out=prefix[:, 1:])
+        prefix *= P
+        prefix *= alpha
+        prefix *= coefficient
+        values += prefix
+    return values

@@ -47,9 +47,12 @@ def shard_payloads(
     for lo, hi in zip(bounds[:-1], bounds[1:]):
         shard = []
         for relation in relations[lo:hi]:
+            tid_values = getattr(relation, "tid_values", None)
             shard.append(
                 (
-                    [t.tid for t in relation],
+                    # Columnar relations hand identifiers over without
+                    # materializing per-tuple objects.
+                    tid_values() if tid_values is not None else [t.tid for t in relation],
                     relation.scores(),
                     relation.probabilities(),
                     relation.name,

@@ -142,7 +142,7 @@ def validated_k(k: int) -> int:
     return validated
 
 
-def sort_columns(entry) -> tuple[np.ndarray, np.ndarray]:
+def sort_columns(entry, limit: int | None = None) -> tuple[np.ndarray, np.ndarray]:
     """The cached ``(scores, tids)`` lexsort columns of a cache entry.
 
     The same columns :func:`repro.engine.backends.base.build_result`
@@ -150,7 +150,16 @@ def sort_columns(entry) -> tuple[np.ndarray, np.ndarray]:
     prefix result builder shares them with the full-ranking path (a
     pruned request warms the cache for a later full ranking and vice
     versa).
+
+    Entries that can serve the columns without materializing tuple
+    objects (:class:`~repro.engine.cache.CachedColumnar`) expose their
+    own ``sort_columns`` method and are delegated to; ``limit`` lets the
+    top-k prefix path ask for only the examined head (tuple-list entries
+    ignore it and return the full columns, which callers slice).
     """
+    build = getattr(entry, "sort_columns", None)
+    if build is not None:
+        return build(limit)
     columns = entry.extras.get("sort_columns")
     if columns is None:
         ordered = entry.ordered
@@ -261,12 +270,14 @@ def prefix_top_k(
     keys = (
         np.abs(values) if sort_keys is None else np.asarray(sort_keys, dtype=float)
     )
-    scores, tids = sort_columns(entry)
+    scores, tids = sort_columns(entry, limit=m)
     order = np.lexsort((tids[:m], -scores[:m], -keys))[:k]
     value_list = values.tolist()
-    ordered = entry.ordered
+    tuple_at = getattr(entry, "tuple_at", None)
+    if tuple_at is None:
+        tuple_at = entry.ordered.__getitem__
     items = [
-        RankedItem(position=position + 1, item=ordered[i], value=value_list[i])
+        RankedItem(position=position + 1, item=tuple_at(i), value=value_list[i])
         for position, i in enumerate(order)
     ]
     return RankingResult(items, name=name)

@@ -38,30 +38,53 @@ class AsyncRankingClient:
     def __init__(self, service: RankingService) -> None:
         self.service = service
 
-    async def rank(self, data, rf: RankingFunction, *, name: str = "") -> RankingResult:
-        """The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``."""
-        reply = await self.service.submit(data, rf, name=name)
+    async def rank(
+        self, data, rf: RankingFunction, *, name: str = "", approx: float | None = None
+    ) -> RankingResult:
+        """The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``.
+
+        ``approx=epsilon`` lets the engine substitute a certified
+        approximation within the error budget (see
+        :meth:`~repro.engine.facade.Engine.rank`).
+        """
+        reply = await self.service.submit(data, rf, name=name, approx=approx)
         return reply.result
 
-    async def rank_detailed(self, data, rf: RankingFunction, *, name: str = "") -> ServiceReply:
+    async def rank_detailed(
+        self, data, rf: RankingFunction, *, name: str = "", approx: float | None = None
+    ) -> ServiceReply:
         """The full reply envelope (result + model/algorithm/cache metadata)."""
-        return await self.service.submit(data, rf, name=name)
+        return await self.service.submit(data, rf, name=name, approx=approx)
 
-    async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
+    async def top_k(
+        self,
+        data,
+        rf: RankingFunction,
+        k: int,
+        *,
+        name: str = "",
+        approx: float | None = None,
+    ) -> list[Any]:
         """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
 
         Routed through ``submit(..., top_k=k)``, so the engine may
         early-terminate the kernel instead of ranking everything; the
         returned identifiers equal the full ranking's top ``k``.
         """
-        reply = await self.service.submit(data, rf, name=name, top_k=k)
+        reply = await self.service.submit(data, rf, name=name, top_k=k, approx=approx)
         return [item.tid for item in reply.result]
 
     async def top_k_detailed(
-        self, data, rf: RankingFunction, k: int, *, name: str = ""
+        self,
+        data,
+        rf: RankingFunction,
+        k: int,
+        *,
+        name: str = "",
+        approx: float | None = None,
     ) -> ServiceReply:
         """The full reply envelope of a pruned top-``k`` request."""
-        return await self.service.submit(data, rf, name=name, top_k=k)
+        return await self.service.submit(data, rf, name=name, top_k=k, approx=approx)
 
     async def rank_all(
         self, requests: Iterable[tuple[Any, RankingFunction]]
@@ -111,9 +134,20 @@ class TCPRankingClient:
         self._closed = False
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "TCPRankingClient":
-        """Open a connection to a running ranking server."""
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        line_limit: int = 64 * 1024 * 1024,
+    ) -> "TCPRankingClient":
+        """Open a connection to a running ranking server.
+
+        ``line_limit`` bounds one response line's size in bytes; large
+        full-ranking responses over big relations need more than
+        asyncio's 64 KiB default.
+        """
+        reader, writer = await asyncio.open_connection(host, port, limit=int(line_limit))
         return cls(reader, writer)
 
     async def __aenter__(self) -> "TCPRankingClient":
@@ -192,14 +226,17 @@ class TCPRankingClient:
         *,
         k: int | None = None,
         name: str = "",
+        approx: float | None = None,
     ) -> list[tuple[Any, complex | float]]:
         """Rank a dataset remotely; returns ranked ``(tid, value)`` pairs.
 
         ``data`` is a :class:`~repro.core.tuples.ProbabilisticRelation`,
-        an :class:`~repro.andxor.tree.AndXorTree`, or a string naming a
+        a :class:`~repro.core.columnar.ColumnarRelation`, an
+        :class:`~repro.andxor.tree.AndXorTree`, or a string naming a
         dataset previously :meth:`register`\\ ed on the server.  Floats
         survive the wire exactly, so the returned values equal a local
-        ``Engine.rank`` bit for bit.
+        ``Engine.rank`` bit for bit.  ``approx=epsilon`` forwards a
+        per-request error budget to the server's planner.
         """
         message: dict[str, Any] = {
             "op": "rank",
@@ -210,6 +247,8 @@ class TCPRankingClient:
             message["k"] = int(k)
         if name:
             message["name"] = name
+        if approx is not None:
+            message["approx"] = float(approx)
         response = await self._call(message)
         return [
             (entry["tid"], decode_value(entry["value"])) for entry in response["ranking"]
@@ -222,6 +261,7 @@ class TCPRankingClient:
         *,
         k: int | None = None,
         name: str = "",
+        approx: float | None = None,
     ) -> dict[str, Any]:
         """Rank remotely and return the raw response object (with metadata)."""
         message: dict[str, Any] = {
@@ -233,9 +273,19 @@ class TCPRankingClient:
             message["k"] = int(k)
         if name:
             message["name"] = name
+        if approx is not None:
+            message["approx"] = float(approx)
         return await self._call(message)
 
-    async def top_k(self, data, rf: RankingFunction, k: int, *, name: str = "") -> list[Any]:
+    async def top_k(
+        self,
+        data,
+        rf: RankingFunction,
+        k: int,
+        *,
+        name: str = "",
+        approx: float | None = None,
+    ) -> list[Any]:
         """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
 
         Sends the ``top_k`` op, which pushes ``k`` into the server's
@@ -250,6 +300,8 @@ class TCPRankingClient:
         }
         if name:
             message["name"] = name
+        if approx is not None:
+            message["approx"] = float(approx)
         response = await self._call(message)
         return [entry["tid"] for entry in response["ranking"]]
 

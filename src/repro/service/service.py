@@ -39,6 +39,7 @@ from typing import Any, Callable, Hashable
 
 from ..core.prf import RankingFunction
 from ..core.result import RankingResult
+from ..engine.approx import validated_budget
 from ..engine.cache import dataset_fingerprint
 from ..engine.facade import Engine
 from ..engine.topk import validated_k
@@ -78,6 +79,10 @@ class ServiceReply:
     #: (the same set/order as the full ranking's prefix) and the engine
     #: may have early-terminated the kernel.
     k: int | None = None
+    #: The planner's exact-vs-approximate decision summary for a request
+    #: carrying an ``approx=`` error budget (``None`` when no budget was
+    #: given): ``{"budget", "used", "terms", "error_bound"}``.
+    approx: dict[str, Any] | None = None
 
     def top_k(self, k: int) -> list[Any]:
         """Identifiers of the top ``k`` tuples (best first)."""
@@ -186,6 +191,7 @@ class _PendingRequest:
     name: str
     key: Hashable | None
     top_k: int | None = None
+    approx: float | None = None
     future: "asyncio.Future[ServiceReply]" = field(repr=False, default=None)
 
 
@@ -291,7 +297,13 @@ class RankingService:
     # Admission
     # ------------------------------------------------------------------
     async def submit(
-        self, data, rf: RankingFunction, *, name: str = "", top_k: int | None = None
+        self,
+        data,
+        rf: RankingFunction,
+        *,
+        name: str = "",
+        top_k: int | None = None,
+        approx: float | None = None,
     ) -> ServiceReply:
         """Rank one dataset, coalescing with every other in-flight request.
 
@@ -301,15 +313,22 @@ class RankingService:
         full ranking's prefix, with the engine free to early-terminate
         the kernel — and caching/dedup key on ``top_k`` too, so a top-5
         request never serves a stale top-50 (or full) reply and vice
-        versa.  Raises :class:`ServiceOverloadedError` when the request
-        is shed.
+        versa.  With ``approx`` set the engine may substitute a
+        certified ``L``-term approximation within the error budget (see
+        :meth:`~repro.engine.facade.Engine.rank`); the budget joins the
+        request identity too — replies computed under different budgets
+        never serve each other — and the reply's ``approx`` field
+        records the planner's decision.  Raises
+        :class:`ServiceOverloadedError` when the request is shed.
         """
         if not self.running:
             raise RuntimeError("RankingService is not running; call start() first")
         if top_k is not None:
             top_k = validated_k(top_k)
+        if approx is not None:
+            approx = validated_budget(approx)
         self.stats.requests += 1
-        key = self._request_key(data, rf, name, top_k)
+        key = self._request_key(data, rf, name, top_k, approx)
         if key is not None:
             hit = self.results.get(key)
             if hit is not None:
@@ -330,7 +349,7 @@ class RankingService:
         # cancelled submitter; mark it retrieved to keep logs clean.
         future.add_done_callback(_consume_exception)
         request = _PendingRequest(
-            data=data, rf=rf, name=name, key=key, top_k=top_k, future=future
+            data=data, rf=rf, name=name, key=key, top_k=top_k, approx=approx, future=future
         )
         if key is not None:
             self._inflight[key] = future
@@ -350,18 +369,24 @@ class RankingService:
         return snapshot
 
     def _request_key(
-        self, data, rf: RankingFunction, name: str, top_k: int | None = None
+        self,
+        data,
+        rf: RankingFunction,
+        name: str,
+        top_k: int | None = None,
+        approx: float | None = None,
     ) -> Hashable | None:
         """Content identity of a request, or ``None`` for opaque specs.
 
-        ``top_k`` is part of the identity: a truncated reply must never
-        satisfy a full request (or one with a different ``k``), so each
-        bound gets its own cache/dedup slot.
+        ``top_k`` and ``approx`` are part of the identity: a truncated or
+        approximated reply must never satisfy a full/exact request (or
+        one with a different ``k`` / budget), so each combination gets
+        its own cache/dedup slot.
         """
         rf_key = ranking_function_key(rf)
         if rf_key is None:
             return None
-        return (dataset_fingerprint(data), rf_key, name, top_k)
+        return (dataset_fingerprint(data), rf_key, name, top_k, approx)
 
     # ------------------------------------------------------------------
     # The micro-batching loop
@@ -405,18 +430,20 @@ class RankingService:
         for request in batch:
             rf_key = ranking_function_key(request.rf)
             base_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
-            # top_k is part of the group identity: a window mixing a
-            # top-5 and a full request for the same spec must run them
-            # as separate engine batches.
-            groups.setdefault((base_key, request.top_k), []).append(request)
+            # top_k and approx are part of the group identity: a window
+            # mixing a top-5 and a full request (or an exact and an
+            # approximated one) for the same spec must run them as
+            # separate engine batches.
+            groups.setdefault((base_key, request.top_k, request.approx), []).append(request)
         for requests in groups.values():
             datasets = [request.data for request in requests]
             rf = requests[0].rf
             top_k = requests[0].top_k
+            approx = requests[0].approx
             try:
-                plans = self.engine.plan_batch(datasets, rf, top_k=top_k)
+                plans = self.engine.plan_batch(datasets, rf, top_k=top_k, approx=approx)
                 results = await asyncio.wrap_future(
-                    self.engine.submit_batch(datasets, rf, top_k=top_k)
+                    self.engine.submit_batch(datasets, rf, top_k=top_k, approx=approx)
                 )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
                 self.stats.errors += len(requests)
@@ -432,6 +459,7 @@ class RankingService:
                     algorithm=plan.algorithm,
                     batch_size=len(batch),
                     k=top_k,
+                    approx=plan.approx.as_dict() if plan.approx is not None else None,
                 )
                 if request.key is not None:
                     self.results.put(request.key, reply)

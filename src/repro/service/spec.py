@@ -35,6 +35,7 @@ from ..core.prf import (
     PRFOmega,
     RankingFunction,
 )
+from ..core.columnar import ColumnarRelation
 from ..core.tuples import ProbabilisticRelation, Tuple
 from ..core.weights import (
     ConstantWeight,
@@ -253,13 +254,25 @@ def _tuple_from_wire(record: Any, probability: float | None = None) -> Tuple:
 
 
 def dataset_to_payload(data) -> dict[str, Any]:
-    """The JSON payload of a relation or and/xor tree.
+    """The JSON payload of a relation, columnar relation, or and/xor tree.
 
-    Independent relations encode their tuples; and/xor trees encode the
-    full correlation structure (arbitrary nesting, not just x-tuples).
-    Tuple ``attributes`` do not cross the wire — ranking functions that
-    need them (``tuple_factor``) are rejected earlier anyway.
+    Independent relations encode their tuples; columnar relations encode
+    their score/probability columns directly (with ``tids`` omitted for
+    the implicit ``t1..tn`` identifiers); and/xor trees encode the full
+    correlation structure (arbitrary nesting, not just x-tuples).  Tuple
+    ``attributes`` do not cross the wire — ranking functions that need
+    them (``tuple_factor``) are rejected earlier anyway.
     """
+    if isinstance(data, ColumnarRelation):
+        payload: dict[str, Any] = {
+            "kind": "columnar",
+            "name": data.name,
+            "scores": data.scores().tolist(),
+            "probabilities": data.probabilities().tolist(),
+        }
+        if not data.has_implicit_tids:
+            payload["tids"] = list(data.tid_values())
+        return payload
     if isinstance(data, ProbabilisticRelation):
         return {
             "kind": "relation",
@@ -294,6 +307,21 @@ def dataset_from_payload(payload: dict[str, Any]):
     if kind == "relation":
         tuples = [_tuple_from_wire(record) for record in payload.get("tuples", [])]
         return ProbabilisticRelation(tuples, name=name)
+    if kind == "columnar":
+        scores = payload.get("scores")
+        probabilities = payload.get("probabilities")
+        if not isinstance(scores, list) or not isinstance(probabilities, list):
+            raise ProtocolError("columnar payloads carry 'scores' and 'probabilities' lists")
+        tids = payload.get("tids")
+        try:
+            return ColumnarRelation(
+                np.asarray(scores, dtype=float),
+                np.asarray(probabilities, dtype=float),
+                tids=tids,
+                name=name,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed columnar payload: {exc}") from exc
     if kind == "tree":
         from ..andxor.tree import AndNode, AndXorTree, LeafNode, XorNode
 

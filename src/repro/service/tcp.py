@@ -8,9 +8,9 @@ service's coalescing window together.
 Request objects::
 
     {"id": 1, "op": "rank", "dataset": <payload|{"ref": name}>,
-     "rf": <payload>, "k": 10, "name": "label"}
+     "rf": <payload>, "k": 10, "name": "label", "approx": 1e-3}
     {"id": 2, "op": "top_k", "dataset": <payload|{"ref": name}>,
-     "rf": <payload>, "k": 10, "name": "label"}
+     "rf": <payload>, "k": 10, "name": "label", "approx": 1e-3}
     {"id": 3, "op": "register", "name": "hot-set", "dataset": <payload>}
     {"id": 4, "op": "stats"}
     {"id": 5, "op": "ping"}
@@ -21,7 +21,11 @@ planner tags ``model`` and ``algorithm`` and the ``cached`` /
 ``deduplicated`` / ``batch_size`` serving metadata.  ``rank`` always
 computes the full ranking and truncates the *response*; ``top_k``
 (which requires ``k``) pushes the bound into the engine so the kernels
-early-terminate, and its response additionally echoes ``k``.  Failures
+early-terminate, and its response additionally echoes ``k``.  Both ops
+accept an optional ``approx`` per-request error budget (a positive
+number); the response's ``approx`` object echoes the planner's
+exact-vs-approximate decision (``{"budget", "used", "terms",
+"error_bound"}``).  Failures
 hold ``error: {type, message}`` with type ``"overloaded"`` for shed
 requests and ``"protocol"`` for malformed payloads.  Dataset and value
 payload formats live in :mod:`repro.service.spec`.
@@ -44,12 +48,20 @@ from .spec import (
 __all__ = ["serve_tcp"]
 
 
+#: Default per-line byte limit of the JSON-lines streams.  The asyncio
+#: default (64 KiB) holds only a few thousand tuples per request; large
+#: columnar payloads need room (64 MiB ~ a low-single-digit-millions
+#: tuple relation).
+DEFAULT_LINE_LIMIT = 64 * 1024 * 1024
+
+
 async def serve_tcp(
     service: RankingService,
     host: str = "127.0.0.1",
     port: int = 8765,
     *,
     max_registered: int = 256,
+    line_limit: int = DEFAULT_LINE_LIMIT,
 ) -> asyncio.Server:
     """Start the JSON-lines server on ``host:port`` over a running service.
 
@@ -59,6 +71,7 @@ async def serve_tcp(
     server instance; the registry is bounded at ``max_registered``
     entries (re-registering an existing name always succeeds), so the
     ``register`` op cannot grow server memory without limit.
+    ``line_limit`` bounds a single request line's size in bytes.
     """
     registry: dict[str, Any] = _BoundedRegistry(max_registered)
 
@@ -92,7 +105,7 @@ async def serve_tcp(
             except Exception:  # noqa: BLE001 - peer may already be gone
                 pass
 
-    return await asyncio.start_server(handle, host, port)
+    return await asyncio.start_server(handle, host, port, limit=int(line_limit))
 
 
 class _BoundedRegistry(dict):
@@ -189,6 +202,16 @@ def _resolve_dataset(registry: dict[str, Any], payload: Any):
     return dataset_from_payload(payload)
 
 
+def _approx_budget(message: dict[str, Any]) -> float | None:
+    """The optional ``approx`` error budget of a request, validated."""
+    budget = message.get("approx")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)) or budget <= 0:
+        raise ProtocolError(f"approx must be a positive number, got {budget!r}")
+    return float(budget)
+
+
 async def _rank(
     service: RankingService, registry: dict[str, Any], message: dict[str, Any]
 ) -> dict[str, Any]:
@@ -199,7 +222,7 @@ async def _rank(
     k = message.get("k")
     if k is not None and (not isinstance(k, int) or k < 0):
         raise ProtocolError(f"k must be a non-negative integer, got {k!r}")
-    reply = await service.submit(data, rf, name=name)
+    reply = await service.submit(data, rf, name=name, approx=_approx_budget(message))
     items = reply.result[: k] if k is not None else reply.result
     return _ranking_response(message.get("id"), reply, items)
 
@@ -214,7 +237,7 @@ async def _top_k(
     k = message.get("k")
     if not isinstance(k, int) or isinstance(k, bool) or k < 0:
         raise ProtocolError(f"top_k requires a non-negative integer 'k', got {k!r}")
-    reply = await service.submit(data, rf, name=name, top_k=k)
+    reply = await service.submit(data, rf, name=name, top_k=k, approx=_approx_budget(message))
     response = _ranking_response(message.get("id"), reply, reply.result)
     response["k"] = k
     return response
@@ -222,7 +245,7 @@ async def _top_k(
 
 def _ranking_response(request_id: Any, reply, items) -> dict[str, Any]:
     """The shared success-response shape of ``rank`` and ``top_k``."""
-    return {
+    response = {
         "id": request_id,
         "ok": True,
         "name": reply.result.name,
@@ -240,3 +263,6 @@ def _ranking_response(request_id: Any, reply, items) -> dict[str, Any]:
             for item in items
         ],
     }
+    if reply.approx is not None:
+        response["approx"] = reply.approx
+    return response

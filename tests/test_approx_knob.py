@@ -1,0 +1,307 @@
+"""Tests for the planner's ``approx=`` error-budget knob.
+
+The contracts under test:
+
+* a request carrying a budget either runs exactly (``ApproxDecision.
+  used`` false) or runs a certified ``L``-term exponential substitute
+  whose realized per-tuple error never exceeds the budget;
+* the planner records its exact-vs-approximate decision in the
+  :class:`~repro.engine.facade.ExecutionPlan`;
+* ineligible specs (PRFe, ``tuple_factor``, complex weights, steep
+  discounts that the DFT cannot certify) always fall back to exact;
+* decisions are memoized per ``(spec, size, budget)``, so batch
+  entry points plan once, not per call;
+* the service and TCP layers forward per-request budgets and echo the
+  decision in reply metadata.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    PRF,
+    Engine,
+    LinearCombinationPRFe,
+    PRFOmega,
+    PRFe,
+    ProbabilisticRelation,
+)
+from repro.core.weights import NDCGDiscountWeight, StepWeight, TabulatedWeight
+from repro.engine import ApproxDecision, plan_approx
+from repro.service import (
+    AsyncRankingClient,
+    RankingService,
+    RemoteServiceError,
+    TCPRankingClient,
+    serve_tcp,
+)
+
+
+def gaussian_weight(horizon: int = 2000, scale: float = 400.0) -> TabulatedWeight:
+    """A smooth Gaussian-decay discount the DFT approximates well."""
+    ranks = np.arange(1, horizon + 1)
+    return TabulatedWeight(np.exp(-0.5 * (ranks / scale) ** 2))
+
+
+def make_relation(n: int, seed: int, name: str = "") -> ProbabilisticRelation:
+    rng = np.random.default_rng(seed)
+    return ProbabilisticRelation.from_arrays(
+        rng.uniform(0.0, 1000.0, n), rng.uniform(0.0, 1.0, n), name=name or f"rel-{seed}"
+    )
+
+
+def realized_errors(approximate, exact) -> list[float]:
+    """Per-tuple |approx - exact| over a pair of rankings."""
+    exact_values = exact.values()
+    return [abs(value - exact_values[tid]) for tid, value in approximate.values().items()]
+
+
+class TestPlanApprox:
+    def test_certifies_smooth_weight_within_budget(self):
+        decision = plan_approx(PRFOmega(gaussian_weight()), 5_000, 1e-3)
+        assert decision.used
+        assert decision.terms is not None and decision.terms <= 64
+        assert decision.error_bound is not None and decision.error_bound <= 1e-3
+        assert isinstance(decision.effective, LinearCombinationPRFe)
+
+    def test_tighter_budget_needs_more_terms(self):
+        loose = plan_approx(PRFOmega(gaussian_weight()), 5_000, 1e-2)
+        tight = plan_approx(PRFOmega(gaussian_weight()), 5_000, 1e-4)
+        assert loose.used and tight.used
+        assert tight.terms >= loose.terms
+
+    def test_budget_validation(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                plan_approx(PRFOmega(gaussian_weight()), 100, bad)
+
+    def test_prfe_family_already_linear(self):
+        assert not plan_approx(PRFe(0.9), 5_000, 1e-3).used
+        assert not plan_approx(LinearCombinationPRFe([1.0], [0.9]), 5_000, 1e-3).used
+
+    def test_tuple_factor_falls_back(self):
+        rf = PRF(gaussian_weight(), tuple_factor=lambda t: t.score)
+        assert not plan_approx(rf, 5_000, 1e-3).used
+
+    def test_complex_weight_falls_back(self):
+        rf = PRFOmega(TabulatedWeight(np.exp(1j * np.arange(1, 100))))
+        assert not plan_approx(rf, 5_000, 1e-3).used
+
+    def test_tiny_support_falls_back(self):
+        assert not plan_approx(PRFOmega(StepWeight(5)), 5_000, 1e-3).used
+
+    def test_steep_discount_cannot_certify(self):
+        # NDCG's 1/log2(1+i) is steep at rank 1; the truncated DFT cannot
+        # reach 1e-3 there, and the planner must say so rather than
+        # silently overshoot the budget.
+        decision = plan_approx(PRF(NDCGDiscountWeight()), 5_000, 1e-3)
+        assert not decision.used
+        assert decision.effective is not None
+
+    def test_exact_decision_keeps_original_spec(self):
+        rf = PRFe(0.9)
+        decision = plan_approx(rf, 5_000, 1e-3)
+        assert decision.effective is rf
+        assert decision.terms is None and decision.error_bound is None
+
+    def test_as_dict_is_wire_friendly(self):
+        decision = plan_approx(PRFOmega(gaussian_weight()), 5_000, 1e-3)
+        summary = decision.as_dict()
+        assert set(summary) == {"budget", "used", "terms", "error_bound"}
+        assert summary["used"] is True
+
+
+class TestRealizedError:
+    @pytest.mark.parametrize("budget", [1e-2, 1e-3, 1e-4])
+    def test_rank_error_within_budget(self, budget):
+        relation = make_relation(4_000, seed=1)
+        rf = PRFOmega(gaussian_weight())
+        engine = Engine()
+        decision = engine.approx_decision(relation, rf, budget)
+        assert decision.used, "smooth weight must certify at this budget"
+        approximate = engine.rank(relation, rf, approx=budget)
+        exact = Engine().rank(relation, rf)
+        assert max(realized_errors(approximate, exact)) <= budget
+
+    def test_realized_error_within_certified_bound(self):
+        relation = make_relation(3_000, seed=2)
+        rf = PRFOmega(gaussian_weight())
+        engine = Engine()
+        decision = engine.approx_decision(relation, rf, 1e-3)
+        approximate = engine.rank(relation, rf, approx=1e-3)
+        exact = Engine().rank(relation, rf)
+        assert max(realized_errors(approximate, exact)) <= decision.error_bound
+
+    def test_ineligible_spec_ranks_exactly(self):
+        relation = make_relation(500, seed=3)
+        rf = PRFe(0.9)
+        with_knob = Engine().rank(relation, rf, approx=1e-3)
+        without = Engine().rank(relation, rf)
+        assert with_knob.values() == without.values()
+
+    def test_rank_top_k_respects_approx(self):
+        relation = make_relation(3_000, seed=4)
+        rf = PRFOmega(gaussian_weight())
+        engine = Engine()
+        result, report = engine.rank_top_k(relation, rf, 10, approx=1e-3)
+        full = Engine().rank(relation, rf, approx=1e-3)
+        assert result.tids() == full.tids()[:10]
+        assert report.k == 10
+
+    def test_rank_batch_respects_approx(self):
+        relations = [make_relation(2_000 + 100 * i, seed=10 + i) for i in range(4)]
+        rf = PRFOmega(gaussian_weight())
+        batched = Engine().rank_batch(relations, rf, approx=1e-3)
+        for relation, result in zip(relations, batched):
+            single = Engine().rank(relation, rf, approx=1e-3)
+            assert result.values() == single.values()
+
+    def test_rank_batch_mixed_eligibility(self):
+        # Different sizes may certify differently; the batch must still
+        # return each dataset's own budgeted answer, in order.
+        relations = [make_relation(20, seed=20), make_relation(2_000, seed=21)]
+        rf = PRFOmega(gaussian_weight())
+        engine = Engine()
+        decisions = [engine.approx_decision(r, rf, 1e-3) for r in relations]
+        assert not decisions[0].used and decisions[1].used
+        batched = engine.rank_batch(relations, rf, approx=1e-3)
+        for relation, result in zip(relations, batched):
+            single = Engine().rank(relation, rf, approx=1e-3)
+            assert result.values() == single.values()
+
+
+class TestPlanMetadata:
+    def test_plan_records_decision(self):
+        relation = make_relation(3_000, seed=5)
+        plan = Engine().plan(relation, PRFOmega(gaussian_weight()), approx=1e-3)
+        assert isinstance(plan.approx, ApproxDecision)
+        assert plan.approx.used
+        assert "dft-approx" in plan.algorithm
+        assert f"L={plan.approx.terms}" in plan.algorithm
+
+    def test_plan_records_exact_fallback(self):
+        relation = make_relation(3_000, seed=6)
+        plan = Engine().plan(relation, PRFe(0.9), approx=1e-3)
+        assert isinstance(plan.approx, ApproxDecision)
+        assert not plan.approx.used
+        assert "dft-approx" not in plan.algorithm
+
+    def test_plan_without_budget_has_no_decision(self):
+        relation = make_relation(100, seed=7)
+        assert Engine().plan(relation, PRFe(0.9)).approx is None
+
+    def test_decisions_are_memoized(self):
+        relation = make_relation(3_000, seed=8)
+        rf = PRFOmega(gaussian_weight())
+        engine = Engine()
+        first = engine.approx_decision(relation, rf, 1e-3)
+        second = engine.approx_decision(relation, rf, 1e-3)
+        assert second is first
+        # A different budget is a different plan.
+        assert engine.approx_decision(relation, rf, 1e-2) is not first
+
+
+class TestServiceApprox:
+    def test_async_client_forwards_budget(self):
+        relation = make_relation(3_000, seed=9)
+        rf = PRFOmega(gaussian_weight())
+
+        async def serve():
+            async with RankingService(Engine()) as service:
+                client = AsyncRankingClient(service)
+                return await client.rank_detailed(relation, rf, approx=1e-3)
+
+        reply = asyncio.run(serve())
+        assert reply.approx is not None and reply.approx["used"]
+        assert reply.approx["budget"] == 1e-3
+        exact = Engine().rank(relation, rf)
+        assert max(realized_errors(reply.result, exact)) <= 1e-3
+
+    def test_budgeted_and_exact_requests_do_not_coalesce(self):
+        relation = make_relation(3_000, seed=11)
+        rf = PRFOmega(gaussian_weight())
+
+        async def serve():
+            async with RankingService(Engine(), max_delay=0.05) as service:
+                client = AsyncRankingClient(service)
+                return await asyncio.gather(
+                    client.rank_detailed(relation, rf),
+                    client.rank_detailed(relation, rf, approx=1e-3),
+                )
+
+        exact_reply, budgeted_reply = asyncio.run(serve())
+        assert exact_reply.approx is None
+        assert budgeted_reply.approx is not None and budgeted_reply.approx["used"]
+        reference = Engine().rank(relation, rf)
+        assert exact_reply.result.values() == reference.values()
+        assert max(realized_errors(budgeted_reply.result, reference)) <= 1e-3
+
+    def test_tcp_round_trip_echoes_decision(self):
+        relation = make_relation(2_000, seed=12)
+        rf = PRFOmega(gaussian_weight())
+
+        async def serve():
+            async with RankingService(Engine(), max_delay=0.005) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    detailed = await client.rank_detailed(relation, rf, k=10, approx=1e-3)
+                    exact_detailed = await client.rank_detailed(relation, rf, k=10)
+                    top = await client.top_k(relation, rf, 5, approx=1e-3)
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return detailed, exact_detailed, top
+
+        detailed, exact_detailed, top = asyncio.run(serve())
+        assert detailed["approx"]["used"] and detailed["approx"]["budget"] == 1e-3
+        assert "approx" not in exact_detailed
+        local = Engine().rank(relation, rf, approx=1e-3)
+        assert [entry["tid"] for entry in detailed["ranking"]] == local.tids()[:10]
+        assert top == local.tids()[:5]
+
+    def test_tcp_rejects_bad_budget(self):
+        relation = make_relation(50, seed=13)
+
+        async def serve():
+            async with RankingService(Engine(), max_delay=0.005) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    await client.rank(relation, PRFe(0.9), approx=-1.0)
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+
+        with pytest.raises(RemoteServiceError) as excinfo:
+            asyncio.run(serve())
+        assert excinfo.value.kind == "protocol"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=200, max_value=2_000),
+    st.sampled_from([1e-2, 1e-3]),
+    st.integers(min_value=0, max_value=1 << 20),
+)
+def test_property_budget_always_honoured(n, budget, seed):
+    """Whatever the planner decides, the realized error fits the budget."""
+    relation = make_relation(n, seed=seed)
+    rf = PRFOmega(gaussian_weight(horizon=500, scale=100.0))
+    engine = Engine()
+    decision = engine.approx_decision(relation, rf, budget)
+    budgeted = engine.rank(relation, rf, approx=budget)
+    exact = Engine().rank(relation, rf)
+    if decision.used:
+        assert max(realized_errors(budgeted, exact)) <= budget
+    else:
+        assert budgeted.values() == exact.values()
