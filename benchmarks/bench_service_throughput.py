@@ -1,19 +1,26 @@
-"""Serving throughput — the coalescing service versus naive per-request calls.
+"""Serving throughput — coalescing, worker pooling, and open-loop load.
 
-Not a paper figure: this benchmark guards the serving tier's reason to
-exist.  Many concurrent async clients issue single-relation rank
-requests over a shared pool of datasets; the naive baseline drives
-``Engine.rank`` once per request from a thread pool (what an
-asyncio application would do without the service), while the service
-coalesces the same request stream into micro-batched
-``Engine.rank_batch`` calls with in-flight dedup and a TTL result
-cache.  The service must sustain a higher request rate at concurrency
->= 16, and every reply must be bit-identical to the direct
-``Engine.rank`` answer for the same (dataset, ranking function).
+Not a paper figure: these benchmarks guard the serving tier's reason to
+exist.
 
-The artifact records sustained requests/sec and p50/p99 per-request
-latency for both sides at each concurrency level, plus the service's
-own counters (batches, dedup and cache hits, largest window).
+* ``test_service_throughput_beats_naive_per_request`` — many concurrent
+  async clients versus naive per-request ``Engine.rank`` calls; the
+  coalescing service must sustain a higher request rate at concurrency
+  >= 16, bit-identically.
+* ``test_pooled_service_beats_single_process`` — the sharded worker
+  pool versus the single-engine service on a hot set *larger than one
+  engine's LRU*.  Fingerprint-affinity routing partitions the key space
+  so each worker's cache stays hot where the single engine thrashes —
+  a cache-capacity win that holds even on one core (no parallelism
+  assumed).
+* ``test_poisson_open_loop_slo_and_shedding`` — an open-loop Poisson
+  arrival process (arrivals scheduled by wall clock, independent of
+  completions — the "millions of users" traffic shape) swept across
+  offered rates, recording the latency-SLO percentiles and the
+  overload-shedding curve under a bounded admission queue.
+
+The artifacts record sustained requests/sec, p50/p95/p99 per-request
+latency, shed fractions, and the service/pool counters.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ import numpy as np
 
 from repro import Engine, PRFOmega, ProbabilisticRelation
 from repro.core.weights import StepWeight
-from repro.service import AsyncRankingClient, RankingService
+from repro.service import (
+    AsyncRankingClient,
+    PooledRankingService,
+    RankingService,
+    ServiceOverloadedError,
+    ThreadWorker,
+    WorkerPool,
+)
 
 from _bench_utils import run_once
 
@@ -39,6 +53,21 @@ PER_CLIENT = 8 if SMOKE else 32      # requests issued by each client
 LEVELS = (4, 16) if SMOKE else (4, 16, 64)
 WINDOW_S = 0.002                     # service coalescing window
 RF = PRFOmega(StepWeight(HORIZON))
+
+# Pooled-vs-single workload: a hot set bigger than one engine's LRU
+# (Engine default cache_relations=64), so the single-process service
+# thrashes while 4 shards hold their slices entirely.
+POOLED_SHARDS = 4
+POOLED_HOT = 24 if SMOKE else 96     # distinct relations (96 > 64 LRU entries)
+POOLED_SIZE = 150 if SMOKE else 600  # tuples per relation
+POOLED_PER_CLIENT = 6 if SMOKE else 24
+POOLED_LEVELS = (8,) if SMOKE else (32, 64)
+
+# Poisson open-loop sweep: offered load as a multiple of a measured
+# closed-loop capacity estimate.
+POISSON_REQUESTS = 80 if SMOKE else 600
+POISSON_FACTORS = (0.5, 2.0) if SMOKE else (0.5, 1.0, 2.0)
+POISSON_MAX_PENDING = 64
 
 
 def make_pool() -> list[ProbabilisticRelation]:
@@ -207,3 +236,278 @@ def test_service_throughput_beats_naive_per_request(benchmark, save_result):
                     f"coalesced serving not faster than naive per-request calls at "
                     f"concurrency {row['concurrency']}: {row['speedup']:.2f}x"
                 )
+
+
+# ----------------------------------------------------------------------
+# Pooled (sharded workers) versus single-process service
+# ----------------------------------------------------------------------
+def make_pooled_hot_set() -> list[ProbabilisticRelation]:
+    rng = np.random.default_rng(53)
+    return [
+        ProbabilisticRelation.from_arrays(
+            rng.uniform(0.0, 10_000.0, size=POOLED_SIZE),
+            rng.uniform(0.0, 1.0, size=POOLED_SIZE),
+            name=f"hot-{index}",
+        )
+        for index in range(POOLED_HOT)
+    ]
+
+
+def pooled_schedule(hot_set, concurrency: int):
+    return [
+        [hot_set[(client * 7 + i) % len(hot_set)] for i in range(POOLED_PER_CLIENT)]
+        for client in range(concurrency)
+    ]
+
+
+async def _drive_schedule(service, schedule) -> float:
+    """Closed-loop drive of ``schedule``; returns wall seconds."""
+    client_api = AsyncRankingClient(service)
+
+    async def client(stream):
+        for relation in stream:
+            await client_api.rank(relation, RF)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client(stream) for stream in schedule))
+    return time.perf_counter() - start
+
+
+def run_pooled_level(hot_set, concurrency: int) -> dict:
+    """Single-engine versus 4-shard pooled service at one concurrency level.
+
+    The TTL result cache is off on both sides so every request reaches
+    the execution tier — the comparison isolates the worker-cache
+    effect, not result memoization.  Both sides get one warm pass, then
+    a timed steady-state pass: steady state is where affinity pays
+    (the single LRU keeps evicting, the shards keep hitting).
+    """
+    schedule = pooled_schedule(hot_set, concurrency)
+    total = concurrency * POOLED_PER_CLIENT
+
+    single_engine = Engine()
+
+    async def drive_single():
+        async with RankingService(
+            single_engine, max_batch=64, max_delay=WINDOW_S, cache_ttl=0.0
+        ) as service:
+            await _drive_schedule(service, schedule)  # warm pass
+            return await _drive_schedule(service, schedule)
+
+    single_wall = asyncio.run(drive_single())
+    single_info = single_engine.cache_info()
+    single_engine.close()
+
+    worker_pool = WorkerPool(
+        POOLED_SHARDS,
+        worker_factory=lambda shard: ThreadWorker(shard),
+        hot_threshold=0,
+    )
+
+    async def drive_pooled():
+        async with PooledRankingService(
+            worker_pool, max_batch=64, max_delay=WINDOW_S, cache_ttl=0.0
+        ) as service:
+            await _drive_schedule(service, schedule)  # warm pass
+            wall = await _drive_schedule(service, schedule)
+            hit_rates = [
+                round(worker.engine.cache_info()["hit_rate"], 3)
+                for worker in worker_pool._workers
+            ]
+            return wall, hit_rates, service.pool.snapshot()
+
+    pooled_wall, pooled_hit_rates, pool_snapshot = asyncio.run(drive_pooled())
+
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "single_rps": total / single_wall,
+        "pooled_rps": total / pooled_wall,
+        "speedup": single_wall / max(pooled_wall, 1e-9),
+        "single_hit_rate": round(single_info["hit_rate"], 3),
+        "pooled_hit_rates": pooled_hit_rates,
+        "pool_totals": pool_snapshot["totals"],
+    }
+
+
+def test_pooled_service_beats_single_process(benchmark, save_result):
+    """Fingerprint-affinity sharding beats one thrashing engine LRU."""
+    hot_set = make_pooled_hot_set()
+
+    # Bit-identity spot check: pooled replies equal direct Engine.rank.
+    reference = Engine().rank(hot_set[0], RF, name=hot_set[0].name)
+
+    async def spot_check():
+        pool = WorkerPool(2, worker_factory=lambda shard: ThreadWorker(shard))
+        async with PooledRankingService(pool, max_delay=WINDOW_S) as service:
+            return await service.submit(hot_set[0], RF, name=hot_set[0].name)
+
+    reply = asyncio.run(spot_check())
+    assert reply.result.tids() == reference.tids()
+    assert [item.value for item in reply.result] == [item.value for item in reference]
+
+    rows = [run_pooled_level(hot_set, concurrency) for concurrency in POOLED_LEVELS]
+
+    # The timed (gated) pass: the pooled side at the top concurrency.
+    top_schedule = pooled_schedule(hot_set, POOLED_LEVELS[-1])
+
+    def timed():
+        pool = WorkerPool(
+            POOLED_SHARDS,
+            worker_factory=lambda shard: ThreadWorker(shard),
+            hot_threshold=0,
+        )
+
+        async def serve():
+            async with PooledRankingService(
+                pool, max_batch=64, max_delay=WINDOW_S, cache_ttl=0.0
+            ) as service:
+                return await _drive_schedule(service, top_schedule)
+
+        return asyncio.run(serve())
+
+    run_once(benchmark, timed)
+
+    lru_note = " (> engine LRU of 64)" if POOLED_HOT > 64 else ""
+    lines = [
+        f"workload            hot={POOLED_HOT} x n={POOLED_SIZE}{lru_note}, "
+        f"PRFomega(h={HORIZON}), "
+        f"{POOLED_PER_CLIENT} requests/client, shards={POOLED_SHARDS}, "
+        f"result cache off, steady-state pass"
+    ]
+    for row in rows:
+        lines.append(
+            f"concurrency={row['concurrency']:<3} requests={row['requests']:<5} "
+            f"single {row['single_rps']:8.0f} rps (hit {row['single_hit_rate']:.2f}) | "
+            f"pooled {row['pooled_rps']:8.0f} rps "
+            f"(hits {row['pooled_hit_rates']}) | "
+            f"speedup {row['speedup']:5.2f}x"
+        )
+    benchmark.extra_info["levels"] = rows
+    save_result("service_pooled_vs_single", "\n".join(lines))
+
+    if not SMOKE:
+        for row in rows:
+            if row["concurrency"] >= 32:
+                assert row["speedup"] > 1.0, (
+                    f"pooled serving not faster than the single-process service "
+                    f"at concurrency {row['concurrency']}: {row['speedup']:.2f}x"
+                )
+
+
+# ----------------------------------------------------------------------
+# Open-loop Poisson load: latency SLOs and overload shedding
+# ----------------------------------------------------------------------
+def poisson_offsets(rate_rps: float, count: int, seed: int = 97) -> np.ndarray:
+    """Arrival offsets (seconds) of a Poisson process at ``rate_rps``."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=count))
+
+
+async def drive_open_loop(service, hot_set, offsets) -> list[tuple[str, float]]:
+    """Fire requests at their scheduled absolute times (open loop).
+
+    Unlike the closed-loop drivers, arrivals do not wait for earlier
+    completions — exactly like real user traffic — so overload shows up
+    as queueing latency and then shedding, not as a slower arrival rate.
+    Returns ``(outcome, latency_seconds)`` per request, where outcome is
+    ``"ok"`` or ``"shed"``.
+    """
+    client_api = AsyncRankingClient(service)
+    start = time.perf_counter()
+
+    async def fire(index: int, offset: float) -> tuple[str, float]:
+        delay = start + offset - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        issued = time.perf_counter()
+        try:
+            await client_api.rank(hot_set[index % len(hot_set)], RF)
+        except ServiceOverloadedError:
+            return ("shed", time.perf_counter() - issued)
+        return ("ok", time.perf_counter() - issued)
+
+    return await asyncio.gather(
+        *(fire(index, float(offset)) for index, offset in enumerate(offsets))
+    )
+
+
+def run_poisson_level(hot_set, rate_rps: float) -> dict:
+    """One offered-rate point of the open-loop sweep (fresh pooled service)."""
+    offsets = poisson_offsets(rate_rps, POISSON_REQUESTS)
+    pool = WorkerPool(
+        POOLED_SHARDS,
+        worker_factory=lambda shard: ThreadWorker(shard),
+        hot_threshold=0,
+    )
+
+    async def scenario():
+        async with PooledRankingService(
+            pool,
+            max_batch=64,
+            max_delay=WINDOW_S,
+            cache_ttl=0.0,
+            max_pending=POISSON_MAX_PENDING,
+        ) as service:
+            outcomes = await drive_open_loop(service, hot_set, offsets)
+            return outcomes, service.stats.as_dict()
+
+    outcomes, stats = asyncio.run(scenario())
+    served = [latency for outcome, latency in outcomes if outcome == "ok"]
+    shed = sum(1 for outcome, _ in outcomes if outcome == "shed")
+    assert len(served) + shed == POISSON_REQUESTS  # no request lost or hung
+    row = {
+        "offered_rps": rate_rps,
+        "requests": POISSON_REQUESTS,
+        "served": len(served),
+        "shed": shed,
+        "shed_fraction": shed / POISSON_REQUESTS,
+    }
+    if served:
+        row["p50_ms"] = percentile_ms(served, 50)
+        row["p95_ms"] = percentile_ms(served, 95)
+        row["p99_ms"] = percentile_ms(served, 99)
+    row["stats"] = stats
+    return row
+
+
+def test_poisson_open_loop_slo_and_shedding(benchmark, save_result):
+    """Latency-SLO and shedding curves under open-loop Poisson arrivals."""
+    hot_set = make_pooled_hot_set()
+
+    # Capacity estimate: closed-loop steady-state rate of the pooled side.
+    capacity_row = run_pooled_level(hot_set, POOLED_LEVELS[0])
+    capacity = capacity_row["pooled_rps"]
+
+    rows = [run_poisson_level(hot_set, capacity * factor) for factor in POISSON_FACTORS]
+
+    def timed():
+        return run_poisson_level(hot_set, capacity * POISSON_FACTORS[0])
+
+    run_once(benchmark, timed)
+
+    lines = [
+        f"workload            hot={POOLED_HOT} x n={POOLED_SIZE}, "
+        f"PRFomega(h={HORIZON}), shards={POOLED_SHARDS}, "
+        f"max_pending={POISSON_MAX_PENDING}, "
+        f"capacity~{capacity:.0f} rps (closed-loop estimate)"
+    ]
+    for row in rows:
+        latency = (
+            f"p50 {row['p50_ms']:7.2f}ms p95 {row['p95_ms']:7.2f}ms "
+            f"p99 {row['p99_ms']:7.2f}ms"
+            if "p50_ms" in row
+            else "all shed"
+        )
+        lines.append(
+            f"offered={row['offered_rps']:7.0f} rps  served={row['served']:<5} "
+            f"shed={row['shed']:<5} ({row['shed_fraction']:5.1%})  {latency}"
+        )
+    benchmark.extra_info["levels"] = rows
+    save_result("service_poisson_slo", "\n".join(lines))
+
+    if not SMOKE:
+        # Under moderate load nothing sheds; overload sheds rather than hangs.
+        assert rows[0]["shed_fraction"] < 0.05, rows[0]
+        overload = rows[-1]
+        assert overload["served"] + overload["shed"] == POISSON_REQUESTS

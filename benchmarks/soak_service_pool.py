@@ -1,0 +1,234 @@
+"""Soak the pooled serving tier under Poisson load with fault injection.
+
+Not a benchmark — a pass/fail endurance check, runnable standalone and
+from CI.  It drives an open-loop Poisson arrival stream at a sharded
+:class:`~repro.service.PooledRankingService` while a seeded
+:class:`~repro.service.FaultPlan` kills, delays, and drops worker
+replies, then verifies the pool's core serving contract:
+
+* **zero lost replies** — every admitted request resolves with a result
+  or a clean ``ServiceOverloadedError`` (nothing hangs, nothing is
+  silently dropped);
+* **convergence** — after the storm, every shard is alive and answers a
+  health probe;
+* **accounting** — served + shed equals the number of issued requests
+  and the service reports no pending work.
+
+Example (the CI service-soak job)::
+
+    PYTHONPATH=src python benchmarks/soak_service_pool.py \\
+        --duration 60 --rate 150 --shards 4 --seed 7
+
+Exit status is 0 when every invariant holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro import PRFOmega, ProbabilisticRelation
+from repro.core.weights import StepWeight
+from repro.service import (
+    AsyncRankingClient,
+    Fault,
+    FaultPlan,
+    PooledRankingService,
+    ServiceOverloadedError,
+    ThreadWorker,
+    WorkerPool,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Soak the pooled ranking service under faulty Poisson load."
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10_000,
+        help="total requests to issue (default: %(default)s); "
+        "ignored when --duration is given",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="soak length in seconds; overrides --requests as rate * duration",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=150.0,
+        help="offered Poisson arrival rate in requests/sec (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="worker-pool shards (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--hot", type=int, default=48,
+        help="distinct relations in the request mix (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=200,
+        help="tuples per relation (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="seed for arrivals and the fault plan (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--kill-rate", type=float, default=0.002,
+        help="per-dispatch worker-kill probability (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--delay-rate", type=float, default=0.01,
+        help="per-dispatch delayed-reply probability (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drop-rate", type=float, default=0.002,
+        help="per-dispatch dropped-reply probability (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-faults", type=int, default=25,
+        help="cap on injected faults so the run converges (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=512,
+        help="service admission bound (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reply-timeout", type=float, default=2.0,
+        help="seconds before a silent worker is restarted (default: %(default)s)",
+    )
+    return parser
+
+
+def make_hot_set(count: int, size: int, seed: int) -> list[ProbabilisticRelation]:
+    rng = np.random.default_rng(seed)
+    return [
+        ProbabilisticRelation.from_arrays(
+            rng.uniform(0.0, 10_000.0, size=size),
+            rng.uniform(0.0, 1.0, size=size),
+            name=f"soak-{index}",
+        )
+        for index in range(count)
+    ]
+
+
+async def soak(args: argparse.Namespace) -> int:
+    total = args.requests
+    if args.duration is not None:
+        total = max(1, int(args.rate * args.duration))
+    hot_set = make_hot_set(args.hot, args.size, args.seed)
+    rf = PRFOmega(StepWeight(20))
+    rng = np.random.default_rng(args.seed + 1)
+    offsets = np.cumsum(rng.exponential(1.0 / args.rate, size=total))
+
+    # One scripted mid-run worker kill (the 1-of-N acceptance scenario)
+    # plus background seeded kill/delay/drop noise.
+    plan = FaultPlan(
+        faults=(Fault("kill", shard=args.shards // 2, batch=total // (4 * args.shards)),),
+        seed=args.seed,
+        kill_rate=args.kill_rate,
+        delay_rate=args.delay_rate,
+        drop_rate=args.drop_rate,
+        delay=0.005,
+        max_faults=args.max_faults,
+    )
+    pool = WorkerPool(
+        args.shards,
+        worker_factory=lambda shard: ThreadWorker(shard),
+        fault_plan=plan,
+        reply_timeout=args.reply_timeout,
+        retry_backoff=0.01,
+    )
+
+    ok = 0
+    shed = 0
+    latencies: list[float] = []
+
+    async with PooledRankingService(
+        pool,
+        max_batch=64,
+        max_delay=0.002,
+        max_pending=args.max_pending,
+        cache_ttl=0.0,
+    ) as service:
+        client_api = AsyncRankingClient(service)
+        start = time.perf_counter()
+
+        async def fire(index: int, offset: float) -> tuple[str, float]:
+            delay = start + offset - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            issued = time.perf_counter()
+            try:
+                await client_api.rank(hot_set[index % len(hot_set)], rf)
+            except ServiceOverloadedError:
+                return ("shed", time.perf_counter() - issued)
+            return ("ok", time.perf_counter() - issued)
+
+        outcomes = await asyncio.gather(
+            *(fire(index, float(offset)) for index, offset in enumerate(offsets))
+        )
+        wall = time.perf_counter() - start
+        for outcome, latency in outcomes:
+            if outcome == "ok":
+                ok += 1
+                latencies.append(latency)
+            else:
+                shed += 1
+
+        pending = service.pending()
+        snapshot = service.pool.snapshot()
+        probes = await service.pool.probe(timeout=5.0)
+
+    failures: list[str] = []
+    if ok + shed != total:
+        failures.append(f"lost replies: ok={ok} shed={shed} issued={total}")
+    if pending != 0:
+        failures.append(f"service still pending: {pending}")
+    if not all(snapshot["alive"]):
+        failures.append(f"dead shards after soak: alive={snapshot['alive']}")
+    if any(probe is None for probe in probes):
+        failures.append(f"health probe failed: {probes}")
+    if args.kill_rate > 0 and snapshot["faults_injected"] == 0:
+        failures.append("fault plan injected nothing — soak did not exercise chaos")
+
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return float("nan")
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))] * 1e3
+
+    print(
+        f"soak: {total} requests @ {args.rate:.0f} rps over {wall:.1f}s | "
+        f"ok={ok} shed={shed} ({shed / total:.1%})"
+    )
+    print(
+        f"  latency p50={pct(0.50):.2f}ms p95={pct(0.95):.2f}ms "
+        f"p99={pct(0.99):.2f}ms"
+    )
+    print(
+        f"  pool: faults={snapshot['faults_injected']} "
+        f"restarts={snapshot['restarts_total']} "
+        f"retries={snapshot['totals']['retries']} "
+        f"timeouts={snapshot['totals']['timeouts']} "
+        f"alive={snapshot['alive']}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("  all invariants held: zero lost replies, pool converged healthy")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return asyncio.run(soak(build_parser().parse_args(argv)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

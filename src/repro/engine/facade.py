@@ -480,6 +480,32 @@ class Engine:
         self.close()
 
     # ------------------------------------------------------------------
+    # Cache warm-up (worker bootstrap hook)
+    # ------------------------------------------------------------------
+    def warm(self, datasets: Iterable, rfs: Sequence[RankingFunction] = ()) -> int:
+        """Pre-compute and cache the hot intermediates of ``datasets``.
+
+        For each dataset, materializes the score-sorted order (which
+        fills the model-specific cache entry — prefix matrices, tree
+        memos, junction trees hang off it) and, for each ranking
+        function in ``rfs``, the full ranking, so the result of the
+        first real request is already cached.  Returns the number of
+        datasets warmed.
+
+        This is the cache-warm bootstrap hook of the serving tier: a
+        freshly (re)started pool worker is handed its shard's hot set so
+        its LRU is warm before traffic arrives
+        (:meth:`repro.service.pool.WorkerPool.warm`).
+        """
+        count = 0
+        for data in datasets:
+            self.sorted_tuples(data)
+            for rf in rfs:
+                self.rank(data, rf)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
     # One dataset, many ranking functions
     # ------------------------------------------------------------------
     def rank_many(

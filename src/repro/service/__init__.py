@@ -19,6 +19,17 @@ Two front doors:
   ``python -m repro.service``, with :class:`TCPRankingClient` as the
   matching pipelined client.
 
+And two execution tiers behind the same admission machinery:
+
+* :class:`RankingService` — one in-process engine.
+* :class:`PooledRankingService` (:mod:`repro.service.pool`) — a sharded
+  pool of engine workers with fingerprint-affinity routing
+  (:mod:`repro.service.router`), replica fan-out for hot datasets,
+  bounded per-shard queues, worker restart/retry, seedable fault
+  injection, and Prometheus-style counters
+  (:mod:`repro.service.metrics`) on the TCP front-end
+  (``{"op": "metrics"}`` or plain ``GET /metrics``).
+
 Quickstart::
 
     import asyncio
@@ -35,6 +46,18 @@ Quickstart::
 """
 
 from .client import AsyncRankingClient, RemoteServiceError, TCPRankingClient
+from .metrics import render_metrics
+from .pool import (
+    Fault,
+    FaultPlan,
+    PooledRankingService,
+    ProcessWorker,
+    ShardStats,
+    ThreadWorker,
+    WorkerDiedError,
+    WorkerPool,
+)
+from .router import FingerprintRouter, HotSpotTracker, stable_hash
 from .service import (
     RankingService,
     ServiceOverloadedError,
@@ -54,10 +77,22 @@ from .tcp import serve_tcp
 
 __all__ = [
     "RankingService",
+    "PooledRankingService",
     "ServiceReply",
     "ServiceStats",
     "ServiceOverloadedError",
     "TTLCache",
+    "WorkerPool",
+    "ProcessWorker",
+    "ThreadWorker",
+    "WorkerDiedError",
+    "ShardStats",
+    "Fault",
+    "FaultPlan",
+    "FingerprintRouter",
+    "HotSpotTracker",
+    "stable_hash",
+    "render_metrics",
     "AsyncRankingClient",
     "TCPRankingClient",
     "RemoteServiceError",

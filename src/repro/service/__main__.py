@@ -16,6 +16,7 @@ import argparse
 import asyncio
 
 from ..engine.facade import Engine
+from .pool import PooledRankingService, WorkerPool
 from .service import RankingService
 from .tcp import serve_tcp
 
@@ -56,20 +57,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="engine process-pool size for very large independent batches",
     )
+    parser.add_argument(
+        "--pool-shards", type=int, default=0,
+        help="run a sharded worker pool of this many engine processes "
+        "behind the coalescer (0 = single in-process engine, default)",
+    )
+    parser.add_argument(
+        "--shard-depth", type=int, default=256,
+        help="per-shard in-flight bound before sub-batches are shed "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pool-retries", type=int, default=3,
+        help="re-dispatch attempts after a worker failure (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reply-timeout", type=float, default=30.0,
+        help="seconds before a silent worker is declared wedged and "
+        "restarted (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pool-replicas", type=int, default=2,
+        help="shards a hot dataset fans out across (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--mp-context", default=None,
+        help="multiprocessing start method for pool workers "
+        "(default: fork where available)",
+    )
     return parser
 
 
 async def run(args: argparse.Namespace) -> None:
     """Start the service and serve until cancelled."""
     engine = Engine(workers=args.workers)
-    service = RankingService(
-        engine,
+    service_kwargs = dict(
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         max_pending=args.max_pending,
         cache_ttl=args.cache_ttl,
         cache_entries=args.cache_entries,
     )
+    service: RankingService
+    if args.pool_shards > 0:
+        pool = WorkerPool(
+            args.pool_shards,
+            max_shard_depth=args.shard_depth,
+            max_retries=args.pool_retries,
+            reply_timeout=args.reply_timeout,
+            replicas=args.pool_replicas,
+            mp_context=args.mp_context,
+        )
+        service = PooledRankingService(pool, engine=engine, **service_kwargs)
+    else:
+        service = RankingService(engine, **service_kwargs)
     async with service:
         server = await serve_tcp(
             service, args.host, args.port, max_registered=args.max_registered
@@ -82,6 +123,12 @@ async def run(args: argparse.Namespace) -> None:
             f"  coalescing: window={args.max_delay_ms}ms batch<={args.max_batch} "
             f"pending<={args.max_pending} cache_ttl={args.cache_ttl}s"
         )
+        if args.pool_shards > 0:
+            print(
+                f"  worker pool: shards={args.pool_shards} "
+                f"shard_depth<={args.shard_depth} retries={args.pool_retries} "
+                f"replicas={args.pool_replicas}"
+            )
         try:
             async with server:
                 await server.serve_forever()

@@ -1,0 +1,163 @@
+"""Prometheus-style text rendering of the service/pool counters.
+
+:func:`render_metrics` turns a :meth:`RankingService.stats_snapshot`
+(or :class:`~repro.service.pool.PooledRankingService`'s pooled
+superset) into the Prometheus text exposition format, served by the
+TCP front-end both as a JSON ``{"op": "metrics"}`` reply and as a plain
+``GET /metrics`` HTTP fast-path — so a stock Prometheus scraper can
+point at the service port with no sidecar.
+
+Naming: service counters are ``repro_service_<counter>_total``, gauges
+(``pending``, ``largest_batch``) drop the suffix; engine cache fields
+are ``repro_engine_cache_<field>``; pool counters are
+``repro_pool_<counter>_total{shard="i"}`` per shard plus unlabeled
+pool-wide totals, with ``repro_pool_shard_depth`` / ``_up`` gauges.
+``docs/service.md`` carries the reference table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["render_metrics"]
+
+_PREFIX = "repro"
+
+#: Service counters that only ever increase (rendered with ``_total``).
+_SERVICE_COUNTERS = (
+    "requests",
+    "cache_hits",
+    "deduplicated",
+    "shed",
+    "batches",
+    "executed",
+    "errors",
+)
+#: Service fields that are point-in-time values.
+_SERVICE_GAUGES = ("largest_batch", "pending")
+
+
+def _metric(
+    lines: list[str],
+    name: str,
+    kind: str,
+    help_text: str,
+    samples: Iterable[tuple[str, Any]],
+) -> None:
+    """Append one metric family (HELP/TYPE header plus its samples)."""
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+    for labels, value in samples:
+        lines.append(f"{name}{labels} {_format(value)}")
+
+
+def _format(value: Any) -> str:
+    """A Prometheus sample value (bools become 0/1, floats stay exact)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(int(value))
+
+
+def render_metrics(snapshot: dict[str, Any]) -> str:
+    """The Prometheus text form of a service (or pooled-service) snapshot.
+
+    Unknown snapshot keys are ignored, so the renderer tolerates both
+    the plain-service and pooled-service snapshot shapes (and future
+    additions) without coordination.
+    """
+    lines: list[str] = []
+    for counter in _SERVICE_COUNTERS:
+        if counter in snapshot:
+            _metric(
+                lines,
+                f"{_PREFIX}_service_{counter}_total",
+                "counter",
+                f"Service {counter.replace('_', ' ')} counter.",
+                [("", snapshot[counter])],
+            )
+    for gauge in _SERVICE_GAUGES:
+        if gauge in snapshot:
+            _metric(
+                lines,
+                f"{_PREFIX}_service_{gauge}",
+                "gauge",
+                f"Service {gauge.replace('_', ' ')} gauge.",
+                [("", snapshot[gauge])],
+            )
+    engine_cache = snapshot.get("engine_cache")
+    if isinstance(engine_cache, dict):
+        for key, value in engine_cache.items():
+            if isinstance(value, (bool, int, float)):
+                _metric(
+                    lines,
+                    f"{_PREFIX}_engine_cache_{key}",
+                    "gauge",
+                    f"Engine cache {key.replace('_', ' ')}.",
+                    [("", value)],
+                )
+    pool = snapshot.get("pool")
+    if isinstance(pool, dict):
+        _render_pool(lines, pool)
+    return "\n".join(lines) + "\n"
+
+
+def _render_pool(lines: list[str], pool: dict[str, Any]) -> None:
+    """Append the worker-pool metric families of a pooled snapshot."""
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_shards",
+        "gauge",
+        "Number of worker shards in the pool.",
+        [("", pool.get("shards", 0))],
+    )
+    # Named distinctly from the per-shard ``repro_pool_restarts_total``
+    # family: a Prometheus exposition must not repeat a family name.
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_worker_restarts_total",
+        "counter",
+        "Workers respawned after death or graceful restart, pool-wide.",
+        [("", pool.get("restarts_total", 0))],
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_faults_injected_total",
+        "counter",
+        "Faults injected by the active fault plan.",
+        [("", pool.get("faults_injected", 0))],
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_shard_up",
+        "gauge",
+        "Whether the shard's worker is alive (1) or dead (0).",
+        [
+            (f'{{shard="{shard}"}}', up)
+            for shard, up in enumerate(pool.get("alive", ()))
+        ],
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_shard_depth",
+        "gauge",
+        "Requests currently in flight on the shard.",
+        [
+            (f'{{shard="{shard}"}}', depth)
+            for shard, depth in enumerate(pool.get("depth", ()))
+        ],
+    )
+    per_shard = pool.get("per_shard", ())
+    counters: list[str] = sorted({key for stats in per_shard for key in stats})
+    for counter in counters:
+        _metric(
+            lines,
+            f"{_PREFIX}_pool_{counter}_total",
+            "counter",
+            f"Per-shard {counter.replace('_', ' ')} counter.",
+            [
+                (f'{{shard="{shard}"}}', stats.get(counter, 0))
+                for shard, stats in enumerate(per_shard)
+            ],
+        )

@@ -1,0 +1,1171 @@
+"""Sharded Engine worker pool with fault injection behind the coalescer.
+
+The PR-3 service coalesces all traffic onto one in-process engine — one
+GIL-bound process, one point of failure.  This module scales and
+hardens that tier:
+
+* :class:`WorkerPool` — N engine workers (real processes by default,
+  in-process :class:`ThreadWorker` instances for deterministic tests
+  and single-core deployments), each owning a stable slice of the
+  dataset universe through fingerprint-affinity routing
+  (:mod:`repro.service.router`), so every worker's LRU fingerprint
+  cache stays hot for the datasets it serves.  Hot fingerprints fan out
+  across replica shards; per-shard queues are bounded and shed with
+  :class:`~repro.service.service.ServiceOverloadedError`; dead workers
+  are respawned and their in-flight work re-dispatched with bounded
+  retry and exponential backoff; wedged workers (dropped replies) are
+  detected by a reply timeout, killed and restarted.
+* :class:`PooledRankingService` — the existing coalescing admission
+  tier (:class:`~repro.service.service.RankingService`: micro-batching,
+  dedup, TTL cache, admission bound) with execution routed through the
+  pool instead of one engine.  Windows pipeline: while workers compute
+  one window the loop is already coalescing the next.
+* :class:`FaultPlan` — a *seeded* fault-injection layer threaded
+  through the pool's dispatch path.  Faults (kill worker mid-batch,
+  delay a dispatch, drop a reply) are drawn deterministically per
+  (shard, dispatch sequence) from :func:`~repro.service.router.
+  stable_hash`-derived streams, so chaos scenarios replay exactly and
+  the chaos suite in ``tests/test_pool.py`` is reproducible.
+
+Replies remain **bit-identical** to direct ``Engine.rank``: workers run
+the same planner/backends, datasets cross the process boundary by
+pickling with exact float round-trip, and the pool only routes results.
+
+Dataset shipping is *send-once*: the parent tracks which fingerprints a
+worker already holds and sends only references afterwards; a worker
+that evicted a dataset replies ``need`` and the parent re-sends, so the
+protocol self-heals across worker LRU evictions and restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import multiprocessing
+import queue
+import random
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..core.prf import RankingFunction
+from ..core.result import RankingResult
+from ..engine.cache import dataset_fingerprint
+from ..engine.facade import Engine
+from .router import FingerprintRouter, HotSpotTracker, stable_hash
+from .service import (
+    RankingService,
+    ServiceOverloadedError,
+    ServiceReply,
+    _PendingRequest,
+)
+from .spec import ranking_function_key
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "WorkerDiedError",
+    "ShardStats",
+    "ProcessWorker",
+    "ThreadWorker",
+    "WorkerPool",
+    "PooledRankingService",
+]
+
+
+class WorkerDiedError(RuntimeError):
+    """A worker crashed (or was killed) while holding dispatched work."""
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure, scripted or drawn from a seeded stream.
+
+    ``kind`` is ``"kill"`` (hard-kill the worker right after the batch
+    is dispatched — mid-batch), ``"delay"`` (sleep ``delay`` seconds
+    before dispatching) or ``"drop"`` (discard the worker's reply so the
+    pool's reply timeout must recover).  ``shard`` / ``batch`` restrict
+    a scripted fault to one shard-local dispatch sequence number;
+    ``None`` matches any.
+    """
+
+    kind: str
+    shard: int | None = None
+    batch: int | None = None
+    delay: float = 0.01
+
+
+class FaultPlan:
+    """Deterministic, seedable fault injection for the worker pool.
+
+    Parameters
+    ----------
+    faults:
+        Scripted :class:`Fault` objects; each fires at most once, on the
+        first dispatch matching its ``shard`` / ``batch`` filters.
+    seed:
+        Seed of the probabilistic stream.  Draws are keyed by
+        ``(seed, shard, sequence)`` through :func:`stable_hash`, so the
+        fault at any given dispatch is independent of wall-clock timing
+        and thread interleaving — a scenario replays exactly.
+    kill_rate / delay_rate / drop_rate:
+        Per-dispatch probabilities of each fault kind (evaluated in that
+        order from one uniform draw).
+    delay:
+        Seconds a drawn ``delay`` fault sleeps.
+    max_faults:
+        Hard bound on total injected faults (scripted + drawn); once
+        reached the plan goes quiet, so a chaos run converges back to a
+        healthy pool.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[Fault] = (),
+        *,
+        seed: int = 0,
+        kill_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        delay: float = 0.01,
+        max_faults: int | None = None,
+    ) -> None:
+        self.scripted = list(faults)
+        self.seed = int(seed)
+        self.kill_rate = float(kill_rate)
+        self.delay_rate = float(delay_rate)
+        self.drop_rate = float(drop_rate)
+        self.delay = float(delay)
+        self.max_faults = max_faults
+        self._fired: set[int] = set()
+        self._injected = 0
+        self._lock = threading.Lock()
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far (scripted + drawn)."""
+        with self._lock:
+            return self._injected
+
+    def draw(self, shard: int, sequence: int) -> Fault | None:
+        """The fault (if any) to inject at dispatch ``sequence`` of ``shard``."""
+        with self._lock:
+            if self.max_faults is not None and self._injected >= self.max_faults:
+                return None
+            for index, fault in enumerate(self.scripted):
+                if index in self._fired:
+                    continue
+                if fault.shard is not None and fault.shard != shard:
+                    continue
+                if fault.batch is not None and fault.batch != sequence:
+                    continue
+                self._fired.add(index)
+                self._injected += 1
+                return fault
+            value = random.Random(stable_hash("fault", self.seed, shard, sequence)).random()
+            threshold = self.kill_rate
+            if value < threshold:
+                kind = "kill"
+            elif value < (threshold := threshold + self.delay_rate):
+                kind = "delay"
+            elif value < threshold + self.drop_rate:
+                kind = "drop"
+            else:
+                return None
+            self._injected += 1
+            return Fault(kind, shard=shard, batch=sequence, delay=self.delay)
+
+
+# ----------------------------------------------------------------------
+# Worker protocol (shared by process and thread workers)
+# ----------------------------------------------------------------------
+@dataclass
+class _JobContext:
+    """Parent-side record of one dispatched job (kept for need-resends)."""
+
+    fingerprints: list[str]
+    datasets: dict[str, Any]
+    rf: RankingFunction
+    top_k: int | None
+    approx: float | None
+
+
+def _worker_main(conn, engine_kwargs: dict, dataset_cache_entries: int) -> None:
+    """Worker-process entry point: serve jobs from ``conn`` until told to stop.
+
+    Bootstraps a private :class:`~repro.engine.facade.Engine`, keeps an
+    LRU of datasets keyed by content fingerprint (the send-once
+    protocol), and answers ``job`` / ``warm`` / ``ping`` messages.  A
+    fingerprint the worker no longer holds produces a ``need`` reply so
+    the parent re-sends the payload.
+    """
+    engine = Engine(**engine_kwargs)
+    datasets: "OrderedDict[str, Any]" = OrderedDict()
+
+    def remember(fingerprint: str, data: Any) -> None:
+        datasets[fingerprint] = data
+        datasets.move_to_end(fingerprint)
+        while len(datasets) > dataset_cache_entries:
+            datasets.popitem(last=False)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        job_id = message[1]
+        try:
+            if kind == "ping":
+                conn.send(("ok", job_id, "pong"))
+            elif kind == "warm":
+                _, _, payloads, rfs = message
+                for data in payloads:
+                    remember(dataset_fingerprint(data), data)
+                conn.send(("ok", job_id, engine.warm(payloads, rfs)))
+            elif kind == "job":
+                _, _, fingerprints, payloads, rf, top_k, approx = message
+                for fingerprint, data in payloads.items():
+                    remember(fingerprint, data)
+                missing = sorted({fp for fp in fingerprints if fp not in datasets})
+                if missing:
+                    conn.send(("need", job_id, missing))
+                    continue
+                batch = [datasets[fp] for fp in fingerprints]
+                for fp in fingerprints:
+                    datasets.move_to_end(fp)
+                kwargs: dict[str, Any] = {}
+                if top_k is not None:
+                    kwargs["top_k"] = top_k
+                if approx is not None:
+                    kwargs["approx"] = approx
+                conn.send(("ok", job_id, engine.rank_batch(batch, rf, **kwargs)))
+            else:  # pragma: no cover - defensive
+                conn.send(("err", job_id, RuntimeError(f"unknown message {kind!r}")))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            try:
+                conn.send(("err", job_id, exc))
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                conn.send(("err", job_id, RuntimeError(f"{type(exc).__name__}: {exc}")))
+    conn.close()
+
+
+def default_mp_context() -> str:
+    """The preferred multiprocessing start method (``fork`` where available).
+
+    Forked workers start in milliseconds and inherit loaded numpy/scipy
+    pages; platforms without ``fork`` fall back to ``spawn``.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ProcessWorker:
+    """One engine worker in a child process, spoken to over a pipe.
+
+    Parameters
+    ----------
+    shard:
+        The shard index this worker serves (naming / diagnostics).
+    engine_kwargs:
+        Constructor arguments of the worker's private engine.
+    dataset_cache_entries:
+        LRU bound on datasets the worker retains for the send-once
+        shipping protocol.
+    mp_context:
+        Multiprocessing start method (default: ``fork`` if available).
+
+    A background reader thread matches replies to outstanding futures;
+    worker death (crash, kill, closed pipe) fails every outstanding
+    future with :class:`WorkerDiedError`.
+    """
+
+    def __init__(
+        self,
+        shard: int = 0,
+        *,
+        engine_kwargs: dict | None = None,
+        dataset_cache_entries: int = 512,
+        mp_context: str | None = None,
+    ) -> None:
+        self.shard = int(shard)
+        self.dataset_cache_entries = int(dataset_cache_entries)
+        context = multiprocessing.get_context(mp_context or default_mp_context())
+        self._conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, dict(engine_kwargs or {}), self.dataset_cache_entries),
+            name=f"rank-worker-{shard}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._ids = itertools.count(1)
+        self._pending: dict[int, tuple[concurrent.futures.Future, _JobContext | None]] = {}
+        self._shipped: "OrderedDict[str, None]" = OrderedDict()
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"rank-worker-{shard}-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is running and its pipe is intact."""
+        return not self._dead and self.process.is_alive()
+
+    # -- dispatch ------------------------------------------------------
+    def submit(
+        self,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        *,
+        top_k: int | None = None,
+        approx: float | None = None,
+    ) -> "concurrent.futures.Future[list[RankingResult]]":
+        """Dispatch one batch; the future resolves to its ranked results.
+
+        Raises
+        ------
+        WorkerDiedError
+            If the worker is already dead (the caller should respawn and
+            retry through the pool).
+        """
+        fingerprints = [dataset_fingerprint(data) for data in datasets]
+        context = _JobContext(
+            fingerprints=fingerprints,
+            datasets={fp: data for fp, data in zip(fingerprints, datasets)},
+            rf=rf,
+            top_k=top_k,
+            approx=approx,
+        )
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        job_id = self._register(future, context)
+        payloads = self._unshipped_payloads(context, None)
+        self._send(("job", job_id, fingerprints, payloads, rf, top_k, approx))
+        return future
+
+    def warm(
+        self,
+        datasets: Sequence[Any],
+        rfs: Sequence[RankingFunction] = (),
+        timeout: float | None = 60.0,
+    ) -> int:
+        """Ship ``datasets`` and pre-compute their intermediates on the worker.
+
+        Blocks until the worker acknowledges; returns the number of
+        datasets warmed.  The shipped datasets enter the worker's
+        send-once cache, so later jobs reference them for free.
+        """
+        datasets = list(datasets)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        job_id = self._register(future, None)
+        self._send(("warm", job_id, datasets, list(rfs)))
+        with self._state_lock:
+            for data in datasets:
+                self._mark_shipped(dataset_fingerprint(data))
+        return future.result(timeout=timeout)
+
+    def ping(self, timeout: float = 5.0) -> float:
+        """Round-trip a no-op through the worker; returns seconds taken."""
+        start = time.perf_counter()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        job_id = self._register(future, None)
+        self._send(("ping", job_id))
+        future.result(timeout=timeout)
+        return time.perf_counter() - start
+
+    # -- lifecycle -----------------------------------------------------
+    def kill(self) -> None:
+        """Hard-kill the worker process (fault injection / wedged worker)."""
+        try:
+            self.process.kill()
+        except Exception:  # noqa: BLE001 - already gone
+            pass
+        self._on_death(WorkerDiedError(f"worker {self.shard} was killed"))
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Gracefully stop the worker: send ``stop``, join, then kill."""
+        if not self._dead:
+            try:
+                self._send(("stop", None))
+            except WorkerDiedError:
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(1.0)
+        self._on_death(WorkerDiedError(f"worker {self.shard} stopped"))
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- internals -----------------------------------------------------
+    def _register(
+        self, future: concurrent.futures.Future, context: _JobContext | None
+    ) -> int:
+        with self._state_lock:
+            if self._dead:
+                raise WorkerDiedError(f"worker {self.shard} is dead")
+            job_id = next(self._ids)
+            self._pending[job_id] = (future, context)
+            return job_id
+
+    def _unshipped_payloads(
+        self, context: _JobContext, missing: list[str] | None
+    ) -> dict[str, Any]:
+        """Datasets to attach: the not-yet-shipped ones, or an explicit list."""
+        with self._state_lock:
+            if missing is not None:
+                for fingerprint in missing:
+                    self._mark_shipped(fingerprint)
+                return {fp: context.datasets[fp] for fp in missing if fp in context.datasets}
+            payloads = {}
+            for fingerprint in context.fingerprints:
+                if fingerprint not in self._shipped:
+                    payloads[fingerprint] = context.datasets[fingerprint]
+                    self._mark_shipped(fingerprint)
+            return payloads
+
+    def _mark_shipped(self, fingerprint: str) -> None:
+        self._shipped[fingerprint] = None
+        self._shipped.move_to_end(fingerprint)
+        while len(self._shipped) > self.dataset_cache_entries:
+            self._shipped.popitem(last=False)
+
+    def _send(self, message: tuple) -> None:
+        with self._send_lock:
+            try:
+                self._conn.send(message)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                self._on_death(WorkerDiedError(f"worker {self.shard} pipe broke: {exc}"))
+                raise WorkerDiedError(f"worker {self.shard} is dead") from exc
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                message = self._conn.recv()
+                kind, job_id = message[0], message[1]
+                if kind == "need":
+                    self._resend(job_id, list(message[2]))
+                    continue
+                with self._state_lock:
+                    entry = self._pending.pop(job_id, None)
+                if entry is None:
+                    continue
+                future, _ = entry
+                if kind == "ok":
+                    if not future.done():
+                        future.set_result(message[2])
+                elif not future.done():
+                    future.set_exception(message[2])
+        except (EOFError, OSError):
+            self._on_death(WorkerDiedError(f"worker {self.shard} died"))
+        except Exception as exc:  # noqa: BLE001 - corrupt stream
+            self._on_death(WorkerDiedError(f"worker {self.shard} protocol failure: {exc}"))
+
+    def _resend(self, job_id: int, missing: list[str]) -> None:
+        """Re-send a job whose datasets the worker evicted (``need`` reply)."""
+        with self._state_lock:
+            entry = self._pending.get(job_id)
+        if entry is None or entry[1] is None:
+            return
+        context = entry[1]
+        payloads = self._unshipped_payloads(context, missing)
+        try:
+            self._send(
+                (
+                    "job",
+                    job_id,
+                    context.fingerprints,
+                    payloads,
+                    context.rf,
+                    context.top_k,
+                    context.approx,
+                )
+            )
+        except WorkerDiedError:
+            pass
+
+    def _on_death(self, exc: WorkerDiedError) -> None:
+        with self._state_lock:
+            if self._dead:
+                return
+            self._dead = True
+            pending, self._pending = self._pending, {}
+        for future, _ in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+
+class ThreadWorker:
+    """An in-process engine worker with process-worker semantics.
+
+    One thread serves a private :class:`~repro.engine.facade.Engine`;
+    :meth:`kill` *simulates* a crash — in-flight and queued work fails
+    with :class:`WorkerDiedError` and the worker goes permanently dead —
+    so the chaos suite can exercise the pool's restart/retry machinery
+    deterministically and fast, without real process churn.  Also the
+    right worker type on single-core hosts, where process isolation
+    buys no parallelism but still pays pickling.
+    """
+
+    def __init__(
+        self,
+        shard: int = 0,
+        *,
+        engine: Engine | None = None,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        self.shard = int(shard)
+        self.engine = engine if engine is not None else Engine(**(engine_kwargs or {}))
+        self._queue: "queue.SimpleQueue[tuple | None]" = queue.SimpleQueue()
+        self._inflight: set[concurrent.futures.Future] = set()
+        self._lock = threading.Lock()
+        self._dead = False
+        self._thread = threading.Thread(
+            target=self._serve, name=f"rank-thread-worker-{shard}", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker still accepts and answers work."""
+        return not self._dead
+
+    def submit(
+        self,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        *,
+        top_k: int | None = None,
+        approx: float | None = None,
+    ) -> "concurrent.futures.Future[list[RankingResult]]":
+        """Dispatch one batch; the future resolves to its ranked results."""
+        future = self._enqueue(("job", list(datasets), rf, top_k, approx))
+        return future
+
+    def warm(
+        self,
+        datasets: Sequence[Any],
+        rfs: Sequence[RankingFunction] = (),
+        timeout: float | None = 60.0,
+    ) -> int:
+        """Pre-compute intermediates for ``datasets`` on the worker's engine."""
+        return self._enqueue(("warm", list(datasets), list(rfs))).result(timeout=timeout)
+
+    def ping(self, timeout: float = 5.0) -> float:
+        """Round-trip a no-op through the worker thread; returns seconds."""
+        start = time.perf_counter()
+        self._enqueue(("ping",)).result(timeout=timeout)
+        return time.perf_counter() - start
+
+    def kill(self) -> None:
+        """Simulate a crash: fail all outstanding work, go permanently dead."""
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            inflight, self._inflight = self._inflight, set()
+        exc = WorkerDiedError(f"worker {self.shard} was killed")
+        for future in inflight:
+            if not future.done():
+                future.set_exception(exc)
+        self._queue.put(None)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the serving thread (graceful; queued work fails as died)."""
+        self.kill()
+        self._thread.join(timeout)
+
+    def _enqueue(self, item: tuple) -> concurrent.futures.Future:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            if self._dead:
+                raise WorkerDiedError(f"worker {self.shard} is dead")
+            self._inflight.add(future)
+        self._queue.put((future, *item))
+        return future
+
+    def _serve(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, kind, *rest = item
+            try:
+                if kind == "ping":
+                    outcome: Any = "pong"
+                elif kind == "warm":
+                    datasets, rfs = rest
+                    outcome = self.engine.warm(datasets, rfs)
+                else:
+                    datasets, rf, top_k, approx = rest
+                    kwargs: dict[str, Any] = {}
+                    if top_k is not None:
+                        kwargs["top_k"] = top_k
+                    if approx is not None:
+                        kwargs["approx"] = approx
+                    outcome = self.engine.rank_batch(datasets, rf, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+                self._finish(future, error=exc)
+                continue
+            self._finish(future, result=outcome)
+
+    def _finish(
+        self, future: concurrent.futures.Future, result: Any = None, error: Any = None
+    ) -> None:
+        with self._lock:
+            if self._dead:
+                # The worker died mid-batch: the future already failed in
+                # kill(); the computed result is discarded like a reply
+                # from a crashed process.
+                return
+            self._inflight.discard(future)
+        if future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+
+# ----------------------------------------------------------------------
+# Pool statistics
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Counters describing one shard's traffic and failures."""
+
+    #: Sub-batches dispatched to the shard's worker (including retries).
+    dispatched: int = 0
+    #: Requests answered by the shard's worker.
+    executed: int = 0
+    #: Worker deaths observed while the shard held dispatched work.
+    failures: int = 0
+    #: Workers (re)spawned to replace a dead one.
+    restarts: int = 0
+    #: Re-dispatch attempts after a failure or timeout.
+    retries: int = 0
+    #: Replies that timed out (dropped reply / wedged worker).
+    timeouts: int = 0
+    #: Requests shed at the shard's queue bound.
+    shed: int = 0
+    #: Injected faults that hit this shard.
+    faults: int = 0
+    #: Requests routed here as a hot-fingerprint replica (non-primary).
+    replica_routed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (JSON-friendly)."""
+        return {
+            "dispatched": self.dispatched,
+            "executed": self.executed,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "faults": self.faults,
+            "replica_routed": self.replica_routed,
+        }
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """N engine workers with affinity routing, bounded queues and restarts.
+
+    Parameters
+    ----------
+    shards:
+        Number of workers (and shards of the fingerprint space).
+    worker_factory:
+        ``factory(shard) -> worker``; defaults to :class:`ProcessWorker`
+        with ``engine_kwargs`` / ``mp_context`` / ``dataset_cache_entries``.
+        Pass ``lambda shard: ThreadWorker(shard)`` for in-process workers.
+    engine_kwargs:
+        Constructor arguments for each worker's private engine.
+    max_shard_depth:
+        Bound on requests in flight per shard; sub-batches beyond it are
+        shed with :class:`ServiceOverloadedError`.
+    hot_threshold / replicas:
+        Decayed request count at which a fingerprint goes hot, and the
+        number of shards its traffic then fans out across (``<= 1``
+        disables fan-out).
+    max_retries:
+        Re-dispatch attempts per sub-batch after worker failures before
+        the requests fail with :class:`ServiceOverloadedError`.
+    retry_backoff:
+        Base seconds of the exponential backoff between retries.
+    reply_timeout:
+        Seconds to wait for a worker's reply before declaring it wedged,
+        killing and respawning it.
+    max_restarts:
+        Pool-wide bound on worker respawns (``None`` = unbounded); an
+        exhausted budget sheds instead of restarting (restart-storm brake).
+    fault_plan:
+        Optional :class:`FaultPlan` threaded through every dispatch.
+    mp_context / dataset_cache_entries:
+        Forwarded to the default :class:`ProcessWorker` factory.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        worker_factory: Callable[[int], Any] | None = None,
+        engine_kwargs: dict | None = None,
+        max_shard_depth: int = 256,
+        hot_threshold: int = 64,
+        replicas: int = 2,
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
+        reply_timeout: float = 30.0,
+        max_restarts: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        mp_context: str | None = None,
+        dataset_cache_entries: int = 512,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_shard_depth < 1:
+            raise ValueError(f"max_shard_depth must be >= 1, got {max_shard_depth}")
+        self.shards = int(shards)
+        self.router = FingerprintRouter(self.shards)
+        self.hot = HotSpotTracker(threshold=hot_threshold)
+        self.replicas = max(1, int(replicas))
+        self.max_shard_depth = int(max_shard_depth)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.reply_timeout = float(reply_timeout)
+        self.max_restarts = max_restarts
+        self.fault_plan = fault_plan
+        if worker_factory is None:
+            worker_factory = lambda shard: ProcessWorker(  # noqa: E731
+                shard,
+                engine_kwargs=engine_kwargs,
+                dataset_cache_entries=dataset_cache_entries,
+                mp_context=mp_context,
+            )
+        self._factory = worker_factory
+        self._workers: list[Any | None] = [None] * self.shards
+        self._depth = [0] * self.shards
+        self._sequence = [0] * self.shards
+        self._restarts_total = 0
+        self._lock = threading.Lock()
+        self.shard_stats = [ShardStats() for _ in range(self.shards)]
+        self.started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Spawn every worker (idempotent)."""
+        with self._lock:
+            for shard in range(self.shards):
+                if self._workers[shard] is None:
+                    self._workers[shard] = self._factory(shard)
+            self.started = True
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (idempotent)."""
+        with self._lock:
+            workers, self._workers = self._workers, [None] * self.shards
+            self.started = False
+        for worker in workers:
+            if worker is not None:
+                worker.stop(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        """``with WorkerPool(...) as pool:`` starts the workers."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the workers on scope exit."""
+        self.close()
+
+    # -- routing -------------------------------------------------------
+    def route(self, fingerprint: str) -> int:
+        """The shard serving ``fingerprint`` for this request.
+
+        Cold fingerprints go to their rendezvous-primary shard (cache
+        affinity); once the hot tracker crosses its threshold, requests
+        round-robin across the top ``replicas`` shards of the preference
+        order, so one viral dataset stops serializing on one worker.
+        """
+        count = self.hot.record(fingerprint)
+        if self.replicas > 1 and self.hot.is_hot(fingerprint):
+            preference = self.router.preference(fingerprint, self.replicas)
+            shard = preference[count % len(preference)]
+            if shard != preference[0]:
+                with self._lock:
+                    self.shard_stats[shard].replica_routed += 1
+            return shard
+        return self.router.shard(fingerprint)
+
+    def depth(self, shard: int) -> int:
+        """Requests currently in flight on ``shard``."""
+        return self._depth[shard]
+
+    # -- execution -----------------------------------------------------
+    async def execute(
+        self,
+        shard: int,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        *,
+        top_k: int | None = None,
+        approx: float | None = None,
+    ) -> list[RankingResult]:
+        """Run one sub-batch on ``shard``, retrying across worker failures.
+
+        Sheds with :class:`ServiceOverloadedError` when the shard queue
+        is full or the retry/restart budget is exhausted; otherwise the
+        returned results are bit-identical to ``Engine.rank_batch`` on
+        the same inputs.
+        """
+        size = len(datasets)
+        with self._lock:
+            if self._depth[shard] + size > self.max_shard_depth:
+                self.shard_stats[shard].shed += size
+                raise ServiceOverloadedError(
+                    f"shard {shard} queue is full "
+                    f"({self._depth[shard]} in flight, bound {self.max_shard_depth})"
+                )
+            self._depth[shard] += size
+        try:
+            attempt = 0
+            while True:
+                try:
+                    return await self._dispatch_once(shard, datasets, rf, top_k, approx)
+                except (WorkerDiedError, ServiceOverloadedError) as exc:
+                    if isinstance(exc, ServiceOverloadedError):
+                        raise
+                    attempt += 1
+                    with self._lock:
+                        self.shard_stats[shard].failures += 1
+                        self.shard_stats[shard].retries += 1
+                    if attempt > self.max_retries:
+                        raise ServiceOverloadedError(
+                            f"shard {shard} failed {attempt} dispatch attempts: {exc}"
+                        ) from exc
+                    await asyncio.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+        finally:
+            with self._lock:
+                self._depth[shard] -= size
+
+    async def _dispatch_once(
+        self,
+        shard: int,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        top_k: int | None,
+        approx: float | None,
+    ) -> list[RankingResult]:
+        """One dispatch attempt: fault draw, submit, await the reply."""
+        worker = self._ensure_worker(shard)
+        with self._lock:
+            sequence = self._sequence[shard]
+            self._sequence[shard] += 1
+        fault = self.fault_plan.draw(shard, sequence) if self.fault_plan else None
+        if fault is not None:
+            with self._lock:
+                self.shard_stats[shard].faults += 1
+            if fault.kind == "delay":
+                await asyncio.sleep(fault.delay)
+        with self._lock:
+            self.shard_stats[shard].dispatched += 1
+        future = worker.submit(datasets, rf, top_k=top_k, approx=approx)
+        if fault is not None and fault.kind == "kill":
+            # Mid-batch: the job is already on the wire / in the queue.
+            worker.kill()
+        elif fault is not None and fault.kind == "drop":
+            # Discard the real reply; the timeout machinery must recover.
+            future.add_done_callback(_consume_future)
+            future = concurrent.futures.Future()
+        try:
+            results = await asyncio.wait_for(
+                asyncio.wrap_future(future), self.reply_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            with self._lock:
+                self.shard_stats[shard].timeouts += 1
+            # A silent worker is indistinguishable from a wedged one:
+            # kill it so the respawn/retry path takes over.
+            worker.kill()
+            raise WorkerDiedError(
+                f"shard {shard} reply timed out after {self.reply_timeout}s"
+            ) from None
+        with self._lock:
+            self.shard_stats[shard].executed += len(datasets)
+        return results
+
+    def _ensure_worker(self, shard: int) -> Any:
+        """The live worker of ``shard``, respawning a dead one if allowed."""
+        with self._lock:
+            worker = self._workers[shard]
+            if worker is not None and worker.alive:
+                return worker
+            if worker is not None:
+                if (
+                    self.max_restarts is not None
+                    and self._restarts_total >= self.max_restarts
+                ):
+                    raise ServiceOverloadedError(
+                        f"shard {shard} worker is dead and the restart budget "
+                        f"({self.max_restarts}) is exhausted"
+                    )
+                self._restarts_total += 1
+                self.shard_stats[shard].restarts += 1
+            replacement = self._factory(shard)
+            self._workers[shard] = replacement
+        if worker is not None:
+            worker.stop(timeout=1.0)
+        return replacement
+
+    async def restart(self, shard: int, *, drain_timeout: float = 5.0) -> None:
+        """Gracefully restart ``shard``: drain in-flight work, stop, respawn.
+
+        Waits up to ``drain_timeout`` seconds for the shard's queue to
+        empty (new work keeps routing here and simply lands on the
+        replacement), then swaps the worker.  In-flight work still held
+        at the deadline fails over through the normal retry path.
+        """
+        deadline = time.monotonic() + drain_timeout
+        while self._depth[shard] > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        with self._lock:
+            worker, self._workers[shard] = self._workers[shard], None
+            self._restarts_total += 1
+            self.shard_stats[shard].restarts += 1
+        if worker is not None:
+            await asyncio.to_thread(worker.stop)
+        self._ensure_worker(shard)
+
+    # -- warm-up -------------------------------------------------------
+    def warm(self, datasets: Iterable[Any], rfs: Sequence[RankingFunction] = ()) -> int:
+        """Ship each dataset to its affine worker and pre-compute intermediates.
+
+        Routes by rendezvous primary (replica shards warm lazily on
+        first fan-out) and blocks until every worker acknowledges;
+        returns the number of datasets warmed.  This is the pool's
+        cache-warm bootstrap hook — a restarted deployment calls it
+        with the hot set so the first requests already hit warm caches.
+        """
+        by_shard: dict[int, list[Any]] = {}
+        for data in datasets:
+            by_shard.setdefault(self.router.shard(dataset_fingerprint(data)), []).append(data)
+        warmed = 0
+        for shard, group in by_shard.items():
+            warmed += self._ensure_worker(shard).warm(group, rfs)
+        return warmed
+
+    # -- observability -------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """Liveness/depth/restart snapshot of every shard (cheap, no I/O)."""
+        with self._lock:
+            return {
+                "shards": self.shards,
+                "alive": [
+                    worker is not None and worker.alive for worker in self._workers
+                ],
+                "depth": list(self._depth),
+                "restarts": [stats.restarts for stats in self.shard_stats],
+            }
+
+    async def probe(self, timeout: float = 5.0) -> list[float | None]:
+        """Round-trip a ping through every worker; ``None`` marks a dead one."""
+
+        async def one(shard: int) -> float | None:
+            worker = self._workers[shard]
+            if worker is None or not worker.alive:
+                return None
+            try:
+                return await asyncio.to_thread(worker.ping, timeout)
+            except Exception:  # noqa: BLE001 - dead/wedged workers probe as None
+                return None
+
+        return list(await asyncio.gather(*(one(shard) for shard in range(self.shards))))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Consistent pool counters for the stats/metrics endpoints."""
+        with self._lock:
+            per_shard = [stats.as_dict() for stats in self.shard_stats]
+            alive = [worker is not None and worker.alive for worker in self._workers]
+            depth = list(self._depth)
+            restarts_total = self._restarts_total
+        totals = {
+            key: sum(stats[key] for stats in per_shard) for key in per_shard[0]
+        }
+        return {
+            "shards": self.shards,
+            "alive": alive,
+            "depth": depth,
+            "restarts_total": restarts_total,
+            "faults_injected": self.fault_plan.injected if self.fault_plan else 0,
+            "totals": totals,
+            "per_shard": per_shard,
+        }
+
+
+def _consume_future(future: "concurrent.futures.Future") -> None:
+    """Mark a discarded future's exception as retrieved."""
+    if not future.cancelled():
+        future.exception()
+
+
+# ----------------------------------------------------------------------
+# The pooled service
+# ----------------------------------------------------------------------
+class PooledRankingService(RankingService):
+    """The coalescing admission tier with execution sharded across a pool.
+
+    Inherits everything user-facing from :class:`RankingService` —
+    micro-batch coalescing, content-keyed dedup, the TTL result cache
+    and bounded admission — but executes each coalesced window through
+    a :class:`WorkerPool` instead of one in-process engine:
+
+    1. the window is grouped by ranking-function identity exactly like
+       the base service,
+    2. each group is partitioned by the *shard* owning every request's
+       dataset fingerprint (cache affinity; hot fingerprints fan out
+       across replicas),
+    3. the per-shard sub-batches execute concurrently, and the window
+       runs as a background task so the coalescing loop is already
+       collecting the next window while workers compute.
+
+    The parent keeps a private engine for *planning only* (model and
+    algorithm tags, fingerprints); kernels run in the workers.  Replies
+    remain bit-identical to direct ``Engine.rank`` calls.
+
+    Parameters
+    ----------
+    pool:
+        The worker pool to execute on.  ``None`` builds one from
+        ``shards`` and ``pool_kwargs`` and owns its lifecycle.
+    shards:
+        Shard count of an internally built pool.
+    engine:
+        Planning engine (never executes kernels in pooled mode).
+    pool_kwargs:
+        Extra :class:`WorkerPool` arguments of an internally built pool.
+    **service_kwargs:
+        Forwarded to :class:`RankingService` (coalescing window, cache,
+        admission bound, ...).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool | None = None,
+        *,
+        shards: int = 4,
+        engine: Engine | None = None,
+        pool_kwargs: dict | None = None,
+        **service_kwargs,
+    ) -> None:
+        super().__init__(engine, **service_kwargs)
+        self.pool = pool if pool is not None else WorkerPool(shards, **(pool_kwargs or {}))
+        self._owns_pool = pool is None
+        self._window_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> "PooledRankingService":
+        """Start the pool workers and the coalescing loop (idempotent)."""
+        if not self.pool.started:
+            await asyncio.to_thread(self.pool.start)
+        await super().start()
+        return self
+
+    async def stop(self) -> None:
+        """Stop coalescing, finish in-flight windows, stop owned workers."""
+        await super().stop()
+        if self._window_tasks:
+            await asyncio.gather(*self._window_tasks, return_exceptions=True)
+        if self._owns_pool:
+            await asyncio.to_thread(self.pool.close)
+
+    async def _execute(self, batch: list[_PendingRequest]) -> None:
+        """Launch one coalesced window as a pipelined background task."""
+        self.stats.observe_batch(len(batch))
+        task = asyncio.get_running_loop().create_task(self._execute_window(batch))
+        self._window_tasks.add(task)
+        task.add_done_callback(self._window_tasks.discard)
+
+    async def _execute_window(self, batch: list[_PendingRequest]) -> None:
+        """Partition one window by spec and shard; run sub-batches concurrently."""
+        groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
+        for request in batch:
+            rf_key = ranking_function_key(request.rf)
+            base_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
+            groups.setdefault((base_key, request.top_k, request.approx), []).append(request)
+        shard_batches: list[tuple[int, list[_PendingRequest]]] = []
+        for requests in groups.values():
+            by_shard: "OrderedDict[int, list[_PendingRequest]]" = OrderedDict()
+            for request in requests:
+                fingerprint = (
+                    request.key[0]
+                    if request.key is not None
+                    else dataset_fingerprint(request.data)
+                )
+                by_shard.setdefault(self.pool.route(fingerprint), []).append(request)
+            shard_batches.extend(by_shard.items())
+        await asyncio.gather(
+            *(
+                self._execute_shard(shard, requests)
+                for shard, requests in shard_batches
+            )
+        )
+
+    async def _execute_shard(self, shard: int, requests: list[_PendingRequest]) -> None:
+        """Run one shard's sub-batch and resolve its requests."""
+        datasets = [request.data for request in requests]
+        rf = requests[0].rf
+        top_k = requests[0].top_k
+        approx = requests[0].approx
+        try:
+            plans = self.engine.plan_batch(datasets, rf, top_k=top_k, approx=approx)
+            results = await self.pool.execute(
+                shard, datasets, rf, top_k=top_k, approx=approx
+            )
+        except ServiceOverloadedError as exc:
+            self.stats.add(shed=len(requests))
+            for request in requests:
+                self._resolve_error(request, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - forwarded to callers
+            self.stats.add(errors=len(requests))
+            for request in requests:
+                self._resolve_error(request, exc)
+            return
+        for request, result, plan in zip(requests, results, plans):
+            expected = request.name or getattr(request.data, "name", "")
+            if expected and result.name != expected:
+                result = RankingResult(list(result), name=expected)
+            reply = ServiceReply(
+                result=result,
+                model=plan.model,
+                algorithm=plan.algorithm,
+                batch_size=len(requests),
+                k=top_k,
+                approx=plan.approx.as_dict() if plan.approx is not None else None,
+            )
+            if request.key is not None:
+                self.results.put(request.key, reply)
+            self._resolve(request, reply)
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Service counters plus the pool's per-shard health and counters."""
+        snapshot = super().stats_snapshot()
+        snapshot["pool"] = self.pool.snapshot()
+        return snapshot

@@ -1,0 +1,158 @@
+"""Fingerprint-affinity routing for the sharded worker pool.
+
+The pool's scaling story rests on *cache affinity*: every worker owns a
+stable slice of the dataset universe, so its engine's LRU fingerprint
+cache (sorted orders, prefix matrices, memoized Algorithm 3 values,
+calibrated junction trees) stays hot for the datasets it actually
+serves.  This module provides the routing half of that contract:
+
+* :func:`stable_hash` — a process- and run-independent 64-bit hash
+  (``blake2b``; Python's built-in ``hash`` is randomized per process
+  and would re-shuffle every shard assignment on restart).
+* :class:`FingerprintRouter` — rendezvous (highest-random-weight)
+  hashing from a dataset's content fingerprint to a shard.  Rendezvous
+  hashing gives the *minimal-disruption* resize property the pool needs
+  for graceful worker scaling: growing from ``s`` to ``s + 1`` shards
+  moves only the keys whose new shard wins the weight comparison
+  (expected ``n / (s + 1)`` of ``n`` keys, each moving *to* the new
+  shard), and shrinking moves only the keys of the removed shard.
+  Every other key keeps its worker — and therefore its warm cache.
+* :class:`HotSpotTracker` — a decayed per-fingerprint hit counter.
+  A single viral dataset would otherwise serialize on its one affine
+  worker; once a fingerprint's decayed count crosses the threshold the
+  pool fans its requests out across the top ``replicas`` shards of the
+  rendezvous preference order (each replica warms its own cache copy),
+  trading one extra warm cache for removing the hot-spot bottleneck.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Iterable
+
+__all__ = ["stable_hash", "FingerprintRouter", "HotSpotTracker"]
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 64-bit hash of ``parts``, stable across processes.
+
+    Parameters are folded in by ``repr`` with NUL separators, so
+    ``stable_hash("a", 1)`` and ``stable_hash("a1")`` differ.  Unlike
+    the built-in ``hash``, the value does not depend on
+    ``PYTHONHASHSEED`` — shard assignments survive restarts, and the
+    fault-injection layer can derive reproducible per-event seeds.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return int.from_bytes(digest.digest(), "big")
+
+
+class FingerprintRouter:
+    """Rendezvous-hash assignment of content fingerprints to shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (workers) routed over; must be >= 1.
+
+    Routing is pure and deterministic: two router instances with the
+    same shard count agree on every key, so a restarted pool re-routes
+    identically and tests can predict placements.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+
+    def weight(self, fingerprint: str, shard: int) -> int:
+        """The rendezvous weight of ``fingerprint`` on ``shard``."""
+        return stable_hash("rendezvous", fingerprint, shard)
+
+    def shard(self, fingerprint: str) -> int:
+        """The shard owning ``fingerprint`` (its highest-weight shard)."""
+        return max(range(self.shards), key=lambda shard: self.weight(fingerprint, shard))
+
+    def preference(self, fingerprint: str, count: int | None = None) -> list[int]:
+        """Shards ordered by descending rendezvous weight for ``fingerprint``.
+
+        ``preference(fp)[0] == shard(fp)``; the prefix of length ``r``
+        is the replica set a hot fingerprint fans out across.  ``count``
+        truncates the returned list.
+        """
+        order = sorted(
+            range(self.shards),
+            key=lambda shard: self.weight(fingerprint, shard),
+            reverse=True,
+        )
+        return order if count is None else order[: max(1, int(count))]
+
+    def assignments(self, fingerprints: Iterable[str]) -> dict[str, int]:
+        """``{fingerprint: shard}`` for a collection of keys."""
+        return {fingerprint: self.shard(fingerprint) for fingerprint in fingerprints}
+
+
+class HotSpotTracker:
+    """Decayed per-fingerprint request counter driving replica fan-out.
+
+    Parameters
+    ----------
+    threshold:
+        Decayed hit count at which a fingerprint is considered hot.
+        ``0`` disables hot-spot detection (nothing is ever hot).
+    half_life:
+        Number of recorded requests between decay sweeps; each sweep
+        halves every counter, so sustained traffic is required to stay
+        hot and yesterday's spike cools off.
+    max_entries:
+        Bound on tracked fingerprints; the coldest entries are dropped
+        beyond it, so the tracker cannot grow with the key universe.
+
+    Thread-safe: the pool records from the event loop while worker
+    reader threads may probe ``is_hot`` concurrently.
+    """
+
+    def __init__(
+        self, threshold: int = 64, half_life: int = 1024, max_entries: int = 4096
+    ) -> None:
+        if half_life < 1:
+            raise ValueError(f"half_life must be >= 1, got {half_life}")
+        self.threshold = int(threshold)
+        self.half_life = int(half_life)
+        self.max_entries = int(max_entries)
+        self._counts: dict[str, float] = {}
+        self._since_decay = 0
+        self._lock = threading.Lock()
+
+    def record(self, fingerprint: str) -> int:
+        """Count one request for ``fingerprint``; returns its decayed count."""
+        with self._lock:
+            self._counts[fingerprint] = self._counts.get(fingerprint, 0.0) + 1.0
+            self._since_decay += 1
+            if self._since_decay >= self.half_life:
+                self._since_decay = 0
+                self._counts = {
+                    key: value / 2.0
+                    for key, value in self._counts.items()
+                    if value >= 1.0
+                }
+            if len(self._counts) > self.max_entries:
+                coldest = sorted(self._counts, key=self._counts.__getitem__)
+                for key in coldest[: len(self._counts) - self.max_entries]:
+                    del self._counts[key]
+            return int(self._counts[fingerprint])
+
+    def is_hot(self, fingerprint: str) -> bool:
+        """Whether ``fingerprint``'s decayed count has crossed the threshold."""
+        if self.threshold <= 0:
+            return False
+        with self._lock:
+            return self._counts.get(fingerprint, 0.0) >= self.threshold
+
+    def count(self, fingerprint: str) -> int:
+        """The current decayed count of ``fingerprint`` (0 when untracked)."""
+        with self._lock:
+            return int(self._counts.get(fingerprint, 0.0))

@@ -32,6 +32,7 @@ free to early-terminate the kernels (see :mod:`repro.engine.topk`).
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -91,7 +92,15 @@ class ServiceReply:
 
 @dataclass
 class ServiceStats:
-    """Counters describing how the service disposed of its traffic."""
+    """Counters describing how the service disposed of its traffic.
+
+    Mutations go through :meth:`add` / :meth:`observe_batch` and
+    snapshots through :meth:`as_dict`, all under one lock: the TCP
+    ``stats`` path (and the pool's metrics endpoint) reads from
+    concurrent handler tasks while the batching loop — and, in pooled
+    mode, background window tasks — mutate, so an unlocked read could
+    observe a window counted in ``batches`` but not yet in ``executed``.
+    """
 
     #: Requests admitted through :meth:`RankingService.submit`.
     requests: int = 0
@@ -110,18 +119,36 @@ class ServiceStats:
     #: Requests that failed with an engine/planner error.
     errors: int = 0
 
+    def __post_init__(self) -> None:
+        """Create the lock guarding every mutation and snapshot."""
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters (one lock hold)."""
+        with self._lock:
+            for counter, delta in deltas.items():
+                setattr(self, counter, getattr(self, counter) + delta)
+
+    def observe_batch(self, size: int) -> None:
+        """Atomically account one executed window of ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+            self.executed += size
+            self.largest_batch = max(self.largest_batch, size)
+
     def as_dict(self) -> dict[str, int]:
-        """The counters as a plain dict (JSON-friendly)."""
-        return {
-            "requests": self.requests,
-            "cache_hits": self.cache_hits,
-            "deduplicated": self.deduplicated,
-            "shed": self.shed,
-            "batches": self.batches,
-            "executed": self.executed,
-            "largest_batch": self.largest_batch,
-            "errors": self.errors,
-        }
+        """An atomic snapshot of the counters as a plain dict (JSON-friendly)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "deduplicated": self.deduplicated,
+                "shed": self.shed,
+                "batches": self.batches,
+                "executed": self.executed,
+                "largest_batch": self.largest_batch,
+                "errors": self.errors,
+            }
 
 
 class TTLCache:
@@ -327,20 +354,20 @@ class RankingService:
             top_k = validated_k(top_k)
         if approx is not None:
             approx = validated_budget(approx)
-        self.stats.requests += 1
+        self.stats.add(requests=1)
         key = self._request_key(data, rf, name, top_k, approx)
         if key is not None:
             hit = self.results.get(key)
             if hit is not None:
-                self.stats.cache_hits += 1
+                self.stats.add(cache_hits=1)
                 return replace(hit, cached=True)
             inflight = self._inflight.get(key)
             if inflight is not None:
-                self.stats.deduplicated += 1
+                self.stats.add(deduplicated=1)
                 reply = await asyncio.shield(inflight)
                 return replace(reply, deduplicated=True)
         if self._pending >= self.max_pending:
-            self.stats.shed += 1
+            self.stats.add(shed=1)
             raise ServiceOverloadedError(
                 f"ranking service is at capacity ({self.max_pending} pending requests)"
             )
@@ -423,9 +450,7 @@ class RankingService:
 
     async def _execute(self, batch: list[_PendingRequest]) -> None:
         """Run one window: group by ranking function, one engine batch each."""
-        self.stats.batches += 1
-        self.stats.executed += len(batch)
-        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        self.stats.observe_batch(len(batch))
         groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
         for request in batch:
             rf_key = ranking_function_key(request.rf)
@@ -446,7 +471,7 @@ class RankingService:
                     self.engine.submit_batch(datasets, rf, top_k=top_k, approx=approx)
                 )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
-                self.stats.errors += len(requests)
+                self.stats.add(errors=len(requests))
                 for request in requests:
                     self._resolve_error(request, exc)
                 continue

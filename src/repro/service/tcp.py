@@ -14,6 +14,14 @@ Request objects::
     {"id": 3, "op": "register", "name": "hot-set", "dataset": <payload>}
     {"id": 4, "op": "stats"}
     {"id": 5, "op": "ping"}
+    {"id": 6, "op": "metrics"}
+
+The ``metrics`` op returns the service (and, in pooled mode, per-shard
+worker-pool) counters rendered in the Prometheus text exposition format
+(:mod:`repro.service.metrics`).  The same text is also served over a
+plain-HTTP fast path: a connection whose first line is ``GET /metrics
+...`` receives one ``HTTP/1.0 200`` response and is closed, so a stock
+Prometheus scraper can point straight at the service port.
 
 Responses carry ``ok``; successful ``rank`` responses hold ``ranking``
 (position/tid/value records, truncated to ``k`` when given) plus the
@@ -37,6 +45,7 @@ import asyncio
 import json
 from typing import Any
 
+from .metrics import render_metrics
 from .service import RankingService, ServiceOverloadedError
 from .spec import (
     ProtocolError,
@@ -85,6 +94,10 @@ async def serve_tcp(
                     break
                 if not line.strip():
                     continue
+                if line.startswith(b"GET /metrics"):
+                    # Plain-HTTP scrape fast path: one response, then close.
+                    await _serve_http_metrics(service, writer)
+                    break
                 task = asyncio.get_running_loop().create_task(
                     _respond(service, registry, line, writer, lock)
                 )
@@ -128,6 +141,24 @@ class _BoundedRegistry(dict):
                 "re-register an existing name or raise --max-registered"
             )
         super().__setitem__(name, value)
+
+
+async def _serve_http_metrics(
+    service: RankingService, writer: asyncio.StreamWriter
+) -> None:
+    """Write one HTTP/1.0 response carrying the Prometheus metrics text."""
+    body = render_metrics(service.stats_snapshot()).encode()
+    head = (
+        b"HTTP/1.0 200 OK\r\n"
+        b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"Connection: close\r\n\r\n"
+    )
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionError, RuntimeError):  # pragma: no cover - peer gone
+        pass
 
 
 def _error(request_id: Any, kind: str, message: str) -> dict[str, Any]:
@@ -178,6 +209,12 @@ async def _dispatch(
         return {"id": request_id, "ok": True, "pong": True}
     if op == "stats":
         return {"id": request_id, "ok": True, "stats": service.stats_snapshot()}
+    if op == "metrics":
+        return {
+            "id": request_id,
+            "ok": True,
+            "metrics": render_metrics(service.stats_snapshot()),
+        }
     if op == "register":
         dataset_name = message.get("name")
         if not isinstance(dataset_name, str) or not dataset_name:

@@ -1,0 +1,175 @@
+"""Properties of fingerprint-affinity routing (hypothesis + statistics).
+
+The routing contracts the pool's cache-affinity story depends on:
+
+* determinism — independent router instances agree on every key, and
+  ``stable_hash`` does not depend on process state;
+* minimal-disruption resize — growing from ``s`` to ``s + 1`` shards,
+  every key either keeps its shard or moves *to the new shard* (the
+  exact rendezvous property), and the number of moved keys is close to
+  the expected ``n / (s + 1)`` — far below re-hash-everything;
+* balance — shard loads over random fingerprint sets stay within a
+  constant factor of ``n / shards``;
+* the preference order is a permutation with the owner first, so the
+  replica set of a hot key is well-defined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import FingerprintRouter, HotSpotTracker, stable_hash
+
+fingerprints = st.text(min_size=1, max_size=24)
+shard_counts = st.integers(min_value=1, max_value=9)
+
+
+def random_fingerprints(n: int, tag: str = "") -> list[str]:
+    """``n`` distinct deterministic pseudo-random fingerprint strings."""
+    return [
+        hashlib.blake2b(f"{tag}:{i}".encode(), digest_size=16).hexdigest()
+        for i in range(n)
+    ]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+        assert 0 <= stable_hash("a", 1) < 2**64
+
+    def test_part_boundaries_matter(self):
+        assert stable_hash("ab") != stable_hash("a", "b")
+        assert stable_hash("a", 1) != stable_hash("a1")
+
+    @given(st.lists(fingerprints, min_size=1, max_size=4))
+    def test_any_parts_hash_consistently(self, parts):
+        assert stable_hash(*parts) == stable_hash(*parts)
+
+
+class TestRouterDeterminism:
+    @given(fingerprints, shard_counts)
+    def test_independent_instances_agree(self, fingerprint, shards):
+        assert FingerprintRouter(shards).shard(fingerprint) == FingerprintRouter(
+            shards
+        ).shard(fingerprint)
+
+    @given(fingerprints, shard_counts)
+    def test_shard_is_in_range_and_owner_leads_preference(self, fingerprint, shards):
+        router = FingerprintRouter(shards)
+        owner = router.shard(fingerprint)
+        assert 0 <= owner < shards
+        preference = router.preference(fingerprint)
+        assert preference[0] == owner
+        assert sorted(preference) == list(range(shards))
+
+    @given(fingerprints, shard_counts, st.integers(min_value=1, max_value=12))
+    def test_preference_truncation_is_a_prefix(self, fingerprint, shards, count):
+        router = FingerprintRouter(shards)
+        full = router.preference(fingerprint)
+        assert router.preference(fingerprint, count) == full[: max(1, count)]
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = FingerprintRouter(1)
+        assert all(router.shard(fp) == 0 for fp in random_fingerprints(50))
+
+    def test_rejects_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            FingerprintRouter(0)
+
+
+class TestResizeStability:
+    @settings(max_examples=50)
+    @given(st.lists(fingerprints, min_size=1, max_size=64, unique=True), shard_counts)
+    def test_grow_by_one_moves_keys_only_to_the_new_shard(self, keys, shards):
+        """The exact rendezvous property, on arbitrary fingerprints."""
+        before = FingerprintRouter(shards).assignments(keys)
+        after = FingerprintRouter(shards + 1).assignments(keys)
+        for key in keys:
+            assert after[key] == before[key] or after[key] == shards, key
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_moved_fraction_matches_expectation(self, shards):
+        """Growing s -> s+1 moves about n/(s+1) keys, not everything."""
+        keys = random_fingerprints(2_000, f"resize-{shards}")
+        before = FingerprintRouter(shards).assignments(keys)
+        after = FingerprintRouter(shards + 1).assignments(keys)
+        moved = sum(before[key] != after[key] for key in keys)
+        expected = len(keys) / (shards + 1)
+        # Binomial(n, 1/(s+1)): 2x the mean is > 10 standard deviations out.
+        assert 0 < moved <= 2 * expected
+        # Issue-level bound: at most n/shards keys moved.
+        assert moved <= len(keys) / shards
+
+    def test_shrink_moves_only_the_removed_shards_keys(self):
+        keys = random_fingerprints(1_000, "shrink")
+        big = FingerprintRouter(5).assignments(keys)
+        small = FingerprintRouter(4).assignments(keys)
+        for key in keys:
+            if big[key] != 4:
+                assert small[key] == big[key], key
+
+
+class TestBalance:
+    @pytest.mark.parametrize("shards", [2, 3, 4, 8])
+    def test_loads_within_constant_factor_of_fair_share(self, shards):
+        keys = random_fingerprints(2_000, f"balance-{shards}")
+        loads = [0] * shards
+        router = FingerprintRouter(shards)
+        for key in keys:
+            loads[router.shard(key)] += 1
+        fair = len(keys) / shards
+        for shard, load in enumerate(loads):
+            assert 0.7 * fair <= load <= 1.3 * fair, (shard, load, fair)
+
+    @settings(max_examples=25)
+    @given(st.lists(fingerprints, min_size=1, max_size=64, unique=True))
+    def test_assignments_cover_only_valid_shards(self, keys):
+        assignments = FingerprintRouter(4).assignments(keys)
+        assert set(assignments) == set(keys)
+        assert all(0 <= shard < 4 for shard in assignments.values())
+
+
+class TestHotSpotTracker:
+    def test_crosses_threshold_after_enough_hits(self):
+        tracker = HotSpotTracker(threshold=5, half_life=1_000)
+        for _ in range(4):
+            tracker.record("fp")
+        assert not tracker.is_hot("fp")
+        tracker.record("fp")
+        assert tracker.is_hot("fp")
+        assert tracker.count("fp") == 5
+
+    def test_decay_cools_stale_fingerprints(self):
+        tracker = HotSpotTracker(threshold=5, half_life=8)
+        for _ in range(6):
+            tracker.record("hot")
+        assert tracker.is_hot("hot")
+        # Traffic moves elsewhere; decay sweeps halve the stale counter.
+        for i in range(32):
+            tracker.record(f"other-{i % 4}")
+        assert not tracker.is_hot("hot")
+
+    def test_zero_threshold_disables_detection(self):
+        tracker = HotSpotTracker(threshold=0)
+        for _ in range(100):
+            tracker.record("fp")
+        assert not tracker.is_hot("fp")
+
+    def test_entry_bound_evicts_coldest(self):
+        tracker = HotSpotTracker(threshold=3, half_life=10_000, max_entries=4)
+        for _ in range(10):
+            tracker.record("keep")
+        for i in range(20):
+            tracker.record(f"cold-{i}")
+        assert len(tracker._counts) <= 4
+        assert tracker.count("keep") == 10  # the hot entry survived
+
+    def test_untracked_count_is_zero(self):
+        assert HotSpotTracker().count("never-seen") == 0
+
+    def test_rejects_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            HotSpotTracker(half_life=0)
