@@ -73,8 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--reply-timeout", type=float, default=30.0,
-        help="seconds before a silent worker is declared wedged and "
-        "restarted (default: %(default)s)",
+        help="base seconds of the per-batch reply deadline (scaled by "
+        "batch size); a worker silent through the deadline, a liveness "
+        "probe and a grace period is restarted (default: %(default)s)",
     )
     parser.add_argument(
         "--pool-replicas", type=int, default=2,

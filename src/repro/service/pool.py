@@ -284,8 +284,12 @@ class ProcessWorker:
         Multiprocessing start method (default: ``fork`` if available).
 
     A background reader thread matches replies to outstanding futures;
-    worker death (crash, kill, closed pipe) fails every outstanding
-    future with :class:`WorkerDiedError`.
+    a writer thread owns the pipe's send side, so ``submit`` only
+    enqueues — pickling a large cold dataset into the pipe never blocks
+    the caller (the pool calls ``submit`` from the event loop, which
+    must keep coalescing and serving connections meanwhile).  Worker
+    death (crash, kill, closed pipe) fails every outstanding future
+    with :class:`WorkerDiedError`.
     """
 
     def __init__(
@@ -311,9 +315,13 @@ class ProcessWorker:
         self._ids = itertools.count(1)
         self._pending: dict[int, tuple[concurrent.futures.Future, _JobContext | None]] = {}
         self._shipped: "OrderedDict[str, None]" = OrderedDict()
-        self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._dead = False
+        self._send_queue: "queue.SimpleQueue[tuple | None]" = queue.SimpleQueue()
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"rank-worker-{shard}-writer", daemon=True
+        )
+        self._writer.start()
         self._reader = threading.Thread(
             target=self._read_loop, name=f"rank-worker-{shard}-reader", daemon=True
         )
@@ -445,12 +453,29 @@ class ProcessWorker:
             self._shipped.popitem(last=False)
 
     def _send(self, message: tuple) -> None:
-        with self._send_lock:
+        """Queue one message for the writer thread (never blocks on I/O).
+
+        The actual ``conn.send`` pickles the payload into the pipe —
+        arbitrarily slow for a large cold dataset — so it runs on the
+        worker's writer thread; callers (the event loop, the reader
+        thread's need-resend path) only enqueue.  A send failure there
+        declares the worker dead and fails its outstanding futures.
+        """
+        with self._state_lock:
+            if self._dead:
+                raise WorkerDiedError(f"worker {self.shard} is dead")
+        self._send_queue.put(message)
+
+    def _write_loop(self) -> None:
+        while True:
+            message = self._send_queue.get()
+            if message is None:
+                return
             try:
                 self._conn.send(message)
             except (OSError, ValueError, BrokenPipeError) as exc:
                 self._on_death(WorkerDiedError(f"worker {self.shard} pipe broke: {exc}"))
-                raise WorkerDiedError(f"worker {self.shard} is dead") from exc
+                return
 
     def _read_loop(self) -> None:
         try:
@@ -504,6 +529,7 @@ class ProcessWorker:
                 return
             self._dead = True
             pending, self._pending = self._pending, {}
+        self._send_queue.put(None)  # release the writer thread
         for future, _ in pending.values():
             if not future.done():
                 future.set_exception(exc)
@@ -711,8 +737,17 @@ class WorkerPool:
     retry_backoff:
         Base seconds of the exponential backoff between retries.
     reply_timeout:
-        Seconds to wait for a worker's reply before declaring it wedged,
-        killing and respawning it.
+        Base seconds to wait for a worker's reply before suspecting it
+        is wedged.  The effective deadline scales with the sub-batch:
+        ``reply_timeout + reply_timeout_per_item * len(batch)``, so one
+        large batch is not mistaken for a dead worker.  A worker that
+        misses the deadline is ping-probed first; only a worker that
+        also stays silent through the probe and one grace period is
+        killed and respawned (killing fails every other in-flight
+        future on that worker, so it must be a last resort).
+    reply_timeout_per_item:
+        Extra seconds of reply deadline granted per dataset in the
+        sub-batch (see ``reply_timeout``).
     max_restarts:
         Pool-wide bound on worker respawns (``None`` = unbounded); an
         exhausted budget sheds instead of restarting (restart-storm brake).
@@ -734,6 +769,7 @@ class WorkerPool:
         max_retries: int = 3,
         retry_backoff: float = 0.05,
         reply_timeout: float = 30.0,
+        reply_timeout_per_item: float = 0.25,
         max_restarts: int | None = None,
         fault_plan: FaultPlan | None = None,
         mp_context: str | None = None,
@@ -751,6 +787,7 @@ class WorkerPool:
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.reply_timeout = float(reply_timeout)
+        self.reply_timeout_per_item = float(reply_timeout_per_item)
         self.max_restarts = max_restarts
         self.fault_plan = fault_plan
         if worker_factory is None:
@@ -887,6 +924,9 @@ class WorkerPool:
                 await asyncio.sleep(fault.delay)
         with self._lock:
             self.shard_stats[shard].dispatched += 1
+        # submit only enqueues (process workers pickle payloads on a
+        # dedicated writer thread), so calling it from the event loop
+        # cannot stall the coalescing window or connection handling.
         future = worker.submit(datasets, rf, top_k=top_k, approx=approx)
         if fault is not None and fault.kind == "kill":
             # Mid-batch: the job is already on the wire / in the queue.
@@ -895,22 +935,55 @@ class WorkerPool:
             # Discard the real reply; the timeout machinery must recover.
             future.add_done_callback(_consume_future)
             future = concurrent.futures.Future()
+        timeout = self.reply_timeout + self.reply_timeout_per_item * len(datasets)
+        wrapped = asyncio.wrap_future(future)
+        wrapped.add_done_callback(_consume_async_future)
         try:
-            results = await asyncio.wait_for(
-                asyncio.wrap_future(future), self.reply_timeout
-            )
+            results = await asyncio.wait_for(asyncio.shield(wrapped), timeout)
         except (asyncio.TimeoutError, TimeoutError):
-            with self._lock:
-                self.shard_stats[shard].timeouts += 1
-            # A silent worker is indistinguishable from a wedged one:
-            # kill it so the respawn/retry path takes over.
-            worker.kill()
-            raise WorkerDiedError(
-                f"shard {shard} reply timed out after {self.reply_timeout}s"
-            ) from None
+            results = await self._recover_silent_reply(shard, worker, wrapped, timeout)
         with self._lock:
             self.shard_stats[shard].executed += len(datasets)
         return results
+
+    async def _recover_silent_reply(
+        self,
+        shard: int,
+        worker: Any,
+        wrapped: "asyncio.Future[list[RankingResult]]",
+        timeout: float,
+    ) -> list[RankingResult]:
+        """A reply missed its deadline: probe liveness before killing.
+
+        Killing a worker fails every *other* in-flight future it holds,
+        so it must be the last resort, not the first response to a slow
+        batch.  The worker answers its pipe in order, so a slow-but-
+        healthy worker passes the ping probe once the batch completes
+        (resolving ``wrapped`` on the way) and keeps its unrelated
+        in-flight work; only a worker that stays silent through the
+        probe and one grace period is declared wedged and killed.
+        """
+        responsive = worker.alive
+        if responsive:
+            try:
+                await asyncio.to_thread(worker.ping, max(timeout, 5.0))
+            except Exception:  # noqa: BLE001 - dead or wedged either way
+                responsive = False
+        if responsive:
+            # The ping answered, so any reply the worker will ever send
+            # for this job has been sent (or is one need-resend away):
+            # grant one grace period before concluding the reply is lost.
+            try:
+                return await asyncio.wait_for(asyncio.shield(wrapped), timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        with self._lock:
+            self.shard_stats[shard].timeouts += 1
+        worker.kill()
+        raise WorkerDiedError(
+            f"shard {shard} reply timed out after {timeout:.3f}s"
+            " (liveness probe and grace period included)"
+        ) from None
 
     def _ensure_worker(self, shard: int) -> Any:
         """The live worker of ``shard``, respawning a dead one if allowed."""
@@ -1026,6 +1099,17 @@ def _consume_future(future: "concurrent.futures.Future") -> None:
         future.exception()
 
 
+def _consume_async_future(future: "asyncio.Future") -> None:
+    """Mark an abandoned asyncio future's exception as retrieved.
+
+    The dispatch path may stop awaiting ``wrapped`` (timeout -> the
+    worker is killed and its futures fail); without this callback the
+    loop would log "exception was never retrieved" for each one.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
 # ----------------------------------------------------------------------
 # The pooled service
 # ----------------------------------------------------------------------
@@ -1103,29 +1187,42 @@ class PooledRankingService(RankingService):
         task.add_done_callback(self._window_tasks.discard)
 
     async def _execute_window(self, batch: list[_PendingRequest]) -> None:
-        """Partition one window by spec and shard; run sub-batches concurrently."""
-        groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
-        for request in batch:
-            rf_key = ranking_function_key(request.rf)
-            base_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
-            groups.setdefault((base_key, request.top_k, request.approx), []).append(request)
-        shard_batches: list[tuple[int, list[_PendingRequest]]] = []
-        for requests in groups.values():
-            by_shard: "OrderedDict[int, list[_PendingRequest]]" = OrderedDict()
-            for request in requests:
-                fingerprint = (
-                    request.key[0]
-                    if request.key is not None
-                    else dataset_fingerprint(request.data)
+        """Partition one window by spec and shard; run sub-batches concurrently.
+
+        The window runs fire-and-forget, so any failure *outside* the
+        per-shard error paths (grouping, fingerprinting, routing) must
+        still resolve every request — an unhandled exception here would
+        hang the callers forever and leak their admission slots.
+        """
+        try:
+            groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
+            for request in batch:
+                rf_key = ranking_function_key(request.rf)
+                base_key = rf_key if rf_key is not None else ("opaque", id(request.rf))
+                groups.setdefault((base_key, request.top_k, request.approx), []).append(request)
+            shard_batches: list[tuple[int, list[_PendingRequest]]] = []
+            for requests in groups.values():
+                by_shard: "OrderedDict[int, list[_PendingRequest]]" = OrderedDict()
+                for request in requests:
+                    fingerprint = (
+                        request.key[0]
+                        if request.key is not None
+                        else dataset_fingerprint(request.data)
+                    )
+                    by_shard.setdefault(self.pool.route(fingerprint), []).append(request)
+                shard_batches.extend(by_shard.items())
+            await asyncio.gather(
+                *(
+                    self._execute_shard(shard, requests)
+                    for shard, requests in shard_batches
                 )
-                by_shard.setdefault(self.pool.route(fingerprint), []).append(request)
-            shard_batches.extend(by_shard.items())
-        await asyncio.gather(
-            *(
-                self._execute_shard(shard, requests)
-                for shard, requests in shard_batches
             )
-        )
+        except Exception as exc:  # noqa: BLE001 - forwarded to callers
+            unresolved = [request for request in batch if not request.future.done()]
+            if unresolved:
+                self.stats.add(errors=len(unresolved))
+                for request in unresolved:
+                    self._resolve_error(request, exc)
 
     async def _execute_shard(self, shard: int, requests: list[_PendingRequest]) -> None:
         """Run one shard's sub-batch and resolve its requests."""

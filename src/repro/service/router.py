@@ -140,7 +140,14 @@ class HotSpotTracker:
                     if value >= 1.0
                 }
             if len(self._counts) > self.max_entries:
-                coldest = sorted(self._counts, key=self._counts.__getitem__)
+                # Never evict the key just recorded: at count 1.0 it is
+                # often the strict minimum, and dropping it here would
+                # make the return below raise (and the tracker forget
+                # every new key the moment it reaches capacity).
+                coldest = sorted(
+                    (key for key in self._counts if key != fingerprint),
+                    key=self._counts.__getitem__,
+                )
                 for key in coldest[: len(self._counts) - self.max_entries]:
                     del self._counts[key]
             return int(self._counts[fingerprint])

@@ -96,6 +96,7 @@ async def serve_tcp(
                     continue
                 if line.startswith(b"GET /metrics"):
                     # Plain-HTTP scrape fast path: one response, then close.
+                    await _drain_http_headers(reader)
                     await _serve_http_metrics(service, writer)
                     break
                 task = asyncio.get_running_loop().create_task(
@@ -141,6 +142,29 @@ class _BoundedRegistry(dict):
                 "re-register an existing name or raise --max-registered"
             )
         super().__setitem__(name, value)
+
+
+#: Header-line cap of the ``GET /metrics`` fast path; a scraper sending
+#: more is cut off (no real scraper comes close).
+_MAX_HTTP_HEADER_LINES = 256
+
+
+async def _drain_http_headers(reader: asyncio.StreamReader) -> None:
+    """Consume the rest of an HTTP request (headers up to the blank line).
+
+    Closing the socket with unread request bytes makes some TCP stacks
+    send RST, discarding the buffered response — so a scraper would
+    intermittently see "connection reset" instead of the metrics body.
+    Reading until the blank line (or EOF) before responding avoids that.
+    """
+    try:
+        for _ in range(_MAX_HTTP_HEADER_LINES):
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                return
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        # Peer gone or oversized header line: respond with what we have.
+        pass
 
 
 async def _serve_http_metrics(

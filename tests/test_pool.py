@@ -295,6 +295,69 @@ class TestChaosScenarios:
         assert snapshot["totals"]["timeouts"] == 1
         assert snapshot["restarts_total"] == 1  # the wedged worker was replaced
 
+    def test_slow_batch_passes_liveness_probe_and_is_not_killed(self):
+        """A healthy-but-slow worker survives a missed reply deadline.
+
+        Regression: the timeout path used to kill the worker outright,
+        cascading one slow batch into retries and recomputation of its
+        unrelated in-flight work.  Now the worker is ping-probed first
+        and the (already computed) reply lands during the grace period.
+        """
+        rel = make_relation(25, 31)
+        expected = Engine().rank(rel, PRFe(0.9), name=rel.name)
+
+        class SlowishEngine(Engine):
+            def rank_batch(self, datasets, rf, **kwargs):
+                time.sleep(0.3)
+                return super().rank_batch(datasets, rf, **kwargs)
+
+        async def scenario():
+            pool = WorkerPool(
+                1,
+                worker_factory=lambda shard: ThreadWorker(shard, engine=SlowishEngine()),
+                reply_timeout=0.05,
+                reply_timeout_per_item=0.0,
+                retry_backoff=0.001,
+            )
+            with pool:
+                results = await pool.execute(0, [rel], PRFe(0.9))
+                return results, pool.snapshot()
+
+        results, snapshot = run(scenario())
+        assert_bitwise_equal(results[0], expected)
+        assert snapshot["totals"]["timeouts"] == 0
+        assert snapshot["restarts_total"] == 0
+        assert all(snapshot["alive"])
+
+    def test_window_failure_resolves_every_request(self):
+        """An exception before the per-shard error paths still replies.
+
+        Regression: a failure in the fire-and-forget window task (e.g.
+        routing) used to leave every request of the window unresolved
+        forever and leak their admission slots permanently.
+        """
+        rel = make_relation(25, 32)
+
+        def exploding_route(fingerprint):
+            raise RuntimeError("router exploded")
+
+        async def scenario():
+            pool = thread_pool(1)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                original = service.pool.route
+                service.pool.route = exploding_route
+                with pytest.raises(RuntimeError, match="router exploded"):
+                    await service.submit(rel, PRFe(0.9), name=rel.name)
+                service.pool.route = original
+                # The admission slot was released: the service still serves.
+                reply = await service.submit(rel, PRFe(0.9), name=rel.name)
+                return reply, service.pending(), service.stats.as_dict()
+
+        reply, pending, stats = run(scenario())
+        assert isinstance(reply, ServiceReply)
+        assert pending == 0
+        assert stats["errors"] >= 1
+
     def test_restart_storm_no_admitted_request_is_lost(self):
         """The headline chaos contract, under a seeded kill storm.
 

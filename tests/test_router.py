@@ -167,6 +167,19 @@ class TestHotSpotTracker:
         assert len(tracker._counts) <= 4
         assert tracker.count("keep") == 10  # the hot entry survived
 
+    def test_record_at_capacity_never_evicts_the_new_key(self):
+        # Regression: with every tracked key warmer than a brand-new one,
+        # the eviction pass used to drop the key just recorded and then
+        # KeyError on the return — crashing WorkerPool.route under real
+        # traffic with > max_entries distinct warm fingerprints.
+        tracker = HotSpotTracker(threshold=3, half_life=10_000, max_entries=4)
+        for i in range(4):
+            tracker.record(f"warm-{i}")
+            tracker.record(f"warm-{i}")
+        assert tracker.record("new") == 1  # no KeyError, key retained
+        assert tracker.count("new") == 1
+        assert len(tracker._counts) <= 4
+
     def test_untracked_count_is_zero(self):
         assert HotSpotTracker().count("never-seen") == 0
 
