@@ -1,0 +1,49 @@
+"""Codebase-specific static analysis for the repro serving stack.
+
+``repro.analysis`` is an AST-based checker suite tuned to the failure
+modes this repository has actually shipped or reviewed away: blocking
+calls on the asyncio event loop, fire-and-forget tasks, locks held
+across ``await``, half-lock-guarded shared state, nondeterminism that
+would break bit-identical replies, and leaked executors/pipes/sockets.
+
+Run it as a CLI gate::
+
+    python -m repro.analysis src/
+
+or programmatically::
+
+    from repro.analysis import run_analysis
+    report = run_analysis([Path("src/repro/service")])
+    assert report.exit_code == 0, report.findings
+
+Findings are suppressible inline with ``# repro: ignore[CHECKER-ID]``
+(unused suppressions are themselves reported) and can be accepted
+wholesale through a committed baseline file; see ``docs/analysis.md``
+for the checker catalogue.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .checkers import ALL_CHECKERS, Checker, ParsedModule, all_checkers
+from .driver import AnalysisReport, collect_files, run_analysis
+from .findings import Finding
+from .pragmas import SuppressionTable, parse_pragmas
+from .registry import ClassInfo, TypeRegistry
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AnalysisReport",
+    "Checker",
+    "ClassInfo",
+    "Finding",
+    "ParsedModule",
+    "SuppressionTable",
+    "TypeRegistry",
+    "all_checkers",
+    "collect_files",
+    "load_baseline",
+    "parse_pragmas",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,137 @@
+"""``python -m repro.analysis`` — run the repro static-analysis gate.
+
+Examples::
+
+    python -m repro.analysis src/
+    python -m repro.analysis src/repro/service --select ASYNC101,LOCK201
+    python -m repro.analysis src/ --write-baseline   # record legacy findings
+
+Exit status: 0 when no active findings remain (suppressed and
+baselined findings do not fail the gate), 1 otherwise, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import write_baseline
+from .checkers import ALL_CHECKERS
+from .driver import run_analysis
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = Path("analysis-baseline.json")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based concurrency & determinism checks for this codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file of accepted legacy findings "
+        f"(default: {_DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document instead of text",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the checker catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_checkers:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.id:<10} {cls.description}")
+        return 0
+
+    baseline_path: Path | None = args.baseline
+    if baseline_path is None and not args.no_baseline and _DEFAULT_BASELINE.is_file():
+        baseline_path = _DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline_path = None
+
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+
+    try:
+        report = run_analysis(
+            [Path(p) for p in args.paths],
+            baseline_path=None if args.write_baseline else baseline_path,
+            select=select,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline if args.baseline is not None else _DEFAULT_BASELINE
+        write_baseline(target, report.findings)
+        print(
+            f"repro.analysis: wrote {len(report.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.as_json:
+        doc = {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "checker_id": f.checker_id,
+                    "message": f.message,
+                }
+                for f in report.findings
+            ],
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "stale_baseline": report.stale_baseline,
+            "files_checked": report.files_checked,
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for key in report.stale_baseline:
+            print(f"note: stale baseline entry (fixed? remove it): {key}", file=sys.stderr)
+    print(
+        f"repro.analysis: {len(report.findings)} finding(s) "
+        f"({len(report.suppressed)} suppressed, {len(report.baselined)} baselined) "
+        f"in {report.files_checked} file(s)",
+        file=sys.stderr,
+    )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

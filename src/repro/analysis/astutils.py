@@ -1,0 +1,139 @@
+"""Shared AST helpers for the repro checkers.
+
+The checkers care about three recurring questions: *what is this call
+named* (``dotted_name``), *which nodes belong to this function body
+without leaking into nested scopes* (``iter_scope``), and *what broad
+kind of value does this annotation describe* (``annotation_kind``).
+Keeping the answers here keeps each checker module focused on its
+actual policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "annotation_kind",
+    "dotted_name",
+    "iter_scope",
+    "self_attr_root",
+]
+
+#: Nodes that open a new runtime scope.  ``iter_scope`` yields these but
+#: does not descend into them: code inside a nested ``def`` runs at a
+#: different time (often on a different thread or task) than the scope
+#: being analysed.
+SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: Annotation spellings classified as lock-like / dict-like / set-like.
+#: Checkers use these to cut false positives (e.g. a ``threading.Lock``
+#: attribute is a guard, not shared data).
+_LOCK_NAMES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+_DICT_NAMES = frozenset(
+    {
+        "dict",
+        "Dict",
+        "Mapping",
+        "MutableMapping",
+        "OrderedDict",
+        "defaultdict",
+        "DefaultDict",
+        "Counter",
+    }
+)
+_SET_NAMES = frozenset(
+    {"set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+
+def dotted_name(node: ast.expr | None) -> str | None:
+    """Return ``"a.b.c"`` for a ``Name``/``Attribute`` chain, else ``None``.
+
+    Anything that is not a pure attribute access over a name (for
+    example a subscript or call in the middle of the chain) yields
+    ``None`` — callers treat that as "unknown" and stay conservative.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants of ``root`` without entering nested scopes.
+
+    Nested function, lambda, and class bodies are yielded as single
+    nodes but not traversed; comprehension bodies *are* traversed since
+    they execute eagerly in the enclosing scope.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, SCOPE_BARRIERS):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _annotation_base(node: ast.expr) -> str | None:
+    """Peel subscripts/quotes off an annotation and return its base name."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = _annotation_base(node.value)
+        if base in {"Optional", "Final", "ClassVar", "Annotated"}:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return _annotation_base(inner.elts[0])
+            return _annotation_base(inner)
+        return base
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``X | None`` — classify by the non-None side.
+        for side in (node.left, node.right):
+            base = _annotation_base(side)
+            if base not in {None, "None"}:
+                return base
+        return None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def annotation_kind(node: ast.expr | None) -> str | None:
+    """Classify an annotation AST as ``"lock"``, ``"dict"``, ``"set"``, or ``None``."""
+    if node is None:
+        return None
+    base = _annotation_base(node)
+    if base in _LOCK_NAMES:
+        return "lock"
+    if base in _DICT_NAMES:
+        return "dict"
+    if base in _SET_NAMES:
+        return "set"
+    return None
+
+
+def self_attr_root(node: ast.expr) -> str | None:
+    """Root attribute name for a ``self.X``-rooted expression, else ``None``.
+
+    ``self.stats.hits`` and ``self.table[k]`` both resolve to their
+    root attribute (``stats`` / ``table``): mutating a nested field or
+    item mutates the object held by that root attribute.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None

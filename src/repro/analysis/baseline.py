@@ -1,0 +1,44 @@
+"""Committed baseline support.
+
+A baseline file lets the CI gate land strict while legacy findings burn
+down: known findings are recorded once and stop failing the build, but
+anything *new* still does.  Entries are line-independent (see
+:meth:`repro.analysis.findings.Finding.baseline_key`) so unrelated
+edits do not invalidate the file, and entries that no longer match any
+finding are reported as stale so the baseline shrinks over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read a baseline file and return its set of finding keys.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a baseline document of a known version.
+    """
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a repro.analysis baseline (version {_VERSION})")
+    findings = data.get("findings", [])
+    if not isinstance(findings, list) or not all(isinstance(k, str) for k in findings):
+        raise ValueError(f"{path}: 'findings' must be a list of strings")
+    return set(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the baseline keys of ``findings`` to ``path`` (sorted, deduped)."""
+    keys = sorted({f.baseline_key() for f in findings})
+    doc = {"version": _VERSION, "findings": keys}
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

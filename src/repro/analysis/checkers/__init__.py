@@ -1,0 +1,48 @@
+"""Checker implementations for :mod:`repro.analysis`.
+
+Each checker targets a defect class this codebase has actually hit —
+see :data:`ALL_CHECKERS` for the catalogue and ``docs/analysis.md`` for
+rationale and examples.
+"""
+
+from __future__ import annotations
+
+from .asyncio_hygiene import (
+    BlockingCallChecker,
+    LockAcrossAwaitChecker,
+    UnretainedTaskChecker,
+)
+from .base import Checker, ParsedModule
+from .determinism import (
+    BuiltinHashChecker,
+    DictReprFingerprintChecker,
+    SetIterationChecker,
+    UnseededRandomChecker,
+)
+from .lock_discipline import MixedLockUsageChecker
+from .resources import ResourceLeakChecker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "ParsedModule",
+    "all_checkers",
+]
+
+#: Checker classes in reporting order.
+ALL_CHECKERS: tuple[type, ...] = (
+    BlockingCallChecker,
+    UnretainedTaskChecker,
+    LockAcrossAwaitChecker,
+    MixedLockUsageChecker,
+    UnseededRandomChecker,
+    SetIterationChecker,
+    DictReprFingerprintChecker,
+    BuiltinHashChecker,
+    ResourceLeakChecker,
+)
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker."""
+    return [cls() for cls in ALL_CHECKERS]

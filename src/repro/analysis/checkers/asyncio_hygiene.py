@@ -1,0 +1,270 @@
+"""Asyncio hygiene checkers.
+
+Three defect classes this codebase has actually shipped (or nearly
+shipped) around its coalescing service and worker pool:
+
+``ASYNC101``
+    A blocking call — ``time.sleep``, ``pickle.dumps``/``loads``,
+    synchronous socket or file I/O, ``Future.result`` — executed
+    directly inside an ``async def``.  One such call stalls *every*
+    request coalesced onto the event loop.  Calls are also traced one
+    level through ``self`` helper methods, since blocking work is often
+    one extraction away from the coroutine.
+``ASYNC102``
+    An ``asyncio.create_task`` / ``ensure_future`` result that is
+    neither retained nor awaited.  Fire-and-forget tasks are garbage
+    collected mid-flight and their exceptions vanish — the exact shape
+    of the PR-8 ``_execute_window`` hang.
+``ASYNC103``
+    A synchronous (``threading``) lock held across an ``await``.  The
+    coroutine can suspend while holding the lock and deadlock any
+    thread — including the loop thread itself — that needs it.
+    ``async with`` on an ``asyncio.Lock`` is the correct pattern and is
+    never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astutils import dotted_name, iter_scope
+from ..findings import Finding
+from ..registry import TypeRegistry
+from .base import ParsedModule
+
+__all__ = ["BlockingCallChecker", "LockAcrossAwaitChecker", "UnretainedTaskChecker"]
+
+#: Fully-dotted calls that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks the event loop; use `await asyncio.sleep(...)`",
+    "pickle.dump": "pickle.dump() blocks the event loop; offload with asyncio.to_thread",
+    "pickle.dumps": "pickle.dumps() blocks the event loop; offload with asyncio.to_thread",
+    "pickle.load": "pickle.load() blocks the event loop; offload with asyncio.to_thread",
+    "pickle.loads": "pickle.loads() blocks the event loop; offload with asyncio.to_thread",
+    "os.system": "os.system() blocks the event loop; use asyncio.create_subprocess_shell",
+    "subprocess.run": "subprocess.run() blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.call": "subprocess.call() blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "subprocess.check_call() blocks the event loop",
+    "subprocess.check_output": "subprocess.check_output() blocks the event loop",
+    "socket.create_connection": "synchronous socket connect blocks the event loop; use asyncio.open_connection",
+    "socket.getaddrinfo": "synchronous DNS resolution blocks the event loop; use loop.getaddrinfo",
+    "urllib.request.urlopen": "urllib.request.urlopen() blocks the event loop",
+}
+
+#: Method names that block regardless of receiver type.
+_BLOCKING_METHODS = {
+    "result": "Future.result() blocks the event loop; await the future (or asyncio.wrap_future it) instead",
+    "recv": "synchronous recv() blocks the event loop; move it to a worker thread",
+    "recv_bytes": "synchronous recv_bytes() blocks the event loop; move it to a worker thread",
+    "sendall": "synchronous sendall() blocks the event loop; use a StreamWriter",
+    "accept": "synchronous accept() blocks the event loop; use asyncio.start_server",
+}
+
+#: create_task-style spellings whose return value must be retained.
+_TASK_SPAWNERS = ("create_task", "ensure_future")
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why ``call`` blocks the calling thread, or ``None`` if it doesn't."""
+    name = dotted_name(call.func)
+    if name is not None:
+        if name in _BLOCKING_CALLS:
+            return _BLOCKING_CALLS[name]
+        if name == "open":
+            return "synchronous open() blocks the event loop; offload file I/O with asyncio.to_thread"
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _BLOCKING_METHODS:
+        return _BLOCKING_METHODS[call.func.attr]
+    return None
+
+
+def _direct_blocking_calls(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[tuple[int, str]]:
+    """``(line, reason)`` for blocking calls directly in ``fn``'s own scope."""
+    out = []
+    for node in iter_scope(fn):
+        if isinstance(node, ast.Call):
+            reason = _blocking_reason(node)
+            if reason is not None:
+                out.append((node.lineno, reason))
+    return out
+
+
+class BlockingCallChecker:
+    """``ASYNC101`` — blocking calls inside ``async def``."""
+
+    id = "ASYNC101"
+    description = "blocking call (sleep/pickle/socket/file I/O/Future.result) inside async def"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag direct blocking calls, plus ``self`` helpers that make one."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+            elif isinstance(node, ast.AsyncFunctionDef) and not _is_method(module.tree, node):
+                yield from self._direct(module, node)
+
+    def _direct(self, module: ParsedModule, fn: ast.AsyncFunctionDef) -> Iterator[Finding]:
+        for line, reason in _direct_blocking_calls(fn):
+            yield Finding(module.rel, line, self.id, reason)
+
+    def _check_class(self, module: ParsedModule, cls: ast.ClassDef) -> Iterator[Finding]:
+        sync_blockers: dict[str, str] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef):
+                direct = _direct_blocking_calls(stmt)
+                if direct:
+                    sync_blockers[stmt.name] = direct[0][1]
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AsyncFunctionDef):
+                continue
+            yield from self._direct(module, stmt)
+            for node in iter_scope(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in sync_blockers
+                ):
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        f"self.{node.func.attr}() blocks the event loop "
+                        f"({sync_blockers[node.func.attr]})",
+                    )
+
+
+def _is_method(tree: ast.Module, fn: ast.AST) -> bool:
+    """Whether ``fn`` is a direct child of some class body in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and fn in node.body:
+            return True
+    return False
+
+
+def _spawns_task(call: ast.Call) -> bool:
+    """Whether ``call`` is a create_task/ensure_future spelling we track.
+
+    ``tg.create_task`` (TaskGroup) is deliberately excluded: the group
+    retains its tasks and re-raises their exceptions.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if parts[-1] not in _TASK_SPAWNERS:
+        return False
+    if len(parts) == 1:
+        return True
+    receiver = parts[-2]
+    return receiver == "asyncio" or "loop" in receiver.lower()
+
+
+class UnretainedTaskChecker:
+    """``ASYNC102`` — create_task results that are dropped on the floor."""
+
+    id = "ASYNC102"
+    description = "create_task/ensure_future result neither retained nor exception-handled"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag bare-expression spawns and spawn results never referenced again."""
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: ParsedModule, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        scope = list(iter_scope(fn))
+        for node in scope:
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _spawns_task(node.value)
+            ):
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    "task result is discarded: the task can be garbage-collected "
+                    "mid-flight and its exception is never observed",
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _spawns_task(node.value)
+            ):
+                target = node.targets[0]
+                used = any(
+                    isinstance(other, ast.Name)
+                    and other.id == target.id
+                    and other is not target
+                    for other in scope
+                )
+                if not used:
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        f"task assigned to '{target.id}' is never awaited, stored, "
+                        "or cancelled; retain it (e.g. in a set with a done callback)",
+                    )
+
+
+def _is_lockish_context(expr: ast.expr, registry: TypeRegistry) -> bool:
+    """Whether a ``with`` context expression looks like a synchronous lock."""
+    name = dotted_name(expr)
+    if name is not None:
+        last = name.rsplit(".", 1)[-1]
+        if "lock" in last.lower() or "mutex" in last.lower():
+            return True
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and registry.attr_kind(None, expr.attr) == "lock"
+        ):
+            return True
+    if isinstance(expr, ast.Call):
+        cname = dotted_name(expr.func)
+        if cname is not None and cname.rsplit(".", 1)[-1] in {"Lock", "RLock"}:
+            return True
+    return False
+
+
+class LockAcrossAwaitChecker:
+    """``ASYNC103`` — synchronous locks held across an ``await``."""
+
+    id = "ASYNC103"
+    description = "threading lock held across an await suspension point"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag sync ``with <lock>:`` blocks whose body awaits."""
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in iter_scope(fn):
+                if not isinstance(node, ast.With):
+                    continue
+                if not any(
+                    _is_lockish_context(item.context_expr, registry)
+                    for item in node.items
+                ):
+                    continue
+                body_awaits = any(
+                    isinstance(inner, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+                    for stmt in node.body
+                    for inner in [stmt, *iter_scope(stmt)]
+                )
+                if body_awaits:
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        "synchronous lock held across an await: the coroutine can "
+                        "suspend while holding it and deadlock the loop; narrow the "
+                        "critical section or use asyncio.Lock with `async with`",
+                    )

@@ -1,0 +1,44 @@
+"""Checker interface shared by all repro analyses.
+
+A checker is a small object with a stable ``id`` and a ``check`` method
+that walks one parsed module and yields findings.  Checkers are pure
+functions of the AST plus the cross-file :class:`~repro.analysis.registry.TypeRegistry`;
+they never import or execute the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol
+
+from ..findings import Finding
+from ..registry import TypeRegistry
+
+__all__ = ["Checker", "ParsedModule"]
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed and ready for checking."""
+
+    path: Path
+    #: display path used in findings (relative to the invocation cwd)
+    rel: str
+    source: str
+    tree: ast.Module
+
+
+class Checker(Protocol):
+    """Static shape every checker class implements."""
+
+    #: Stable finding identifier, e.g. ``"ASYNC101"``.
+    id: str
+    #: One-line description shown by ``--list-checkers``.
+    description: str
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Yield findings for ``module``."""
+        ...

@@ -1,0 +1,434 @@
+"""Determinism checkers.
+
+The repo's core guarantee is bit-identical ranking replies: same
+dataset fingerprint, same bytes back, across engines, worker processes,
+and restarts.  Four mechanical ways that guarantee quietly erodes:
+
+``DET301``
+    Unseeded randomness (``random.random()``, ``random.Random()``,
+    ``numpy.random.default_rng()`` with no seed, legacy global
+    ``np.random.*``) in library code.
+``DET302``
+    Iterating a ``set`` into ordered output (``list``/``tuple``/
+    ``enumerate``/``str.join``/comprehensions).  Set iteration order
+    varies across processes whenever strings are involved
+    (``PYTHONHASHSEED``); wrap in ``sorted(...)``.
+``DET303``
+    ``repr()``/``str()`` of a dict-shaped value feeding a hashlib
+    digest.  Dict repr depends on insertion order, so equal content can
+    fingerprint differently — poison for a cache keyed on content.
+``DET304``
+    Builtin ``hash()`` in library code: salted per-process, so any
+    value derived from it differs between workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astutils import annotation_kind, dotted_name, iter_scope
+from ..findings import Finding
+from ..registry import TypeRegistry
+from .base import ParsedModule
+
+__all__ = [
+    "BuiltinHashChecker",
+    "DictReprFingerprintChecker",
+    "SetIterationChecker",
+    "UnseededRandomChecker",
+]
+
+_RANDOM_MODULE_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+_NP_LEGACY_FNS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "seed",
+    }
+)
+
+_HASHLIB_CTORS = frozenset(
+    {"blake2b", "blake2s", "sha1", "sha256", "sha384", "sha512", "sha3_256", "md5", "new"}
+)
+
+
+def _unseeded(call: ast.Call) -> bool:
+    """Whether the call's first positional argument is a missing/None seed."""
+    if any(kw.arg in {"seed", "x"} for kw in call.keywords):
+        seed = next(kw.value for kw in call.keywords if kw.arg in {"seed", "x"})
+        return isinstance(seed, ast.Constant) and seed.value is None
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+class UnseededRandomChecker:
+    """``DET301`` — unseeded or global-state randomness in library code."""
+
+    id = "DET301"
+    description = "unseeded random/numpy.random use in library code"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag module-level RNG functions and seedless generator constructors."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] in _RANDOM_MODULE_FNS:
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    f"{name}() draws from the process-global RNG; construct a "
+                    "seeded random.Random(...) and thread it through",
+                )
+            elif parts[-1] == "Random" and parts[0] == "random" and _unseeded(node):
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    "random.Random() without a seed is nondeterministic; pass an "
+                    "explicit seed derived from the request or dataset",
+                )
+            elif parts[-1] == "default_rng" and _unseeded(node):
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    "numpy default_rng() without a seed is nondeterministic; pass "
+                    "an explicit seed",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[0] in {"np", "numpy"}
+                and parts[-1] in _NP_LEGACY_FNS
+            ):
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    f"legacy global numpy.random.{parts[-1]}() is both unseeded and "
+                    "process-global; use numpy.random.default_rng(seed)",
+                )
+
+
+class _SetLocals:
+    """Function-local inference of which names hold sets."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        registry: TypeRegistry,
+        class_name: str | None,
+    ) -> None:
+        self.registry = registry
+        self.class_name = class_name
+        self.names: set[str] = set()
+        poisoned: set[str] = set()
+        for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+            if annotation_kind(arg.annotation) == "set":
+                self.names.add(arg.arg)
+        for node in iter_scope(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._value_is_set(node.value):
+                        self.names.add(target.id)
+                    else:
+                        poisoned.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if annotation_kind(node.annotation) == "set":
+                    self.names.add(node.target.id)
+        self.names -= poisoned  # reassigned to non-sets somewhere: stay conservative
+
+    def _value_is_set(self, value: ast.expr) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name in {"set", "frozenset"}:
+                return True
+        return False
+
+    def is_set(self, expr: ast.expr) -> bool:
+        """Whether ``expr`` is provably set-valued."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            return name in {"set", "frozenset"}
+        if isinstance(expr, ast.Name):
+            return expr.id in self.names
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return self.registry.attr_kind(self.class_name, expr.attr) == "set"
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return self.is_set(expr.left) and self.is_set(expr.right)
+        return False
+
+
+#: Call sinks that materialise iteration order into an ordered value.
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate"})
+
+
+class SetIterationChecker:
+    """``DET302`` — set iteration order leaking into ordered output."""
+
+    id = "DET302"
+    description = "iteration over a set feeds ordered output without sorted()"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag ordered sinks over set-typed expressions, exempting sorted()."""
+        for cls_name, fn in _functions_with_class(module.tree):
+            locals_ = _SetLocals(fn, registry, cls_name)
+            yield from self._walk(module, fn, locals_, in_sorted=False)
+
+    def _walk(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        locals_: _SetLocals,
+        in_sorted: bool,
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                continue
+            child_sorted = in_sorted
+            if isinstance(child, ast.Call):
+                fname = dotted_name(child.func)
+                if fname == "sorted" or (fname is not None and fname.endswith(".sort")):
+                    child_sorted = True
+                elif not in_sorted:
+                    yield from self._check_call(module, child, locals_)
+            elif isinstance(child, (ast.ListComp, ast.GeneratorExp)) and not in_sorted:
+                first = child.generators[0].iter
+                if locals_.is_set(first):
+                    yield Finding(
+                        module.rel,
+                        child.lineno,
+                        self.id,
+                        "comprehension over a set produces order-dependent output; "
+                        "iterate sorted(...) instead",
+                    )
+            yield from self._walk(module, child, locals_, child_sorted)
+
+    def _check_call(
+        self, module: ParsedModule, call: ast.Call, locals_: _SetLocals
+    ) -> Iterator[Finding]:
+        fname = dotted_name(call.func)
+        if fname in _ORDER_SINKS and call.args and locals_.is_set(call.args[0]):
+            yield Finding(
+                module.rel,
+                call.lineno,
+                self.id,
+                f"{fname}() over a set produces order-dependent output; wrap the "
+                "set in sorted(...)",
+            )
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "join"
+            and call.args
+            and locals_.is_set(call.args[0])
+        ):
+            yield Finding(
+                module.rel,
+                call.lineno,
+                self.id,
+                "str.join over a set produces order-dependent output; wrap the "
+                "set in sorted(...)",
+            )
+
+
+def _functions_with_class(
+    tree: ast.Module,
+) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield every function with the name of its immediately enclosing class."""
+
+    def visit(node: ast.AST, cls: str | None) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from visit(child, None)
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(tree, None)
+
+
+class _DictLocals:
+    """Function-local inference of which expressions are dict-shaped."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        registry: TypeRegistry,
+        class_name: str | None,
+    ) -> None:
+        self.registry = registry
+        self.class_name = class_name
+        self.names: set[str] = set()
+        for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+            if annotation_kind(arg.annotation) == "dict":
+                self.names.add(arg.arg)
+        for node in iter_scope(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _dict_value(node.value):
+                    self.names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if annotation_kind(node.annotation) == "dict":
+                    self.names.add(node.target.id)
+
+    def is_dict(self, expr: ast.expr) -> bool:
+        """Whether ``expr`` is provably dict-shaped (local or via registry)."""
+        if _dict_value(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.names
+        if isinstance(expr, ast.Attribute):
+            owner = None
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                owner = self.class_name
+            return self.registry.attr_kind(owner, expr.attr) == "dict"
+        return False
+
+
+def _dict_value(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name is None:
+            return False
+        return name.rsplit(".", 1)[-1] in {"dict", "OrderedDict", "defaultdict", "Counter"}
+    return False
+
+
+class DictReprFingerprintChecker:
+    """``DET303`` — dict repr feeding a content fingerprint."""
+
+    id = "DET303"
+    description = "repr()/str() of a dict feeds a hashlib digest (insertion-order sensitive)"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Trace hashlib digests through each function and inspect update() args."""
+        for cls_name, fn in _functions_with_class(module.tree):
+            digests = self._digest_names(fn)
+            if not digests:
+                continue
+            locals_ = _DictLocals(fn, registry, cls_name)
+            for node in iter_scope(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "update"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in digests
+                ):
+                    for arg in node.args:
+                        yield from self._scan_update_arg(module, arg, locals_)
+
+    @staticmethod
+    def _digest_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        names = set()
+        for node in iter_scope(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                cname = dotted_name(node.value.func)
+                if cname is not None:
+                    parts = cname.split(".")
+                    if parts[-1] in _HASHLIB_CTORS and (
+                        len(parts) == 1 or parts[0] == "hashlib"
+                    ):
+                        names.add(node.targets[0].id)
+        return names
+
+    def _scan_update_arg(
+        self, module: ParsedModule, arg: ast.expr, locals_: _DictLocals
+    ) -> Iterator[Finding]:
+        for node in [arg, *ast.walk(arg)]:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"repr", "str"}
+                and node.args
+                and locals_.is_dict(node.args[0])
+            ):
+                yield Finding(
+                    module.rel,
+                    node.lineno,
+                    self.id,
+                    f"{node.func.id}() of a dict-shaped value feeds a content "
+                    "fingerprint; dict repr depends on insertion order — hash "
+                    "sorted items instead",
+                )
+
+
+class BuiltinHashChecker:
+    """``DET304`` — builtin ``hash()`` in library code."""
+
+    id = "DET304"
+    description = "builtin hash() is salted per-process (PYTHONHASHSEED)"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag ``hash(...)`` calls outside ``__hash__`` implementations."""
+        for cls_name, fn in _functions_with_class(module.tree):
+            del cls_name
+            if fn.name == "__hash__":
+                continue
+            for node in iter_scope(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                ):
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        "builtin hash() is salted per-process; workers will disagree "
+                        "— use a content hash (e.g. repro.service.router.stable_hash)",
+                    )

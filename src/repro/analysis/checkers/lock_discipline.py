@@ -1,0 +1,190 @@
+"""Lock discipline checker.
+
+``LOCK201`` flags the exact bug shape the PR-8 review caught in
+``ServiceStats``: a class guards some mutations of an instance
+attribute with ``with self._lock:`` but mutates the same attribute
+*without* the lock elsewhere.  Half-guarded state is worse than
+unguarded state — the guarded sites document an invariant the unguarded
+sites silently break.
+
+Conventions understood by the checker:
+
+- ``__init__`` / ``__post_init__`` mutations are construction, not
+  shared-state mutation, and are never counted.
+- Methods named ``*_locked`` are assumed to be called with the lock
+  already held (the ``RelationCache._evict_locked`` convention) and
+  count as locked contexts.
+- Lock attributes themselves (recognised via annotations, ``Lock()``
+  assignments, or a ``lock`` substring in the name) are never treated
+  as shared data.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astutils import self_attr_root
+from ..findings import Finding
+from ..registry import TypeRegistry
+from .base import ParsedModule
+
+__all__ = ["MixedLockUsageChecker"]
+
+#: Method names on an attribute that mutate the underlying container.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "put",
+        "put_nowait",
+    }
+)
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__init_subclass__"})
+
+
+def _is_lock_attr(attr: str, lock_attrs: frozenset[str]) -> bool:
+    return attr in lock_attrs or "lock" in attr.lower() or "mutex" in attr.lower()
+
+
+def _class_lock_attrs(cls: ast.ClassDef, registry: TypeRegistry) -> frozenset[str]:
+    """Attribute names of ``cls`` known (via the registry) to hold locks."""
+    info = registry.classes.get(cls.name)
+    if info is None:
+        return frozenset()
+    return frozenset(a for a, kind in info.attr_kinds.items() if kind == "lock")
+
+
+class MixedLockUsageChecker:
+    """``LOCK201`` — attributes mutated both with and without the class lock."""
+
+    id = "LOCK201"
+    description = "instance attribute mutated both inside and outside `with self._lock` blocks"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Analyse every class in the module independently."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, registry)
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef, registry: TypeRegistry
+    ) -> Iterator[Finding]:
+        lock_attrs = _class_lock_attrs(cls, registry)
+        locked: dict[str, list[int]] = {}
+        unlocked: dict[str, list[int]] = {}
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _INIT_METHODS:
+                continue
+            start_locked = stmt.name.endswith("_locked")
+            self._scan(stmt.body, start_locked, lock_attrs, locked, unlocked)
+        for attr in sorted(set(locked) & set(unlocked)):
+            for line in sorted(unlocked[attr]):
+                yield Finding(
+                    module.rel,
+                    line,
+                    self.id,
+                    f"attribute 'self.{attr}' of class '{cls.name}' is mutated "
+                    "both inside and outside lock-guarded blocks; this mutation "
+                    "does not hold the lock",
+                )
+
+    def _scan(
+        self,
+        body: list[ast.stmt],
+        in_lock: bool,
+        lock_attrs: frozenset[str],
+        locked: dict[str, list[int]],
+        unlocked: dict[str, list[int]],
+    ) -> None:
+        """Walk statements, tracking whether a ``with self.<lock>`` is held."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes run at another time; not this method's story
+            entered_lock = in_lock
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and _is_lock_attr(expr.attr, lock_attrs)
+                    ):
+                        entered_lock = True
+            self._record_mutations(stmt, entered_lock, lock_attrs, locked, unlocked)
+            for child_body in self._child_bodies(stmt):
+                self._scan(child_body, entered_lock, lock_attrs, locked, unlocked)
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field_name, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _record_mutations(
+        self,
+        stmt: ast.stmt,
+        in_lock: bool,
+        lock_attrs: frozenset[str],
+        locked: dict[str, list[int]],
+        unlocked: dict[str, list[int]],
+    ) -> None:
+        sink = locked if in_lock else unlocked
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            for leaf in self._flatten_target(target):
+                attr = self_attr_root(leaf)
+                if attr is not None and not _is_lock_attr(attr, lock_attrs):
+                    sink.setdefault(attr, []).append(stmt.lineno)
+        if isinstance(
+            stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return)
+        ):
+            # Simple statements have no child statement bodies, so every call
+            # in their subtree executes under this statement's lock state.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                        attr = self_attr_root(func.value)
+                        if attr is not None and not _is_lock_attr(attr, lock_attrs):
+                            sink.setdefault(attr, []).append(node.lineno)
+
+    @staticmethod
+    def _flatten_target(target: ast.expr) -> list[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: list[ast.expr] = []
+            for elt in target.elts:
+                out.extend(MixedLockUsageChecker._flatten_target(elt))
+            return out
+        if isinstance(target, ast.Starred):
+            return MixedLockUsageChecker._flatten_target(target.value)
+        return [target]

@@ -1,0 +1,177 @@
+"""Resource lifecycle checker.
+
+``RES401`` flags executors, sockets, pipes, and file handles that are
+constructed but never closed, shut down, context-managed, or handed off
+to another owner.  In a serving tier that respawns workers for a living
+(the PR-8 pool restarts processes under chaos), a leaked executor or
+pipe per restart turns into fd exhaustion under exactly the conditions
+— fault storms — where the system most needs headroom.
+
+Ownership transfers the checker recognises (and therefore does not
+flag): ``with`` statements, ``.close()``/``.shutdown()``/``.terminate()``
+/``.kill()``/``.release()`` calls, returning or yielding the resource,
+storing it on ``self``/a container, and passing it as a call argument
+(e.g. a pipe end handed to a child process).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astutils import dotted_name, iter_scope
+from ..findings import Finding
+from ..registry import TypeRegistry
+from .base import ParsedModule
+
+__all__ = ["ResourceLeakChecker"]
+
+#: Constructor spellings (matched on the final dotted segment) that
+#: produce a resource needing explicit release.
+_RESOURCE_CTORS = frozenset(
+    {
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Pipe",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+    }
+)
+
+_CLOSERS = frozenset({"close", "shutdown", "terminate", "kill", "release", "join_thread"})
+
+
+def _resource_reason(call: ast.Call) -> str | None:
+    """Why ``call`` allocates a resource needing release, or ``None``."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    last = parts[-1]
+    if last in _RESOURCE_CTORS:
+        return f"{last} needs close()/shutdown() or a with-block"
+    if name == "open" or (last == "open" and ("path" in parts[-2].lower() or "file" in parts[-2].lower())):
+        return "file handle from open() needs close() or a with-block"
+    if last == "socket" and parts[0] == "socket":
+        return "socket needs close() or a with-block"
+    return None
+
+
+class ResourceLeakChecker:
+    """``RES401`` — resources without close/finally/context-manager."""
+
+    id = "RES401"
+    description = "executor/pipe/socket/file constructed but never released or handed off"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Analyse each function scope for leaked constructions."""
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: ParsedModule, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        scope = list(iter_scope(fn))
+        managed: set[ast.expr] = set()
+        released_names: set[str] = set()
+        for node in scope:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(item.context_expr)
+                    if isinstance(item.context_expr, ast.Name):
+                        released_names.add(item.context_expr.id)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _CLOSERS and isinstance(node.func.value, ast.Name):
+                    released_names.add(node.func.value.id)
+
+        for node in scope:
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                reason = _resource_reason(node.value)
+                if reason is not None and node.value not in managed:
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        f"resource is constructed and immediately discarded; {reason}",
+                    )
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                reason = _resource_reason(node.value)
+                if reason is None:
+                    continue
+                for name in self._leaked_names(node, scope, released_names):
+                    yield Finding(
+                        module.rel,
+                        node.lineno,
+                        self.id,
+                        f"'{name}' is never closed, context-managed, or handed "
+                        f"off; {reason}",
+                    )
+
+    def _leaked_names(
+        self, node: ast.Assign, scope: list[ast.AST], released_names: set[str]
+    ) -> Iterator[str]:
+        """Names bound to the resource that never escape or get released."""
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        for element in elements:
+            if not isinstance(element, ast.Name):
+                continue  # self._x = ... stores on the instance: ownership escapes
+            if element.id in released_names:
+                continue
+            if self._escapes(element.id, element, scope):
+                continue
+            yield element.id
+
+    @staticmethod
+    def _escapes(name: str, binding: ast.expr, scope: list[ast.AST]) -> bool:
+        """Whether ``name`` leaves the scope (return/yield/arg/store/alias).
+
+        A bare receiver use (``name.method()``) is *not* an escape:
+        ``handle = open(p); return handle.readline()`` still leaks the
+        handle.  Ownership transfers only when the resource itself is
+        returned/yielded, passed as a call argument, stored on an
+        attribute/subscript, or aliased into a container.
+        """
+        def mentions(subtree: ast.AST) -> bool:
+            return any(
+                isinstance(n, ast.Name) and n.id == name and n is not binding
+                for n in [subtree, *ast.walk(subtree)]
+            )
+
+        def mentions_as_value(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Name):
+                return expr.id == name and expr is not binding
+            if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+                return any(mentions_as_value(e) for e in expr.elts)
+            if isinstance(expr, ast.Dict):
+                parts = [*expr.keys, *expr.values]
+                return any(p is not None and mentions_as_value(p) for p in parts)
+            if isinstance(expr, ast.Call):
+                args = [*expr.args, *[kw.value for kw in expr.keywords]]
+                return any(mentions(a) for a in args)
+            if isinstance(expr, (ast.Await, ast.Starred)):
+                return mentions_as_value(expr.value)
+            if isinstance(expr, ast.IfExp):
+                return mentions_as_value(expr.body) or mentions_as_value(expr.orelse)
+            return False
+
+        for node in scope:
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) and node.value is not None:
+                if mentions_as_value(node.value):
+                    return True
+            elif isinstance(node, ast.Call):
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    # A bare receiver (`name.method()`) is not an escape, but
+                    # passing the resource *into* a call transfers ownership.
+                    if mentions(arg):
+                        return True
+            elif isinstance(node, ast.Assign):
+                targets_store = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets
+                )
+                if targets_store and mentions(node.value):
+                    return True
+        return False

@@ -1,0 +1,155 @@
+"""Analysis driver: collect files, run checkers, apply suppressions.
+
+The driver makes two passes.  Pass one parses every file and feeds each
+module's class definitions into a :class:`~repro.analysis.registry.TypeRegistry`
+so checkers can resolve attribute kinds *across* files (e.g. a
+``Mapping``-annotated dataclass field defined in ``repro.core`` but
+``repr()``-ed inside ``repro.engine``).  Pass two runs every checker
+over every module, then filters the raw findings through inline
+``# repro: ignore[...]`` pragmas and the optional committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import load_baseline
+from .checkers import Checker, ParsedModule, all_checkers
+from .findings import Finding
+from .pragmas import parse_pragmas
+from .registry import TypeRegistry
+
+__all__ = ["AnalysisReport", "collect_files", "run_analysis"]
+
+#: Checker id used for files that do not parse.
+PARSE_ERROR_ID = "PARSE000"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run.
+
+    ``findings`` are the *active* diagnostics (they fail the gate);
+    suppressed and baselined findings are kept for reporting, and
+    ``stale_baseline`` lists baseline keys that matched nothing —
+    candidates for deletion from the committed file.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` when the gate passes, ``1`` when active findings remain."""
+        return 1 if self.findings else 0
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises
+    ------
+    FileNotFoundError
+        If any requested path does not exist.
+    """
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.is_file():
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _parse_all(files: list[Path]) -> tuple[list[ParsedModule], list[Finding]]:
+    modules = []
+    errors = []
+    for path in files:
+        rel = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(rel, exc.lineno or 1, PARSE_ERROR_ID, f"syntax error: {exc.msg}")
+            )
+            continue
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(Finding(rel, 1, PARSE_ERROR_ID, f"unreadable file: {exc}"))
+            continue
+        modules.append(ParsedModule(path=path, rel=rel, source=source, tree=tree))
+    return modules, errors
+
+
+def run_analysis(
+    paths: list[Path],
+    *,
+    baseline_path: Path | None = None,
+    checkers: list[Checker] | None = None,
+    select: set[str] | None = None,
+) -> AnalysisReport:
+    """Run the full analysis over ``paths`` and return a report.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to analyse (directories recurse).
+    baseline_path:
+        Optional committed baseline; matching findings are demoted from
+        gate failures to informational ``baselined`` entries.
+    checkers:
+        Checker instances to run (defaults to the full catalogue).
+    select:
+        When given, only checkers whose id is in this set run.
+    """
+    files = collect_files(paths)
+    modules, parse_errors = _parse_all(files)
+
+    registry = TypeRegistry()
+    for module in modules:
+        registry.add_module(module.tree)
+
+    active_checkers = checkers if checkers is not None else all_checkers()
+    if select is not None:
+        active_checkers = [c for c in active_checkers if c.id in select]
+
+    report = AnalysisReport(files_checked=len(files))
+    report.findings.extend(parse_errors)
+
+    baseline_keys = load_baseline(baseline_path) if baseline_path is not None else set()
+    matched_keys: set[str] = set()
+
+    for module in modules:
+        raw: list[Finding] = []
+        for checker in active_checkers:
+            raw.extend(checker.check(module, registry))
+        table = parse_pragmas(module.source)
+        for finding in raw:
+            if table.suppresses(finding.line, finding.checker_id):
+                report.suppressed.append(finding)
+            elif finding.baseline_key() in baseline_keys:
+                matched_keys.add(finding.baseline_key())
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.findings.extend(table.unused(module.rel))
+
+    report.stale_baseline = sorted(baseline_keys - matched_keys)
+    report.findings.sort()
+    report.suppressed.sort()
+    report.baselined.sort()
+    return report

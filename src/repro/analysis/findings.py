@@ -1,0 +1,46 @@
+"""Finding records produced by the static-analysis checkers.
+
+A :class:`Finding` pins one diagnostic to a ``path:line`` location and a
+checker id.  Renderings follow the conventional ``file:line:ID message``
+shape so editors and CI annotations can parse them, while the baseline
+key deliberately *omits* the line number so committed baselines survive
+unrelated edits that shift code up or down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a checker.
+
+    Attributes
+    ----------
+    path:
+        Display path of the offending file (relative when possible).
+    line:
+        1-based source line of the finding.
+    checker_id:
+        Stable identifier such as ``ASYNC101`` or ``LOCK201``.
+    message:
+        Human-readable description.  Messages must not embed line
+        numbers: they participate in baseline keys, which are expected
+        to stay valid while surrounding code moves.
+    """
+
+    path: str
+    line: int
+    checker_id: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``file:line:CHECKER-ID message`` for terminal output."""
+        return f"{self.path}:{self.line}:{self.checker_id} {self.message}"
+
+    def baseline_key(self) -> str:
+        """Line-independent identity used by the committed baseline file."""
+        return f"{self.path}::{self.checker_id}::{self.message}"

@@ -1,0 +1,68 @@
+"""Inline suppression pragmas.
+
+A finding is silenced by appending ``# repro: ignore[CHECKER-ID]`` to
+the offending line (multiple ids separated by commas).  Suppressions
+that silence nothing are themselves reported as ``SUP001`` so stale
+pragmas cannot linger after the underlying code is fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["SUP001", "SuppressionTable", "parse_pragmas"]
+
+#: Checker id reported for suppressions that matched no finding.
+SUP001 = "SUP001"
+
+_PRAGMA = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass
+class SuppressionTable:
+    """Suppressions parsed from one file, with usage tracking."""
+
+    #: line number -> checker ids suppressed on that line
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: ``(line, checker_id)`` pairs that actually silenced a finding
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    def suppresses(self, line: int, checker_id: str) -> bool:
+        """Consume and report whether ``checker_id`` is ignored on ``line``."""
+        if checker_id == SUP001:
+            return False  # unused-suppression warnings are not themselves suppressible
+        if checker_id in self.by_line.get(line, ()):
+            self.used.add((line, checker_id))
+            return True
+        return False
+
+    def unused(self, path: str) -> list[Finding]:
+        """``SUP001`` findings for every pragma id that silenced nothing."""
+        out = []
+        for line, ids in sorted(self.by_line.items()):
+            for checker_id in sorted(ids):
+                if (line, checker_id) not in self.used:
+                    out.append(
+                        Finding(
+                            path,
+                            line,
+                            SUP001,
+                            f"unused suppression: no {checker_id} finding on this line",
+                        )
+                    )
+        return out
+
+
+def parse_pragmas(source: str) -> SuppressionTable:
+    """Scan ``source`` for ``# repro: ignore[...]`` pragmas."""
+    table = SuppressionTable()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is not None:
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if ids:
+                table.by_line.setdefault(lineno, set()).update(ids)
+    return table

@@ -1,0 +1,118 @@
+"""Cross-file registry of class attribute kinds.
+
+The driver runs a first pass over every file before any checker fires,
+recording which class attributes are annotated (or initialised) as
+locks, dicts, or sets.  Checkers then resolve attribute accesses like
+``t.attributes`` against the registry to cut false positives: the
+determinism checker only flags ``repr()`` of values it can *prove* are
+dict-shaped, and the lock checkers only treat real lock objects as
+guards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .astutils import annotation_kind, dotted_name
+
+__all__ = ["ClassInfo", "TypeRegistry"]
+
+
+@dataclass
+class ClassInfo:
+    """Attribute kinds recorded for one class definition."""
+
+    name: str
+    #: attribute name -> ``"lock"`` | ``"dict"`` | ``"set"``
+    attr_kinds: dict[str, str] = field(default_factory=dict)
+
+
+def _value_kind(node: ast.expr) -> str | None:
+    """Classify a right-hand-side expression the way annotations are."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        base = name.rsplit(".", 1)[-1]
+        if base in {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}:
+            return "lock"
+        if base in {"dict", "OrderedDict", "defaultdict", "Counter"}:
+            return "dict"
+        if base in {"set", "frozenset"}:
+            return "set"
+    return None
+
+
+class TypeRegistry:
+    """All :class:`ClassInfo` records seen across the analysed files."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+
+    def add_module(self, tree: ast.Module) -> None:
+        """Record every class defined in ``tree`` (including nested ones)."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._add_class(node)
+
+    def _add_class(self, node: ast.ClassDef) -> None:
+        info = self.classes.setdefault(node.name, ClassInfo(node.name))
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                kind = annotation_kind(stmt.annotation)
+                if kind is not None:
+                    info.attr_kinds[stmt.target.id] = kind
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method(info, stmt)
+
+    @staticmethod
+    def _scan_method(info: ClassInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """Record ``self.x = Lock()``-style assignments made in methods."""
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    kind = None
+                    if isinstance(node, ast.AnnAssign):
+                        kind = annotation_kind(node.annotation)
+                    elif value is not None:
+                        kind = _value_kind(value)
+                    if kind is not None:
+                        info.attr_kinds.setdefault(target.attr, kind)
+
+    def attr_kind(self, class_name: str | None, attr: str) -> str | None:
+        """Kind of ``attr``, preferring ``class_name`` then global consensus.
+
+        When the owning class is unknown, the lookup falls back to a
+        global consensus: if *every* analysed class that declares the
+        attribute agrees on its kind, that kind is returned, otherwise
+        ``None`` (stay conservative).
+        """
+        if class_name is not None:
+            info = self.classes.get(class_name)
+            if info is not None and attr in info.attr_kinds:
+                return info.attr_kinds[attr]
+        kinds = {
+            info.attr_kinds[attr]
+            for info in self.classes.values()
+            if attr in info.attr_kinds
+        }
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return None

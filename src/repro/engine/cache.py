@@ -102,7 +102,7 @@ def relation_fingerprint(relation: ProbabilisticRelation) -> str:
         # cached Tuple objects, so they must distinguish relations too.  A
         # repr that varies between equal payloads only costs a cache miss.
         if t.attributes:
-            digest.update(repr(t.attributes).encode())
+            digest.update(repr(t.attributes).encode())  # repro: ignore[DET303]
         digest.update(b"\x01")
     fingerprint = digest.hexdigest()
     try:
@@ -294,9 +294,15 @@ class CachedRelation:
         return total_bytes // 8
 
     def shed(self) -> None:
-        """Drop the heavy arrays, keeping the cheap sorted order (see eviction)."""
-        self.prefix = None
-        _drop_array_extras(self.extras)
+        """Drop the heavy arrays, keeping the cheap sorted order (see eviction).
+
+        Takes the entry lock: ``prefix`` is lock-guarded everywhere else,
+        and an unlocked wipe could interleave with a concurrent
+        :meth:`prefix_matrix` growth and publish a half-shed entry.
+        """
+        with self.lock:
+            self.prefix = None
+            _drop_array_extras(self.extras)
 
     def prefix_matrix(self, limit: int) -> np.ndarray:
         """The prefix polynomial matrix truncated to ``limit`` columns.
@@ -380,9 +386,13 @@ class CachedColumnar:
         return total_bytes // 8
 
     def shed(self) -> None:
-        """Drop the heavy derived arrays, keeping the columns themselves."""
-        self.prefix = None
-        _drop_array_extras(self.extras)
+        """Drop the heavy derived arrays, keeping the columns themselves.
+
+        Locked for the same reason as :meth:`CachedRelation.shed`.
+        """
+        with self.lock:
+            self.prefix = None
+            _drop_array_extras(self.extras)
 
     def sort_columns(self, limit: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """``(scores, tid strings)`` in score-descending order.
@@ -466,9 +476,13 @@ class CachedTree:
         return total_bytes // 8
 
     def shed(self) -> None:
-        """Drop the heavy arrays, keeping the cheap sorted order (see eviction)."""
-        self.positional = None
-        _drop_array_extras(self.extras)
+        """Drop the heavy arrays, keeping the cheap sorted order (see eviction).
+
+        Locked for the same reason as :meth:`CachedRelation.shed`.
+        """
+        with self.lock:
+            self.positional = None
+            _drop_array_extras(self.extras)
 
     def positional_matrix(self, limit: int) -> np.ndarray:
         """``Pr(r(t_i) = j)`` from the tree's generating functions.
@@ -522,27 +536,42 @@ class CachedNetwork:
         return total_bytes // 8
 
     def shed(self) -> None:
-        """Drop the matrices and calibration, keeping the cheap sorted order."""
-        self.positional = None
-        self.base_calibrated = None
-        _drop_array_extras(self.extras)
+        """Drop the matrices and calibration, keeping the cheap sorted order.
+
+        Locked for the same reason as :meth:`CachedRelation.shed`: an
+        unlocked ``base_calibrated = None`` wipe racing a concurrent
+        :meth:`calibrated` call could hand the caller ``None``.
+        """
+        with self.lock:
+            self.positional = None
+            self.base_calibrated = None
+            _drop_array_extras(self.extras)
 
     def junction_tree(self) -> "JunctionTree":
         """The (lazily built) junction tree of the network."""
         with self.lock:
-            if self.junction is None:
+            junction = self.junction
+            if junction is None:
                 from ..graphical.ranking import junction_tree_for
 
-                self.junction = junction_tree_for(self.model)
-        return self.junction
+                junction = junction_tree_for(self.model)
+                self.junction = junction
+        return junction
 
     def calibrated(self) -> "CalibratedTree":
-        """The evidence-free calibration, shared by all ``Pr(X_t = 1)`` lookups."""
+        """The evidence-free calibration, shared by all ``Pr(X_t = 1)`` lookups.
+
+        Returns the locally captured calibration: reading the attribute
+        again after releasing the lock could observe a concurrent
+        :meth:`shed` wipe and return ``None``.
+        """
         tree = self.junction_tree()
         with self.lock:
-            if self.base_calibrated is None:
-                self.base_calibrated = tree.calibrate()
-        return self.base_calibrated
+            calibrated = self.base_calibrated
+            if calibrated is None:
+                calibrated = tree.calibrate()
+                self.base_calibrated = calibrated
+        return calibrated
 
     def positional_matrix(self, limit: int) -> np.ndarray:
         """``Pr(r(t_i) = j)`` from the junction-tree dynamic program.

@@ -142,13 +142,13 @@ class Engine:
         )
         self._submit_executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._submit_lock = threading.Lock()
-        self._approx_memo: "OrderedDict[tuple, ApproxDecision]" = OrderedDict()
+        self._approx_memo: "OrderedDict[tuple[Any, ...], ApproxDecision]" = OrderedDict()
         self._approx_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def backend_for(self, data) -> RankingBackend:
+    def backend_for(self, data: Any) -> RankingBackend:
         """The backend executing ``data``'s correlation model."""
         for backend in self.backends:
             if backend.handles(data):
@@ -158,7 +158,7 @@ class Engine:
             "ProbabilisticRelation, AndXorTree or MarkovNetworkRelation"
         )
 
-    def approx_decision(self, data, rf: RankingFunction, budget: float) -> ApproxDecision:
+    def approx_decision(self, data: Any, rf: RankingFunction, budget: float) -> ApproxDecision:
         """The exact-vs-approximate choice for one ``approx=`` request.
 
         Memoized per ``(spec key, dataset size, budget)``: the decision
@@ -172,7 +172,7 @@ class Engine:
 
         budget = validated_budget(budget)
         n = len(data)
-        key = None
+        key: tuple[Any, ...] | None = None
         spec_key = ranking_function_key(rf)
         if spec_key is not None:
             key = (spec_key, n, budget)
@@ -191,7 +191,7 @@ class Engine:
 
     def plan(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         top_k: int | None = None,
         approx: float | None = None,
@@ -205,7 +205,7 @@ class Engine:
         records the exact-vs-approximate decision (and the algorithm
         label reflects the ranking function actually executed).
         """
-        decision = None
+        decision: ApproxDecision | None = None
         if approx is not None:
             decision = self.approx_decision(data, rf, approx)
             rf = decision.effective
@@ -230,7 +230,7 @@ class Engine:
 
     def plan_batch(
         self,
-        datasets: Iterable,
+        datasets: Iterable[Any],
         rf: RankingFunction,
         top_k: int | None = None,
         approx: float | None = None,
@@ -274,7 +274,7 @@ class Engine:
     # ------------------------------------------------------------------
     def rank(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         name: str = "",
         top_k: int | None = None,
@@ -302,7 +302,7 @@ class Engine:
 
     def rank_top_k(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         k: int,
         name: str = "",
@@ -331,7 +331,7 @@ class Engine:
     # ------------------------------------------------------------------
     def rank_batch(
         self,
-        datasets: Iterable,
+        datasets: Iterable[Any],
         rf: RankingFunction,
         *,
         workers: int | None = None,
@@ -374,17 +374,17 @@ class Engine:
             if len(groups) == 1:
                 rf = effectives[0]
             else:
-                results: list[RankingResult | None] = [None] * len(datasets)
+                merged: list[RankingResult | None] = [None] * len(datasets)
                 for effective, indices in groups.values():
-                    subset_results = self.rank_batch(
+                    group_results = self.rank_batch(
                         [datasets[i] for i in indices],
                         effective,
                         workers=workers,
                         top_k=top_k,
                     )
-                    for index, result in zip(indices, subset_results):
-                        results[index] = result
-                return [result for result in results if result is not None]
+                    for index, result in zip(indices, group_results):
+                        merged[index] = result
+                return [result for result in merged if result is not None]
         if top_k is not None:
             top_k = validated_k(top_k)
         by_backend: dict[int, tuple[RankingBackend, list[int]]] = {}
@@ -398,7 +398,7 @@ class Engine:
         store = len(datasets) <= self.cache.max_relations
         for backend, indices in by_backend.values():
             subset = [datasets[i] for i in indices]
-            subset_results = None
+            subset_results: list[RankingResult] | None = None
             if top_k is not None:
                 subset_results = [
                     backend.rank_top_k(data, rf, top_k, store=store)[0]
@@ -418,7 +418,7 @@ class Engine:
 
     def submit_batch(
         self,
-        datasets: Iterable,
+        datasets: Iterable[Any],
         rf: RankingFunction,
         *,
         workers: int | None = None,
@@ -475,14 +475,14 @@ class Engine:
         """Support ``with Engine() as engine:`` for scoped executor cleanup."""
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         """Close the background executor on scope exit."""
         self.close()
 
     # ------------------------------------------------------------------
     # Cache warm-up (worker bootstrap hook)
     # ------------------------------------------------------------------
-    def warm(self, datasets: Iterable, rfs: Sequence[RankingFunction] = ()) -> int:
+    def warm(self, datasets: Iterable[Any], rfs: Sequence[RankingFunction] = ()) -> int:
         """Pre-compute and cache the hot intermediates of ``datasets``.
 
         For each dataset, materializes the score-sorted order (which
@@ -510,7 +510,7 @@ class Engine:
     # ------------------------------------------------------------------
     def rank_many(
         self,
-        data,
+        data: Any,
         rfs: Sequence[RankingFunction],
         name: str = "",
         top_k: int | None = None,
@@ -548,20 +548,22 @@ class Engine:
     # Derived queries (cached across the whole package)
     # ------------------------------------------------------------------
     def positional_matrix(
-        self, data, max_rank: int | None = None
-    ) -> tuple[list[Tuple], np.ndarray]:
+        self, data: Any, max_rank: int | None = None
+    ) -> tuple[list[Tuple], "np.ndarray[Any, Any]"]:
         """Cached positional probabilities of any supported dataset kind."""
         return self.backend_for(data).positional_matrix(data, max_rank=max_rank)
 
-    def rank_distribution(self, data, tid: Any, max_rank: int | None = None) -> np.ndarray:
+    def rank_distribution(
+        self, data: Any, tid: Any, max_rank: int | None = None
+    ) -> "np.ndarray[Any, Any]":
         """Rank distribution ``Pr(r(t) = j)`` of one tuple (index 0 unused)."""
         return self.backend_for(data).rank_distribution(data, tid, max_rank=max_rank)
 
-    def sorted_tuples(self, data) -> list[Tuple]:
+    def sorted_tuples(self, data: Any) -> list[Tuple]:
         """Score-descending tuples of any supported dataset kind (cached)."""
         return self.backend_for(data).sorted_tuples(data)
 
-    def marginal_probabilities(self, data) -> dict[Any, float]:
+    def marginal_probabilities(self, data: Any) -> dict[Any, float]:
         """Marginal existence probability per tuple identifier."""
         return self.backend_for(data).marginal_probabilities(data)
 

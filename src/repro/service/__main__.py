@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+from typing import Any
 
 from ..engine.facade import Engine
 from .pool import PooledRankingService, WorkerPool
@@ -92,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
 async def run(args: argparse.Namespace) -> None:
     """Start the service and serve until cancelled."""
     engine = Engine(workers=args.workers)
-    service_kwargs = dict(
+    service_kwargs: dict[str, Any] = dict(
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         max_pending=args.max_pending,

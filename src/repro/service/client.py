@@ -39,7 +39,7 @@ class AsyncRankingClient:
         self.service = service
 
     async def rank(
-        self, data, rf: RankingFunction, *, name: str = "", approx: float | None = None
+        self, data: Any, rf: RankingFunction, *, name: str = "", approx: float | None = None
     ) -> RankingResult:
         """The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``.
 
@@ -51,14 +51,14 @@ class AsyncRankingClient:
         return reply.result
 
     async def rank_detailed(
-        self, data, rf: RankingFunction, *, name: str = "", approx: float | None = None
+        self, data: Any, rf: RankingFunction, *, name: str = "", approx: float | None = None
     ) -> ServiceReply:
         """The full reply envelope (result + model/algorithm/cache metadata)."""
         return await self.service.submit(data, rf, name=name, approx=approx)
 
     async def top_k(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         k: int,
         *,
@@ -76,7 +76,7 @@ class AsyncRankingClient:
 
     async def top_k_detailed(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         k: int,
         *,
@@ -129,7 +129,7 @@ class TCPRankingClient:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
-        self._waiting: dict[int, "asyncio.Future[dict]"] = {}
+        self._waiting: dict[int, "asyncio.Future[dict[str, Any]]"] = {}
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
         self._closed = False
 
@@ -154,7 +154,7 @@ class TCPRankingClient:
         """``async with`` support."""
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         """Close the connection on scope exit."""
         await self.close()
 
@@ -198,13 +198,13 @@ class TCPRankingClient:
             if not future.done():
                 future.set_exception(exc)
 
-    async def _call(self, message: dict) -> dict:
+    async def _call(self, message: dict[str, Any]) -> dict[str, Any]:
         """Send one request object and await its matching response line."""
         if self._closed:
             raise ConnectionError("client is closed")
         request_id = next(self._ids)
         message = {"id": request_id, **message}
-        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        future: "asyncio.Future[dict[str, Any]]" = asyncio.get_running_loop().create_future()
         self._waiting[request_id] = future
         self._writer.write(json.dumps(message).encode() + b"\n")
         await self._writer.drain()
@@ -221,7 +221,7 @@ class TCPRankingClient:
     # ------------------------------------------------------------------
     async def rank(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         *,
         k: int | None = None,
@@ -256,7 +256,7 @@ class TCPRankingClient:
 
     async def rank_detailed(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         *,
         k: int | None = None,
@@ -279,7 +279,7 @@ class TCPRankingClient:
 
     async def top_k(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         k: int,
         *,
@@ -305,7 +305,7 @@ class TCPRankingClient:
         response = await self._call(message)
         return [entry["tid"] for entry in response["ranking"]]
 
-    async def register(self, dataset_name: str, data) -> None:
+    async def register(self, dataset_name: str, data: Any) -> None:
         """Upload a dataset once; later requests may reference it by name."""
         await self._call(
             {"op": "register", "name": dataset_name, "dataset": dataset_to_payload(data)}
@@ -314,7 +314,8 @@ class TCPRankingClient:
     async def stats(self) -> dict[str, Any]:
         """The server's service counters and engine cache introspection."""
         response = await self._call({"op": "stats"})
-        return response["stats"]
+        stats: dict[str, Any] = response["stats"]
+        return stats
 
     async def ping(self) -> float:
         """Round-trip a ping; returns the latency in seconds."""

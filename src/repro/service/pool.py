@@ -196,7 +196,7 @@ class _JobContext:
     approx: float | None
 
 
-def _worker_main(conn, engine_kwargs: dict, dataset_cache_entries: int) -> None:
+def _worker_main(conn: Any, engine_kwargs: dict[str, Any], dataset_cache_entries: int) -> None:
     """Worker-process entry point: serve jobs from ``conn`` until told to stop.
 
     Bootstraps a private :class:`~repro.engine.facade.Engine`, keeps an
@@ -296,7 +296,7 @@ class ProcessWorker:
         self,
         shard: int = 0,
         *,
-        engine_kwargs: dict | None = None,
+        engine_kwargs: dict[str, Any] | None = None,
         dataset_cache_entries: int = 512,
         mp_context: str | None = None,
     ) -> None:
@@ -313,11 +313,13 @@ class ProcessWorker:
         self.process.start()
         child_conn.close()
         self._ids = itertools.count(1)
-        self._pending: dict[int, tuple[concurrent.futures.Future, _JobContext | None]] = {}
+        self._pending: dict[
+            int, tuple["concurrent.futures.Future[Any]", _JobContext | None]
+        ] = {}
         self._shipped: "OrderedDict[str, None]" = OrderedDict()
         self._state_lock = threading.Lock()
         self._dead = False
-        self._send_queue: "queue.SimpleQueue[tuple | None]" = queue.SimpleQueue()
+        self._send_queue: "queue.SimpleQueue[tuple[Any, ...] | None]" = queue.SimpleQueue()
         self._writer = threading.Thread(
             target=self._write_loop, name=f"rank-worker-{shard}-writer", daemon=True
         )
@@ -357,7 +359,7 @@ class ProcessWorker:
             top_k=top_k,
             approx=approx,
         )
-        future: concurrent.futures.Future = concurrent.futures.Future()
+        future: "concurrent.futures.Future[list[RankingResult]]" = concurrent.futures.Future()
         job_id = self._register(future, context)
         payloads = self._unshipped_payloads(context, None)
         self._send(("job", job_id, fingerprints, payloads, rf, top_k, approx))
@@ -376,18 +378,18 @@ class ProcessWorker:
         send-once cache, so later jobs reference them for free.
         """
         datasets = list(datasets)
-        future: concurrent.futures.Future = concurrent.futures.Future()
+        future: "concurrent.futures.Future[int]" = concurrent.futures.Future()
         job_id = self._register(future, None)
         self._send(("warm", job_id, datasets, list(rfs)))
         with self._state_lock:
             for data in datasets:
-                self._mark_shipped(dataset_fingerprint(data))
+                self._mark_shipped_locked(dataset_fingerprint(data))
         return future.result(timeout=timeout)
 
     def ping(self, timeout: float = 5.0) -> float:
         """Round-trip a no-op through the worker; returns seconds taken."""
         start = time.perf_counter()
-        future: concurrent.futures.Future = concurrent.futures.Future()
+        future: "concurrent.futures.Future[str]" = concurrent.futures.Future()
         job_id = self._register(future, None)
         self._send(("ping", job_id))
         future.result(timeout=timeout)
@@ -421,7 +423,7 @@ class ProcessWorker:
 
     # -- internals -----------------------------------------------------
     def _register(
-        self, future: concurrent.futures.Future, context: _JobContext | None
+        self, future: "concurrent.futures.Future[Any]", context: _JobContext | None
     ) -> int:
         with self._state_lock:
             if self._dead:
@@ -437,22 +439,22 @@ class ProcessWorker:
         with self._state_lock:
             if missing is not None:
                 for fingerprint in missing:
-                    self._mark_shipped(fingerprint)
+                    self._mark_shipped_locked(fingerprint)
                 return {fp: context.datasets[fp] for fp in missing if fp in context.datasets}
-            payloads = {}
+            payloads: dict[str, Any] = {}
             for fingerprint in context.fingerprints:
                 if fingerprint not in self._shipped:
                     payloads[fingerprint] = context.datasets[fingerprint]
-                    self._mark_shipped(fingerprint)
+                    self._mark_shipped_locked(fingerprint)
             return payloads
 
-    def _mark_shipped(self, fingerprint: str) -> None:
+    def _mark_shipped_locked(self, fingerprint: str) -> None:
         self._shipped[fingerprint] = None
         self._shipped.move_to_end(fingerprint)
         while len(self._shipped) > self.dataset_cache_entries:
             self._shipped.popitem(last=False)
 
-    def _send(self, message: tuple) -> None:
+    def _send(self, message: tuple[Any, ...]) -> None:
         """Queue one message for the writer thread (never blocks on I/O).
 
         The actual ``conn.send`` pickles the payload into the pipe —
@@ -552,12 +554,12 @@ class ThreadWorker:
         shard: int = 0,
         *,
         engine: Engine | None = None,
-        engine_kwargs: dict | None = None,
+        engine_kwargs: dict[str, Any] | None = None,
     ) -> None:
         self.shard = int(shard)
         self.engine = engine if engine is not None else Engine(**(engine_kwargs or {}))
-        self._queue: "queue.SimpleQueue[tuple | None]" = queue.SimpleQueue()
-        self._inflight: set[concurrent.futures.Future] = set()
+        self._queue: "queue.SimpleQueue[tuple[Any, ...] | None]" = queue.SimpleQueue()
+        self._inflight: set["concurrent.futures.Future[Any]"] = set()
         self._lock = threading.Lock()
         self._dead = False
         self._thread = threading.Thread(
@@ -615,8 +617,8 @@ class ThreadWorker:
         self.kill()
         self._thread.join(timeout)
 
-    def _enqueue(self, item: tuple) -> concurrent.futures.Future:
-        future: concurrent.futures.Future = concurrent.futures.Future()
+    def _enqueue(self, item: tuple[Any, ...]) -> "concurrent.futures.Future[Any]":
+        future: "concurrent.futures.Future[Any]" = concurrent.futures.Future()
         with self._lock:
             if self._dead:
                 raise WorkerDiedError(f"worker {self.shard} is dead")
@@ -650,7 +652,10 @@ class ThreadWorker:
             self._finish(future, result=outcome)
 
     def _finish(
-        self, future: concurrent.futures.Future, result: Any = None, error: Any = None
+        self,
+        future: "concurrent.futures.Future[Any]",
+        result: Any = None,
+        error: Any = None,
     ) -> None:
         with self._lock:
             if self._dead:
@@ -762,7 +767,7 @@ class WorkerPool:
         shards: int = 4,
         *,
         worker_factory: Callable[[int], Any] | None = None,
-        engine_kwargs: dict | None = None,
+        engine_kwargs: dict[str, Any] | None = None,
         max_shard_depth: int = 256,
         hot_threshold: int = 64,
         replicas: int = 2,
@@ -803,6 +808,17 @@ class WorkerPool:
         self._sequence = [0] * self.shards
         self._restarts_total = 0
         self._lock = threading.Lock()
+        # Serializes *async* respawns per shard so concurrent dispatches
+        # that notice the same dead worker share one worker-thread hop
+        # instead of each burning an executor slot.
+        self._respawn_locks: list[asyncio.Lock] = [
+            asyncio.Lock() for _ in range(self.shards)
+        ]
+        # Serializes spawners across threads (async respawns run on
+        # worker threads; ``warm``/``start`` may spawn from user threads)
+        # without holding ``self._lock`` across a fork — that lock is
+        # taken on the event loop by every admission path.
+        self._spawn_locks = [threading.Lock() for _ in range(self.shards)]
         self.shard_stats = [ShardStats() for _ in range(self.shards)]
         self.started = False
 
@@ -829,7 +845,7 @@ class WorkerPool:
         """``with WorkerPool(...) as pool:`` starts the workers."""
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         """Stop the workers on scope exit."""
         self.close()
 
@@ -912,7 +928,7 @@ class WorkerPool:
         approx: float | None,
     ) -> list[RankingResult]:
         """One dispatch attempt: fault draw, submit, await the reply."""
-        worker = self._ensure_worker(shard)
+        worker = await self._ensure_worker_async(shard)
         with self._lock:
             sequence = self._sequence[shard]
             self._sequence[shard] += 1
@@ -934,7 +950,7 @@ class WorkerPool:
         elif fault is not None and fault.kind == "drop":
             # Discard the real reply; the timeout machinery must recover.
             future.add_done_callback(_consume_future)
-            future = concurrent.futures.Future()
+            future = concurrent.futures.Future()  # never resolved: simulates the drop
         timeout = self.reply_timeout + self.reply_timeout_per_item * len(datasets)
         wrapped = asyncio.wrap_future(future)
         wrapped.add_done_callback(_consume_async_future)
@@ -986,27 +1002,60 @@ class WorkerPool:
         ) from None
 
     def _ensure_worker(self, shard: int) -> Any:
-        """The live worker of ``shard``, respawning a dead one if allowed."""
+        """The live worker of ``shard``, respawning a dead one if allowed.
+
+        The factory call (a process fork in production) runs *outside*
+        ``self._lock``: that lock is taken on the event loop by every
+        admission and stats path, so holding it across a spawn would
+        stall the loop exactly as badly as spawning on the loop did.
+        ``_spawn_locks`` serializes spawners per shard instead; a caller
+        that queued behind a respawn finds the replacement installed and
+        returns it without spawning again.
+        """
         with self._lock:
             worker = self._workers[shard]
             if worker is not None and worker.alive:
                 return worker
-            if worker is not None:
-                if (
-                    self.max_restarts is not None
-                    and self._restarts_total >= self.max_restarts
-                ):
-                    raise ServiceOverloadedError(
-                        f"shard {shard} worker is dead and the restart budget "
-                        f"({self.max_restarts}) is exhausted"
-                    )
-                self._restarts_total += 1
-                self.shard_stats[shard].restarts += 1
+        with self._spawn_locks[shard]:
+            with self._lock:
+                worker = self._workers[shard]
+                if worker is not None and worker.alive:
+                    return worker  # another spawner won while we waited
+                if worker is not None:
+                    if (
+                        self.max_restarts is not None
+                        and self._restarts_total >= self.max_restarts
+                    ):
+                        raise ServiceOverloadedError(
+                            f"shard {shard} worker is dead and the restart budget "
+                            f"({self.max_restarts}) is exhausted"
+                        )
+                    self._restarts_total += 1
+                    self.shard_stats[shard].restarts += 1
             replacement = self._factory(shard)
-            self._workers[shard] = replacement
+            with self._lock:
+                self._workers[shard] = replacement
         if worker is not None:
             worker.stop(timeout=1.0)
         return replacement
+
+    async def _ensure_worker_async(self, shard: int) -> Any:
+        """Async twin of :meth:`_ensure_worker` that never blocks the loop.
+
+        The live-worker fast path stays inline (a lock acquire and a
+        liveness check).  A respawn, however, forks a process and joins
+        the dead one — hundreds of milliseconds during which a direct
+        call would stall every coalescing window and connection on the
+        loop — so it runs on a worker thread, serialized per shard by
+        ``_respawn_locks`` (dispatches that queued behind the respawn
+        re-check and find the replacement already live).
+        """
+        with self._lock:
+            worker = self._workers[shard]
+            if worker is not None and worker.alive:
+                return worker
+        async with self._respawn_locks[shard]:
+            return await asyncio.to_thread(self._ensure_worker, shard)
 
     async def restart(self, shard: int, *, drain_timeout: float = 5.0) -> None:
         """Gracefully restart ``shard``: drain in-flight work, stop, respawn.
@@ -1025,7 +1074,7 @@ class WorkerPool:
             self.shard_stats[shard].restarts += 1
         if worker is not None:
             await asyncio.to_thread(worker.stop)
-        self._ensure_worker(shard)
+        await self._ensure_worker_async(shard)
 
     # -- warm-up -------------------------------------------------------
     def warm(self, datasets: Iterable[Any], rfs: Sequence[RankingFunction] = ()) -> int:
@@ -1093,13 +1142,13 @@ class WorkerPool:
         }
 
 
-def _consume_future(future: "concurrent.futures.Future") -> None:
+def _consume_future(future: "concurrent.futures.Future[Any]") -> None:
     """Mark a discarded future's exception as retrieved."""
     if not future.cancelled():
         future.exception()
 
 
-def _consume_async_future(future: "asyncio.Future") -> None:
+def _consume_async_future(future: "asyncio.Future[Any]") -> None:
     """Mark an abandoned asyncio future's exception as retrieved.
 
     The dispatch path may stop awaiting ``wrapped`` (timeout -> the
@@ -1156,13 +1205,13 @@ class PooledRankingService(RankingService):
         *,
         shards: int = 4,
         engine: Engine | None = None,
-        pool_kwargs: dict | None = None,
-        **service_kwargs,
+        pool_kwargs: dict[str, Any] | None = None,
+        **service_kwargs: Any,
     ) -> None:
         super().__init__(engine, **service_kwargs)
         self.pool = pool if pool is not None else WorkerPool(shards, **(pool_kwargs or {}))
         self._owns_pool = pool is None
-        self._window_tasks: set[asyncio.Task] = set()
+        self._window_tasks: set[asyncio.Task[None]] = set()
 
     async def start(self) -> "PooledRankingService":
         """Start the pool workers and the coalescing loop (idempotent)."""

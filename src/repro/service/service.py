@@ -217,9 +217,9 @@ class _PendingRequest:
     rf: RankingFunction
     name: str
     key: Hashable | None
+    future: "asyncio.Future[ServiceReply]" = field(repr=False)
     top_k: int | None = None
     approx: float | None = None
-    future: "asyncio.Future[ServiceReply]" = field(repr=False, default=None)
 
 
 class RankingService:
@@ -279,7 +279,7 @@ class RankingService:
         self._queue: "asyncio.Queue[_PendingRequest | None]" = asyncio.Queue()
         self._inflight: dict[Hashable, "asyncio.Future[ServiceReply]"] = {}
         self._pending = 0
-        self._loop_task: asyncio.Task | None = None
+        self._loop_task: asyncio.Task[None] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -316,7 +316,7 @@ class RankingService:
         """``async with`` support: start on entry."""
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         """``async with`` support: stop on exit."""
         await self.stop()
 
@@ -325,7 +325,7 @@ class RankingService:
     # ------------------------------------------------------------------
     async def submit(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         *,
         name: str = "",
@@ -357,7 +357,7 @@ class RankingService:
         self.stats.add(requests=1)
         key = self._request_key(data, rf, name, top_k, approx)
         if key is not None:
-            hit = self.results.get(key)
+            hit: ServiceReply | None = self.results.get(key)
             if hit is not None:
                 self.stats.add(cache_hits=1)
                 return replace(hit, cached=True)
@@ -397,7 +397,7 @@ class RankingService:
 
     def _request_key(
         self,
-        data,
+        data: Any,
         rf: RankingFunction,
         name: str,
         top_k: int | None = None,
@@ -509,7 +509,7 @@ class RankingService:
             del self._inflight[request.key]
 
 
-def _consume_exception(future: "asyncio.Future") -> None:
+def _consume_exception(future: "asyncio.Future[ServiceReply]") -> None:
     """Mark a future's exception as retrieved (silences loop warnings)."""
     if not future.cancelled():
         future.exception()

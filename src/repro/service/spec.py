@@ -67,7 +67,7 @@ class ProtocolError(ValueError):
 # ----------------------------------------------------------------------
 # Canonical spec keys (dedup / TTL-cache identity)
 # ----------------------------------------------------------------------
-def _alpha_key(alpha) -> tuple:
+def _alpha_key(alpha: Any) -> tuple[str, float, float]:
     """A key distinguishing alphas by value AND runtime type.
 
     The engine's kernel dispatch is type-sensitive — ``uses_log_space``
@@ -82,7 +82,7 @@ def _alpha_key(alpha) -> tuple:
     return (type(alpha).__name__, value.real, value.imag)
 
 
-def _weight_key(weight: WeightFunction) -> tuple | None:
+def _weight_key(weight: WeightFunction) -> tuple[Any, ...] | None:
     """A hashable content key for the built-in weight functions."""
     if isinstance(weight, StepWeight):
         return ("step", weight.horizon)
@@ -101,7 +101,7 @@ def _weight_key(weight: WeightFunction) -> tuple | None:
     return None
 
 
-def ranking_function_key(rf: RankingFunction) -> tuple | None:
+def ranking_function_key(rf: RankingFunction) -> tuple[Any, ...] | None:
     """A stable hashable key for ``rf``, or ``None`` if it is opaque.
 
     Keys include the spec class, so e.g. ``PRFOmega`` and a general
@@ -253,7 +253,7 @@ def _tuple_from_wire(record: Any, probability: float | None = None) -> Tuple:
     return Tuple(tid, float(score), float(p if probability is None else probability))
 
 
-def dataset_to_payload(data) -> dict[str, Any]:
+def dataset_to_payload(data: Any) -> dict[str, Any]:
     """The JSON payload of a relation, columnar relation, or and/xor tree.
 
     Independent relations encode their tuples; columnar relations encode
@@ -283,7 +283,7 @@ def dataset_to_payload(data) -> dict[str, Any]:
 
     if isinstance(data, AndXorTree):
 
-        def encode(node) -> dict[str, Any]:
+        def encode(node: Any) -> dict[str, Any]:
             if isinstance(node, LeafNode):
                 return {"leaf": _tuple_to_wire(node.item)}
             if isinstance(node, AndNode):
@@ -298,7 +298,7 @@ def dataset_to_payload(data) -> dict[str, Any]:
     )
 
 
-def dataset_from_payload(payload: dict[str, Any]):
+def dataset_from_payload(payload: dict[str, Any]) -> Any:
     """Rebuild a dataset from its wire payload (exact float round-trip)."""
     if not isinstance(payload, dict) or "kind" not in payload:
         raise ProtocolError(f"dataset payloads are objects with a 'kind', got {payload!r}")
@@ -325,7 +325,7 @@ def dataset_from_payload(payload: dict[str, Any]):
     if kind == "tree":
         from ..andxor.tree import AndNode, AndXorTree, LeafNode, XorNode
 
-        def decode(node: Any):
+        def decode(node: Any) -> Any:
             if not isinstance(node, dict) or len(node) != 1:
                 raise ProtocolError(f"malformed tree node {node!r}")
             if "leaf" in node:

@@ -46,7 +46,7 @@ import json
 from typing import Any
 
 from .metrics import render_metrics
-from .service import RankingService, ServiceOverloadedError
+from .service import RankingService, ServiceOverloadedError, ServiceReply
 from .spec import (
     ProtocolError,
     dataset_from_payload,
@@ -86,7 +86,7 @@ async def serve_tcp(
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
+        tasks: set[asyncio.Task[None]] = set()
         try:
             while True:
                 line = await reader.readline()
@@ -122,7 +122,7 @@ async def serve_tcp(
     return await asyncio.start_server(handle, host, port, limit=int(line_limit))
 
 
-class _BoundedRegistry(dict):
+class _BoundedRegistry(dict[str, Any]):
     """A dict of registered datasets with a hard entry bound.
 
     Inserting a *new* name beyond the bound raises
@@ -252,7 +252,7 @@ async def _dispatch(
     raise ProtocolError(f"unknown op {op!r}")
 
 
-def _resolve_dataset(registry: dict[str, Any], payload: Any):
+def _resolve_dataset(registry: dict[str, Any], payload: Any) -> Any:
     """An inline dataset payload, or a ``{"ref": name}`` registry lookup."""
     if isinstance(payload, dict) and "ref" in payload:
         dataset_name = payload["ref"]
@@ -304,9 +304,9 @@ async def _top_k(
     return response
 
 
-def _ranking_response(request_id: Any, reply, items) -> dict[str, Any]:
+def _ranking_response(request_id: Any, reply: ServiceReply, items: Any) -> dict[str, Any]:
     """The shared success-response shape of ``rank`` and ``top_k``."""
-    response = {
+    response: dict[str, Any] = {
         "id": request_id,
         "ok": True,
         "name": reply.result.name,

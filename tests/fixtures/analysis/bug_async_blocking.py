@@ -1,0 +1,35 @@
+"""Fixture: blocking calls on the event loop for ASYNC101.
+
+Every call below stalls the loop — and therefore every coalescing
+window and connection — for its full duration.  The class at the bottom
+hides the blocking call one ``self`` helper away, which the checker
+traces one level through.
+"""
+
+import pickle
+import time
+
+
+async def naps_on_the_loop() -> None:
+    time.sleep(0.1)  # BUG: ASYNC101 expected here
+
+
+async def pickles_on_the_loop(payload: object) -> bytes:
+    return pickle.dumps(payload)  # BUG: ASYNC101 expected here
+
+
+async def reads_on_the_loop(path: str) -> str:
+    with open(path) as handle:  # BUG: ASYNC101 expected here
+        return handle.read()
+
+
+async def joins_future_on_the_loop(future) -> object:
+    return future.result(timeout=5.0)  # BUG: ASYNC101 expected here
+
+
+class Shipper:
+    def _serialize(self, payload: object) -> bytes:
+        return pickle.dumps(payload)
+
+    async def send(self, payload: object) -> bytes:
+        return self._serialize(payload)  # BUG: ASYNC101 expected here (one helper away)

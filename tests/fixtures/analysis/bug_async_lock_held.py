@@ -1,0 +1,24 @@
+"""Fixture: a threading lock held across an await for ASYNC103.
+
+The coroutine can suspend at the ``await`` while holding the lock; any
+thread (including the loop thread, re-entering through another task)
+that then takes the lock deadlocks.
+"""
+
+import asyncio
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, object] = {}
+
+    async def refresh(self, key: str) -> None:
+        with self._lock:  # BUG: ASYNC103 expected here
+            payload = await self._fetch(key)
+            self._entries[key] = payload
+
+    async def _fetch(self, key: str) -> object:
+        await asyncio.sleep(0)
+        return key

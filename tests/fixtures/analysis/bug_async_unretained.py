@@ -1,0 +1,26 @@
+"""Fixture: the PR-8 unresolved-window-future shape for ASYNC102.
+
+``_run`` fires the window task and forgets it: nothing retains the
+task, nothing observes its exception, so a failure before the replies
+are resolved hangs every caller awaiting a pending future — exactly the
+``_execute_window`` bug the PR-8 review caught.
+"""
+
+import asyncio
+
+
+class Coalescer:
+    def __init__(self) -> None:
+        self.pending: list[asyncio.Future] = []
+
+    async def _execute_window(self, batch: list) -> None:
+        for item in batch:
+            item.set_result(None)
+
+    async def _run(self) -> None:
+        while True:
+            batch, self.pending = self.pending, []
+            asyncio.create_task(self._execute_window(batch))  # BUG: ASYNC102 expected here (fire-and-forget)
+
+    async def kick_once(self, batch: list) -> None:
+        task = asyncio.create_task(self._execute_window(batch))  # BUG: ASYNC102 expected here (never retained)

@@ -1,0 +1,41 @@
+"""Fixture: nondeterminism that breaks bit-identical replies.
+
+Covers all four determinism checkers: unseeded randomness (DET301),
+set iteration feeding ordered output (DET302), dict repr feeding a
+fingerprint (DET303), and builtin ``hash()`` (DET304).
+"""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # BUG: DET301 expected here
+
+
+def make_rng():
+    return np.random.default_rng()  # BUG: DET301 expected here
+
+
+def legacy_draw(n: int):
+    return np.random.permutation(n)  # BUG: DET301 expected here
+
+
+def tid_order(tids: set[str]) -> list[str]:
+    return list(tids)  # BUG: DET302 expected here
+
+
+def render(tags: set[str]) -> str:
+    return ",".join(tags)  # BUG: DET302 expected here
+
+
+def fingerprint(attributes: dict) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(attributes).encode())  # BUG: DET303 expected here
+    return digest.hexdigest()
+
+
+def partition_key(tid: str, shards: int) -> int:
+    return hash(tid) % shards  # BUG: DET304 expected here

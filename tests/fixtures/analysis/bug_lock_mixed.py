@@ -1,0 +1,44 @@
+"""Fixture: the HotSpotTracker/ServiceStats bug shape for LOCK201.
+
+``record`` mutates ``self._scores`` under the lock, but the eviction
+sibling mutates the same dict unlocked — the exact shape of the PR-8
+HotSpotTracker self-eviction review bug (and of the earlier unlocked
+``ServiceStats`` race).  The analyzer must flag the unlocked sites.
+"""
+
+import threading
+
+
+class Tracker:
+    def __init__(self, max_entries: int = 8) -> None:
+        self._lock = threading.Lock()
+        self._scores: dict[str, float] = {}
+        self.max_entries = max_entries
+
+    def record(self, key: str) -> float:
+        with self._lock:
+            self._scores[key] = self._scores.get(key, 0.0) + 1.0
+            return self._scores[key]
+
+    def evict_coldest(self) -> None:
+        if len(self._scores) >= self.max_entries:
+            coldest = min(self._scores, key=self._scores.get)
+            self._scores.pop(coldest)  # BUG: LOCK201 expected here (unlocked sibling)
+
+    def reset(self) -> None:
+        self._scores = {}  # BUG: LOCK201 expected here (unlocked replacement)
+
+
+class Stats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.requests += size
+
+    def add_request(self) -> None:
+        self.requests += 1  # BUG: unlocked counter bump (LOCK201 expected here)

@@ -1,0 +1,23 @@
+"""Fixture: leaked executors, pipes, and file handles for RES401.
+
+Each resource below is constructed and abandoned: no ``close``, no
+``with``, no handoff to another owner.  Under a restart storm every
+respawn leaks another one until the process runs out of descriptors.
+"""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def run_job(fn) -> None:
+    pool = ThreadPoolExecutor(max_workers=2)  # BUG: RES401 expected here
+    pool.submit(fn)
+
+
+def first_line(path: str) -> str:
+    handle = open(path)  # BUG: RES401 expected here
+    return handle.readline()
+
+
+def make_channel() -> None:
+    multiprocessing.Pipe()  # BUG: RES401 expected here (discarded outright)

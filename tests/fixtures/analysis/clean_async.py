@@ -1,0 +1,57 @@
+"""Clean fixture: correct asyncio patterns that must NOT be flagged.
+
+Every shape here mirrors real code in ``repro.service``: offloaded
+blocking work, retained tasks with done-callbacks, async locks held
+across awaits, and short sync critical sections inside coroutines.
+"""
+
+import asyncio
+import pickle
+import time
+
+
+async def sleeps_correctly() -> None:
+    await asyncio.sleep(0.01)
+
+
+async def offloads_blocking_work(payload: object) -> bytes:
+    return await asyncio.to_thread(pickle.dumps, payload)
+
+
+async def passes_blocking_fn_by_reference() -> None:
+    await asyncio.to_thread(time.sleep, 0.01)
+
+
+class Server:
+    def __init__(self) -> None:
+        self._tasks: set[asyncio.Task] = set()
+        self._loop_task: asyncio.Task | None = None
+        self._alock = asyncio.Lock()
+        self._entries: dict[str, object] = {}
+
+    def start(self) -> None:
+        self._loop_task = asyncio.get_event_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        await asyncio.sleep(0)
+
+    async def handle(self, request: object) -> None:
+        task = asyncio.create_task(self._run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        await task
+
+    async def awaited_spawn(self) -> object:
+        task = asyncio.create_task(self._run())
+        return await task
+
+    async def async_lock_across_await_is_fine(self, key: str) -> None:
+        async with self._alock:
+            self._entries[key] = await self._fetch(key)
+
+    async def _fetch(self, key: str) -> object:
+        await asyncio.sleep(0)
+        return key
+
+    async def wraps_future(self, future) -> object:
+        return await asyncio.wrap_future(future)

@@ -1,0 +1,59 @@
+"""Clean fixture: deterministic patterns that must NOT be flagged.
+
+Seeded generators, sorted set iteration, and fingerprints built from
+sorted items — the patterns ``repro.engine.cache`` and
+``repro.service.router`` actually use.
+"""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def seeded_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_stream(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def tid_order(tids: set[str]) -> list[str]:
+    return sorted(tids)
+
+
+def render(tags: set[str]) -> str:
+    return ",".join(sorted(tags))
+
+
+def enumerate_sorted(tids: set[str]) -> list[tuple[int, str]]:
+    return list(enumerate(sorted(tids)))
+
+
+def fingerprint(attributes: dict) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for key, value in sorted(attributes.items()):
+        digest.update(repr((key, value)).encode())
+    return digest.hexdigest()
+
+
+def fingerprint_scalar(tid: str) -> str:
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(tid).encode())
+    return digest.hexdigest()
+
+
+class Dedup:
+    def __init__(self) -> None:
+        self._seen: set[str] = set()
+
+    def add(self, tid: str) -> bool:
+        fresh = tid not in self._seen
+        self._seen.add(tid)
+        return fresh
+
+    def drain(self) -> list[str]:
+        out = sorted(self._seen)
+        self._seen = set()
+        return out

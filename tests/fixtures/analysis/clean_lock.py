@@ -1,0 +1,46 @@
+"""Clean fixture: disciplined locking that must NOT be flagged.
+
+Mirrors the repo's conventions: every mutation of guarded state holds
+the lock, ``*_locked`` helpers are called with the lock held, and
+``__init__`` construction does not count as shared-state mutation.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self, max_entries: int = 8) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, object] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+
+    def put(self, key: str, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._evict_locked()
+
+    def get(self, key: str) -> object | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+            return value
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return dict(self._entries)
+
+
+class Unshared:
+    """No lock at all: single-threaded state is not a LOCK201 story."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def bump(self) -> None:
+        self.counter += 1

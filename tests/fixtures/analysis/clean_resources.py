@@ -1,0 +1,49 @@
+"""Clean fixture: resource lifecycles that must NOT be flagged.
+
+Context managers, explicit close/shutdown, self-storage, and pipe ends
+handed to a child process — the ownership transfers ``repro.service``
+and ``repro.engine`` actually perform.
+"""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def with_managed(fn) -> None:
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        pool.submit(fn)
+
+
+def explicitly_shut_down(fn) -> None:
+    pool = ThreadPoolExecutor(max_workers=2)
+    try:
+        pool.submit(fn)
+    finally:
+        pool.shutdown(wait=True)
+
+
+def read_with_block(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def returned_to_caller(path: str):
+    handle = open(path)
+    return handle
+
+
+class Owner:
+    def __init__(self) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=1)
+        parent, child = multiprocessing.Pipe()
+        self._conn = parent
+        self._child = multiprocessing.Process(target=_serve, args=(child,))
+        child.close()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+        self._conn.close()
+
+
+def _serve(conn) -> None:
+    conn.close()

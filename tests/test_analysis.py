@@ -1,0 +1,312 @@
+"""Tests for the ``repro.analysis`` static-analysis subsystem.
+
+The contracts under test:
+
+* each checker catches its PR-8-shaped true positive in the ``bug_*``
+  fixtures (with exact checker ids on the marked lines);
+* every ``clean_*`` fixture produces **zero** findings — the false-
+  positive budget of the CI gate is exactly zero;
+* pragmas suppress findings on their line, unused pragmas are reported
+  (SUP001), and the committed-baseline flow demotes legacy findings
+  without hiding new ones;
+* the CLI prints ``file:line:CHECKER-ID message`` and exits 0/1/2;
+* the repo's own ``src/`` tree passes the gate — the same invariant CI
+  enforces, kept under plain pytest so it cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_CHECKERS,
+    Finding,
+    load_baseline,
+    parse_pragmas,
+    run_analysis,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def analyze(*names: str, baseline: Path | None = None):
+    return run_analysis([FIXTURES / name for name in names], baseline_path=baseline)
+
+
+def ids_by_line(report) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for finding in report.findings:
+        out.setdefault(finding.line, set()).add(finding.checker_id)
+    return out
+
+
+def expected_bug_lines(name: str, checker_id: str) -> list[int]:
+    """Lines in a fixture carrying a same-line ``BUG: <ID> expected here`` marker."""
+    return [
+        lineno
+        for lineno, text in enumerate((FIXTURES / name).read_text().splitlines(), 1)
+        if "BUG:" in text and checker_id in text
+    ]
+
+
+# ----------------------------------------------------------------------
+# True positives: each checker catches its PR-8-shaped bug fixture
+# ----------------------------------------------------------------------
+class TestTruePositives:
+    def test_lock_mixed_fixture_flags_every_unlocked_sibling(self):
+        """The HotSpotTracker/ServiceStats shape: unlocked siblings flagged."""
+        report = analyze("bug_lock_mixed.py")
+        flagged = ids_by_line(report)
+        for line in expected_bug_lines("bug_lock_mixed.py", "LOCK201"):
+            assert "LOCK201" in flagged.get(line, set()), f"line {line} not flagged"
+        assert all(ids == {"LOCK201"} for ids in flagged.values())
+
+    def test_unretained_window_task_fixture(self):
+        """The PR-8 unresolved-window-future shape: both spawn styles flagged."""
+        report = analyze("bug_async_unretained.py")
+        flagged = ids_by_line(report)
+        expected = expected_bug_lines("bug_async_unretained.py", "ASYNC102")
+        assert len(expected) == 2
+        for line in expected:
+            assert "ASYNC102" in flagged.get(line, set()), f"line {line} not flagged"
+
+    def test_blocking_calls_fixture(self):
+        report = analyze("bug_async_blocking.py")
+        flagged = ids_by_line(report)
+        for line in expected_bug_lines("bug_async_blocking.py", "ASYNC101"):
+            assert "ASYNC101" in flagged.get(line, set()), f"line {line} not flagged"
+
+    def test_blocking_call_traced_through_self_helper(self):
+        """pickle.dumps hidden one `self` helper away is still caught."""
+        report = analyze("bug_async_blocking.py")
+        messages = [f.message for f in report.findings if f.checker_id == "ASYNC101"]
+        assert any("self._serialize" in m for m in messages)
+
+    def test_lock_across_await_fixture(self):
+        report = analyze("bug_async_lock_held.py")
+        flagged = ids_by_line(report)
+        for line in expected_bug_lines("bug_async_lock_held.py", "ASYNC103"):
+            assert "ASYNC103" in flagged.get(line, set())
+
+    @pytest.mark.parametrize("checker_id", ["DET301", "DET302", "DET303", "DET304"])
+    def test_determinism_fixture(self, checker_id):
+        report = analyze("bug_determinism.py")
+        flagged = ids_by_line(report)
+        expected = expected_bug_lines("bug_determinism.py", checker_id)
+        assert expected, f"fixture lost its {checker_id} marker"
+        for line in expected:
+            assert checker_id in flagged.get(line, set()), f"line {line} not flagged"
+
+    def test_resource_leak_fixture(self):
+        report = analyze("bug_resource_leak.py")
+        flagged = ids_by_line(report)
+        for line in expected_bug_lines("bug_resource_leak.py", "RES401"):
+            assert "RES401" in flagged.get(line, set()), f"line {line} not flagged"
+
+
+# ----------------------------------------------------------------------
+# False positives: clean fixtures must produce zero findings
+# ----------------------------------------------------------------------
+class TestZeroFalsePositives:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["clean_async.py", "clean_lock.py", "clean_determinism.py", "clean_resources.py"],
+    )
+    def test_clean_fixture_is_clean(self, fixture):
+        report = analyze(fixture)
+        assert report.findings == [], [f.render() for f in report.findings]
+
+    def test_clean_fixtures_are_clean_under_cross_file_registry(self):
+        """Analysing everything together must not create new findings in clean files."""
+        report = run_analysis([FIXTURES])
+        clean = [f for f in report.findings if Path(f.path).name.startswith("clean_")]
+        assert clean == [], [f.render() for f in clean]
+
+
+# ----------------------------------------------------------------------
+# Pragmas and baseline
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_pragma_suppresses_finding_on_its_line(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)  # repro: ignore[ASYNC101]\n"
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(src)
+        report = run_analysis([path])
+        assert report.findings == []
+        assert [f.checker_id for f in report.suppressed] == ["ASYNC101"]
+
+    def test_unused_pragma_is_reported(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # repro: ignore[ASYNC101]\n")
+        report = run_analysis([path])
+        assert [f.checker_id for f in report.findings] == ["SUP001"]
+        assert "ASYNC101" in report.findings[0].message
+
+    def test_pragma_for_a_different_checker_does_not_suppress(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\nasync def f():\n    time.sleep(1)  # repro: ignore[DET301]\n"
+        )
+        report = run_analysis([path])
+        ids = {f.checker_id for f in report.findings}
+        assert "ASYNC101" in ids  # the real finding survives
+        assert "SUP001" in ids  # and the mismatched pragma is called out
+
+    def test_multiple_ids_in_one_pragma(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "async def f(tids: set):\n"
+            "    time.sleep(1), list(tids)  # repro: ignore[ASYNC101, DET302]\n"
+        )
+        report = run_analysis([path])
+        assert report.findings == []
+        assert {f.checker_id for f in report.suppressed} == {"ASYNC101", "DET302"}
+
+    def test_parse_pragmas_shapes(self):
+        table = parse_pragmas("a\nb  # repro: ignore[LOCK201,DET301]\n")
+        assert table.by_line == {2: {"LOCK201", "DET301"}}
+
+
+class TestBaseline:
+    def test_baseline_demotes_known_findings_but_not_new_ones(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nasync def f():\n    time.sleep(1)\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_analysis([path]).findings)
+        report = run_analysis([path], baseline_path=baseline)
+        assert report.findings == []
+        assert [f.checker_id for f in report.baselined] == ["ASYNC101"]
+        # A new defect in the same file still fails the gate.
+        path.write_text(
+            "import time, pickle\nasync def f():\n    time.sleep(1)\n"
+            "    pickle.dumps(f)\n"
+        )
+        report = run_analysis([path], baseline_path=baseline)
+        assert len(report.findings) == 1
+        assert "pickle.dumps" in report.findings[0].message
+
+    def test_baseline_keys_survive_line_drift(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nasync def f():\n    time.sleep(1)\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_analysis([path]).findings)
+        # Shift the finding down ten lines: the baseline still matches.
+        path.write_text("import time\n" + "\n" * 10 + "async def f():\n    time.sleep(1)\n")
+        report = run_analysis([path], baseline_path=baseline)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+
+    def test_stale_baseline_entries_are_reported(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nasync def f():\n    time.sleep(1)\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(
+            baseline,
+            run_analysis([path]).findings
+            + [Finding("gone.py", 1, "DET301", "long fixed")],
+        )
+        report = run_analysis([path], baseline_path=baseline)
+        assert report.findings == []
+        assert report.stale_baseline == ["gone.py::DET301::long fixed"]
+
+    def test_load_baseline_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+class TestCli:
+    def run_cli(self, *args: str, cwd: Path | None = None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_findings_print_as_file_line_checker_message(self):
+        proc = self.run_cli(str(FIXTURES / "bug_determinism.py"), "--no-baseline")
+        assert proc.returncode == 1
+        line = proc.stdout.splitlines()[0]
+        path, lineno, rest = line.split(":", 2)
+        assert path.endswith("bug_determinism.py")
+        assert lineno.isdigit()
+        assert rest.split(" ", 1)[0].startswith(("DET", "ASYNC", "LOCK", "RES"))
+
+    def test_clean_input_exits_zero(self):
+        proc = self.run_cli(str(FIXTURES / "clean_lock.py"), "--no-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.strip() == ""
+
+    def test_missing_path_exits_two(self):
+        proc = self.run_cli("definitely/not/a/path")
+        assert proc.returncode == 2
+
+    def test_select_restricts_checkers(self):
+        proc = self.run_cli(
+            str(FIXTURES / "bug_determinism.py"), "--no-baseline", "--select", "DET304"
+        )
+        assert proc.returncode == 1
+        ids = {line.split(":", 2)[2].split(" ")[0] for line in proc.stdout.splitlines()}
+        assert ids == {"DET304"}
+
+    def test_json_output(self):
+        proc = self.run_cli(
+            str(FIXTURES / "bug_resource_leak.py"), "--no-baseline", "--json"
+        )
+        doc = json.loads(proc.stdout)
+        assert proc.returncode == 1
+        assert all(f["checker_id"] == "RES401" for f in doc["findings"])
+        assert doc["files_checked"] == 1
+
+    def test_write_baseline_then_gate_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        proc = self.run_cli(
+            str(FIXTURES / "bug_lock_mixed.py"), "--baseline", str(baseline),
+            "--write-baseline",
+        )
+        assert proc.returncode == 0, proc.stderr
+        proc = self.run_cli(
+            str(FIXTURES / "bug_lock_mixed.py"), "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0, proc.stdout
+        assert "baselined" in proc.stderr
+
+    def test_list_checkers_covers_catalogue(self):
+        proc = self.run_cli("--list-checkers")
+        assert proc.returncode == 0
+        for cls in ALL_CHECKERS:
+            assert cls.id in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# The repo's own gate
+# ----------------------------------------------------------------------
+class TestRepoGate:
+    def test_src_tree_passes_the_gate(self):
+        """The invariant CI enforces, kept under plain pytest too."""
+        report = run_analysis([REPO_ROOT / "src"])
+        assert report.findings == [], [f.render() for f in report.findings]
+
+    def test_syntax_error_is_reported_not_crashed(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        report = run_analysis([path])
+        assert [f.checker_id for f in report.findings] == ["PARSE000"]

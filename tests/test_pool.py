@@ -513,6 +513,66 @@ class TestPoolMechanics:
 
         run(scenario())
 
+    def test_respawn_does_not_block_the_event_loop(self):
+        """A worker respawn must not stall the loop for the spawn duration.
+
+        Regression (ASYNC-hygiene sweep): ``_dispatch_once`` called
+        ``_ensure_worker`` inline, so respawning a dead worker ran the
+        factory (a process fork in production, 0.3s here) plus the dead
+        worker's ``stop()`` join *on the event loop*, freezing every
+        coalescing window and connection for that long.  The respawn now
+        runs on a worker thread; a heartbeat task must keep ticking
+        through it, and concurrent dispatches must share one respawn.
+        """
+        rel = make_relation(20, 43)
+        expected = Engine().rank(rel, PRFe(0.9), name=rel.name)
+        spawn_seconds = 0.3
+        spawned = []
+
+        def slow_factory(shard):
+            time.sleep(spawn_seconds)  # stands in for a process fork + warm-up
+            worker = ThreadWorker(shard)
+            spawned.append(worker)
+            return worker
+
+        async def scenario():
+            pool = WorkerPool(
+                1, worker_factory=slow_factory, retry_backoff=0.001
+            )
+            pool.start()
+            try:
+                pool._workers[0].kill()  # next dispatch must respawn
+                gaps = []
+                ticking = True
+
+                async def heartbeat():
+                    last = time.monotonic()
+                    while ticking:
+                        await asyncio.sleep(0.005)
+                        now = time.monotonic()
+                        gaps.append(now - last)
+                        last = now
+
+                beat = asyncio.ensure_future(heartbeat())
+                results = await asyncio.gather(
+                    pool.execute(0, [rel], PRFe(0.9)),
+                    pool.execute(0, [rel], PRFe(0.9)),
+                )
+                ticking = False
+                await beat
+                return results, max(gaps), pool.snapshot()
+            finally:
+                await asyncio.to_thread(pool.close)
+
+        results, max_gap, snapshot = run(scenario())
+        for batch in results:
+            assert_bitwise_equal(batch[0], expected)
+        # Pre-fix the loop froze for the whole spawn; post-fix the
+        # heartbeat keeps ticking (generous margin for CI scheduling).
+        assert max_gap < spawn_seconds * 0.67, f"event loop stalled {max_gap:.3f}s"
+        assert snapshot["restarts_total"] == 1  # concurrent dispatches shared it
+        assert len(spawned) == 2  # initial start + one respawn
+
     def test_affinity_routing_keeps_worker_caches_disjoint_and_hot(self):
         rf = PRFe(0.9)
         datasets = [make_relation(20, seed) for seed in range(50, 58)]
