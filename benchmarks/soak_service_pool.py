@@ -14,10 +14,18 @@ replies, then verifies the pool's core serving contract:
 * **accounting** — served + shed equals the number of issued requests
   and the service reports no pending work.
 
-Example (the CI service-soak job)::
+Chaos extensions (the CI chaos leg)::
 
     PYTHONPATH=src python benchmarks/soak_service_pool.py \\
-        --duration 60 --rate 150 --shards 4 --seed 7
+        --duration 60 --rate 150 --shards 4 --seed 7 \\
+        --faults slow,flap --resize 3
+
+``--faults slow`` pins a persistent latency skew on shard 0 (cleared at
+~60% of the run) and requires the shard's circuit breaker to trip open
+and then recover; ``--faults flap`` kills shard 1's worker every N-th
+dispatch; ``--resize`` live-shrinks (or grows) the pool at ~40% of the
+run and resizes back at ~70% — all while the zero-lost-replies contract
+stays in force.
 
 Exit status is 0 when every invariant holds, 1 otherwise.
 """
@@ -35,6 +43,7 @@ from repro import PRFOmega, ProbabilisticRelation
 from repro.core.weights import StepWeight
 from repro.service import (
     AsyncRankingClient,
+    BreakerConfig,
     Fault,
     FaultPlan,
     PooledRankingService,
@@ -101,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--reply-timeout", type=float, default=2.0,
         help="seconds before a silent worker is restarted (default: %(default)s)",
     )
+    parser.add_argument(
+        "--faults", default="",
+        help="comma-separated extra fault kinds: 'slow' (persistent "
+        "latency skew on shard 0, cleared at ~60%% of the run; the "
+        "shard's breaker must trip and recover) and/or 'flap' "
+        "(periodic worker kills on shard 1)",
+    )
+    parser.add_argument(
+        "--slow-delay", type=float, default=0.05,
+        help="per-dispatch skew of the slow shard in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--flap-period", type=int, default=50,
+        help="kill the flapping shard's worker every N-th dispatch "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--resize", type=int, default=0,
+        help="live-resize the pool to this many shards at ~40%% of the "
+        "run and back at ~70%% (0 disables; must differ from --shards)",
+    )
     return parser
 
 
@@ -120,13 +150,25 @@ async def soak(args: argparse.Namespace) -> int:
     total = args.requests
     if args.duration is not None:
         total = max(1, int(args.rate * args.duration))
+    kinds = {kind.strip() for kind in args.faults.split(",") if kind.strip()}
+    unknown = kinds - {"slow", "flap"}
+    if unknown:
+        print(f"unknown --faults kinds: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if args.resize and (args.resize < 1 or args.resize == args.shards):
+        print("--resize must be >= 1 and differ from --shards", file=sys.stderr)
+        return 2
+    slow_shard = 0
+    flap_shard = 1 % args.shards
     hot_set = make_hot_set(args.hot, args.size, args.seed)
     rf = PRFOmega(StepWeight(20))
     rng = np.random.default_rng(args.seed + 1)
     offsets = np.cumsum(rng.exponential(1.0 / args.rate, size=total))
+    est_wall = float(offsets[-1])
 
     # One scripted mid-run worker kill (the 1-of-N acceptance scenario)
-    # plus background seeded kill/delay/drop noise.
+    # plus background seeded kill/delay/drop noise; ``--faults`` layers
+    # a persistent slow-shard skew and/or a flapping worker on top.
     plan = FaultPlan(
         faults=(Fault("kill", shard=args.shards // 2, batch=total // (4 * args.shards)),),
         seed=args.seed,
@@ -135,6 +177,8 @@ async def soak(args: argparse.Namespace) -> int:
         drop_rate=args.drop_rate,
         delay=0.005,
         max_faults=args.max_faults,
+        slow={slow_shard: args.slow_delay} if "slow" in kinds else None,
+        flap={flap_shard: args.flap_period} if "flap" in kinds else None,
     )
     pool = WorkerPool(
         args.shards,
@@ -142,6 +186,7 @@ async def soak(args: argparse.Namespace) -> int:
         fault_plan=plan,
         reply_timeout=args.reply_timeout,
         retry_backoff=0.01,
+        breaker=BreakerConfig() if kinds else None,
     )
 
     ok = 0
@@ -169,6 +214,21 @@ async def soak(args: argparse.Namespace) -> int:
                 return ("shed", time.perf_counter() - issued)
             return ("ok", time.perf_counter() - issued)
 
+        async def chaos_director() -> list[dict]:
+            """Resize mid-soak and clear the slow skew, on a wall-clock script."""
+            events: list[dict] = []
+            if args.resize:
+                await asyncio.sleep(max(0.0, start + 0.4 * est_wall - time.perf_counter()))
+                events.append(await service.resize(args.resize))
+            if "slow" in kinds:
+                await asyncio.sleep(max(0.0, start + 0.6 * est_wall - time.perf_counter()))
+                plan.clear_slow()
+            if args.resize:
+                await asyncio.sleep(max(0.0, start + 0.7 * est_wall - time.perf_counter()))
+                events.append(await service.resize(args.shards))
+            return events
+
+        director = asyncio.get_running_loop().create_task(chaos_director())
         outcomes = await asyncio.gather(
             *(fire(index, float(offset)) for index, offset in enumerate(offsets))
         )
@@ -180,7 +240,24 @@ async def soak(args: argparse.Namespace) -> int:
             else:
                 shed += 1
 
+        director_error: BaseException | None = None
+        resize_events: list[dict] = []
+        try:
+            resize_events = await director
+        except Exception as exc:  # noqa: BLE001 - reported as a failure below
+            director_error = exc
+
         pending = service.pending()
+        if "slow" in kinds:
+            # Give the tripped breaker room to walk open -> half-open ->
+            # closed now the skew is gone: probes feed it real timings.
+            recovery_deadline = time.perf_counter() + 8.0
+            while time.perf_counter() < recovery_deadline:
+                breakers = service.pool.snapshot()["breakers"]
+                if breakers and all(state != "open" for state in breakers["state"]):
+                    break
+                await service.pool.probe(timeout=2.0)
+                await asyncio.sleep(0.25)
         snapshot = service.pool.snapshot()
         probes = await service.pool.probe(timeout=5.0)
 
@@ -195,6 +272,32 @@ async def soak(args: argparse.Namespace) -> int:
         failures.append(f"health probe failed: {probes}")
     if args.kill_rate > 0 and snapshot["faults_injected"] == 0:
         failures.append("fault plan injected nothing — soak did not exercise chaos")
+    if director_error is not None:
+        failures.append(f"chaos director failed: {director_error!r}")
+    breakers = snapshot.get("breakers")
+    if "slow" in kinds:
+        if plan.slow_injected == 0:
+            failures.append("slow skew never bit — soak did not exercise the slow shard")
+        if not breakers or breakers["opens"][slow_shard] < 1:
+            failures.append(
+                f"slow shard {slow_shard} never tripped its breaker: {breakers}"
+            )
+        if breakers and any(state == "open" for state in breakers["state"]):
+            failures.append(
+                f"breaker stuck open after skew cleared: {breakers['state']}"
+            )
+    if "flap" in kinds and snapshot["restarts_total"] == 0:
+        failures.append("flapping worker was never restarted")
+    if args.resize:
+        if snapshot["resizes_total"] != 2:
+            failures.append(
+                f"expected 2 live resizes, saw {snapshot['resizes_total']} "
+                f"(events: {resize_events})"
+            )
+        if snapshot["shards"] != args.shards:
+            failures.append(
+                f"pool did not return to {args.shards} shards: {snapshot['shards']}"
+            )
 
     latencies.sort()
 
@@ -218,6 +321,13 @@ async def soak(args: argparse.Namespace) -> int:
         f"timeouts={snapshot['totals']['timeouts']} "
         f"alive={snapshot['alive']}"
     )
+    if kinds or args.resize:
+        opens = breakers["opens"] if breakers else None
+        print(
+            f"  chaos: kinds={sorted(kinds)} slow_injected={plan.slow_injected} "
+            f"breaker_opens={opens} resizes={snapshot['resizes_total']} "
+            f"shards={snapshot['shards']}"
+        )
     if failures:
         for failure in failures:
             print(f"  FAIL: {failure}", file=sys.stderr)

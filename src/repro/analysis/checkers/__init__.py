@@ -10,6 +10,7 @@ from __future__ import annotations
 from .asyncio_hygiene import (
     BlockingCallChecker,
     LockAcrossAwaitChecker,
+    UnboundedNetworkAwaitChecker,
     UnretainedTaskChecker,
 )
 from .base import Checker, ParsedModule
@@ -34,6 +35,7 @@ ALL_CHECKERS: tuple[type, ...] = (
     BlockingCallChecker,
     UnretainedTaskChecker,
     LockAcrossAwaitChecker,
+    UnboundedNetworkAwaitChecker,
     MixedLockUsageChecker,
     UnseededRandomChecker,
     SetIterationChecker,

@@ -21,6 +21,18 @@ shipped) around its coalescing service and worker pool:
     thread — including the loop thread itself — that needs it.
     ``async with`` on an ``asyncio.Lock`` is the correct pattern and is
     never flagged.
+``ASYNC104``
+    A bare ``await`` on a network, stream, or queue operation
+    (``readline``/``readexactly``/``readuntil``/``drain``/
+    ``wait_closed``/``get``/``open_connection``) with no timeout bound.
+    A peer that stops sending — or a producer that never produces —
+    parks the coroutine forever, which is exactly how the serving tier's
+    wedged-worker hangs present.  Wrapping the call in
+    ``asyncio.wait_for(...)`` or running it under an
+    ``async with asyncio.timeout(...)`` scope is never flagged.
+    Deliberate indefinite waits (an idle keep-alive connection, the
+    coalescer parked on its first request) belong in the analysis
+    baseline, not in new code.
 """
 
 from __future__ import annotations
@@ -28,12 +40,17 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from ..astutils import dotted_name, iter_scope
+from ..astutils import SCOPE_BARRIERS, dotted_name, iter_scope
 from ..findings import Finding
 from ..registry import TypeRegistry
 from .base import ParsedModule
 
-__all__ = ["BlockingCallChecker", "LockAcrossAwaitChecker", "UnretainedTaskChecker"]
+__all__ = [
+    "BlockingCallChecker",
+    "LockAcrossAwaitChecker",
+    "UnboundedNetworkAwaitChecker",
+    "UnretainedTaskChecker",
+]
 
 #: Fully-dotted calls that block the calling thread.
 _BLOCKING_CALLS = {
@@ -268,3 +285,77 @@ class LockAcrossAwaitChecker:
                         "suspend while holding it and deadlock the loop; narrow the "
                         "critical section or use asyncio.Lock with `async with`",
                     )
+
+
+#: Awaited receiver methods that can park a coroutine indefinitely.
+_UNBOUNDED_AWAIT_METHODS = frozenset(
+    {"readline", "readexactly", "readuntil", "drain", "wait_closed", "get"}
+)
+
+#: Context-manager spellings that bound every await in their body.
+_TIMEOUT_CONTEXTS = frozenset({"timeout", "timeout_at"})
+
+
+def _is_timeout_context(expr: ast.expr) -> bool:
+    """Whether an ``async with`` item is an ``asyncio.timeout(...)`` scope."""
+    if not isinstance(expr, ast.Call):
+        return False
+    name = dotted_name(expr.func)
+    return name is not None and name.rsplit(".", 1)[-1] in _TIMEOUT_CONTEXTS
+
+
+def _unbounded_reason(expr: ast.expr) -> str | None:
+    """Why awaiting ``expr`` can hang forever, or ``None`` if it can't."""
+    if not isinstance(expr, ast.Call):
+        return None
+    name = dotted_name(expr.func)
+    if name is not None and name.rsplit(".", 1)[-1] == "open_connection":
+        return (
+            "awaited open_connection() has no timeout: an unreachable host "
+            "hangs the connect forever; bound it with asyncio.wait_for(...) "
+            "or an asyncio.timeout() scope"
+        )
+    if isinstance(expr.func, ast.Attribute) and expr.func.attr in _UNBOUNDED_AWAIT_METHODS:
+        return (
+            f"awaited {expr.func.attr}() has no timeout: a stalled peer (or "
+            "an empty queue) parks this coroutine forever; bound it with "
+            "asyncio.wait_for(...) or an asyncio.timeout() scope"
+        )
+    return None
+
+
+class UnboundedNetworkAwaitChecker:
+    """``ASYNC104`` — network/queue awaits with no timeout bound."""
+
+    id = "ASYNC104"
+    description = "network/stream/queue await with no wait_for or enclosing asyncio.timeout"
+
+    def check(self, module: ParsedModule, registry: TypeRegistry) -> Iterator[Finding]:
+        """Flag unguarded awaits of hang-prone calls in every ``async def``."""
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, ast.AsyncFunctionDef):
+                yield from self._walk(module, fn, guarded=False)
+
+    def _walk(
+        self, module: ParsedModule, node: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        """Recurse through one coroutine body tracking timeout scopes.
+
+        ``guarded`` is sticky downward: once inside an
+        ``async with asyncio.timeout(...)`` block, every await in the
+        subtree is bounded.  Directly awaited ``asyncio.wait_for(...)``
+        needs no tracking — the hang-prone call is then an *argument*,
+        not the awaited expression.
+        """
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, SCOPE_BARRIERS):
+                continue  # nested scopes get their own check() visit
+            child_guarded = guarded or (
+                isinstance(child, ast.AsyncWith)
+                and any(_is_timeout_context(item.context_expr) for item in child.items)
+            )
+            if not guarded and isinstance(child, ast.Await):
+                reason = _unbounded_reason(child.value)
+                if reason is not None:
+                    yield Finding(module.rel, child.lineno, self.id, reason)
+            yield from self._walk(module, child, child_guarded)

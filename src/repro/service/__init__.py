@@ -46,19 +46,31 @@ Quickstart::
 """
 
 from .client import AsyncRankingClient, RemoteServiceError, TCPRankingClient
+from .control import ControlAuthError, ControlPlane
 from .metrics import render_metrics
 from .pool import (
     Fault,
     FaultPlan,
     PooledRankingService,
     ProcessWorker,
+    ShardRetiredError,
     ShardStats,
     ThreadWorker,
     WorkerDiedError,
     WorkerPool,
 )
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    DegradePolicy,
+    Ewma,
+    HedgePolicy,
+    LatencyWindow,
+    deadline_from_ms,
+)
 from .router import FingerprintRouter, HotSpotTracker, stable_hash
 from .service import (
+    DeadlineExceededError,
     RankingService,
     ServiceOverloadedError,
     ServiceReply,
@@ -81,14 +93,25 @@ __all__ = [
     "ServiceReply",
     "ServiceStats",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
     "TTLCache",
     "WorkerPool",
     "ProcessWorker",
     "ThreadWorker",
     "WorkerDiedError",
+    "ShardRetiredError",
     "ShardStats",
     "Fault",
     "FaultPlan",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "Ewma",
+    "LatencyWindow",
+    "HedgePolicy",
+    "DegradePolicy",
+    "deadline_from_ms",
+    "ControlPlane",
+    "ControlAuthError",
     "FingerprintRouter",
     "HotSpotTracker",
     "stable_hash",

@@ -17,7 +17,9 @@ import asyncio
 from typing import Any
 
 from ..engine.facade import Engine
+from .control import ControlPlane
 from .pool import PooledRankingService, WorkerPool
+from .resilience import BreakerConfig, DegradePolicy, HedgePolicy
 from .service import RankingService
 from .tcp import serve_tcp
 
@@ -87,6 +89,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiprocessing start method for pool workers "
         "(default: fork where available)",
     )
+    parser.add_argument(
+        "--admin-token", default=None,
+        help="shared secret gating operator ops (live resize); "
+        "unset disables them entirely",
+    )
+    parser.add_argument(
+        "--no-breakers", action="store_true",
+        help="disable the per-shard circuit breakers (pooled mode "
+        "enables them by default)",
+    )
+    parser.add_argument(
+        "--hedge-quantile", type=float, default=0.95,
+        help="latency quantile arming hedged duplicate dispatches; "
+        "<= 0 disables hedging (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--degrade-approx", type=float, default=None,
+        help="error budget substituted for exact requests under overload "
+        "or open breakers (unset disables degradation)",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=5.0,
+        help="seconds between background worker probes feeding the "
+        "breakers; <= 0 disables (default: %(default)s)",
+    )
     return parser
 
 
@@ -109,13 +136,34 @@ async def run(args: argparse.Namespace) -> None:
             reply_timeout=args.reply_timeout,
             replicas=args.pool_replicas,
             mp_context=args.mp_context,
+            breaker=None if args.no_breakers else BreakerConfig(),
+            hedge=(
+                HedgePolicy(quantile=args.hedge_quantile)
+                if args.hedge_quantile > 0
+                else None
+            ),
         )
-        service = PooledRankingService(pool, engine=engine, **service_kwargs)
+        service = PooledRankingService(
+            pool,
+            engine=engine,
+            degrade=(
+                DegradePolicy(approx=args.degrade_approx)
+                if args.degrade_approx is not None
+                else None
+            ),
+            probe_interval=args.probe_interval if args.probe_interval > 0 else None,
+            **service_kwargs,
+        )
     else:
         service = RankingService(engine, **service_kwargs)
+    control = ControlPlane(args.admin_token) if args.admin_token else None
     async with service:
         server = await serve_tcp(
-            service, args.host, args.port, max_registered=args.max_registered
+            service,
+            args.host,
+            args.port,
+            max_registered=args.max_registered,
+            control=control,
         )
         addresses = ", ".join(
             f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
@@ -130,6 +178,13 @@ async def run(args: argparse.Namespace) -> None:
                 f"  worker pool: shards={args.pool_shards} "
                 f"shard_depth<={args.shard_depth} retries={args.pool_retries} "
                 f"replicas={args.pool_replicas}"
+            )
+            print(
+                "  resilience: "
+                f"breakers={'off' if args.no_breakers else 'on'} "
+                f"hedge_quantile={args.hedge_quantile} "
+                f"degrade_approx={args.degrade_approx} "
+                f"resize={'enabled' if control is not None else 'disabled'}"
             )
         try:
             async with server:

@@ -39,22 +39,40 @@ class AsyncRankingClient:
         self.service = service
 
     async def rank(
-        self, data: Any, rf: RankingFunction, *, name: str = "", approx: float | None = None
+        self,
+        data: Any,
+        rf: RankingFunction,
+        *,
+        name: str = "",
+        approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> RankingResult:
         """The full ranking — bit-identical to ``Engine.rank(data, rf, name=name)``.
 
         ``approx=epsilon`` lets the engine substitute a certified
         approximation within the error budget (see
-        :meth:`~repro.engine.facade.Engine.rank`).
+        :meth:`~repro.engine.facade.Engine.rank`); ``deadline_ms`` is a
+        relative end-to-end budget after which the service sheds the
+        request instead of answering it.
         """
-        reply = await self.service.submit(data, rf, name=name, approx=approx)
+        reply = await self.service.submit(
+            data, rf, name=name, approx=approx, deadline_ms=deadline_ms
+        )
         return reply.result
 
     async def rank_detailed(
-        self, data: Any, rf: RankingFunction, *, name: str = "", approx: float | None = None
+        self,
+        data: Any,
+        rf: RankingFunction,
+        *,
+        name: str = "",
+        approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> ServiceReply:
         """The full reply envelope (result + model/algorithm/cache metadata)."""
-        return await self.service.submit(data, rf, name=name, approx=approx)
+        return await self.service.submit(
+            data, rf, name=name, approx=approx, deadline_ms=deadline_ms
+        )
 
     async def top_k(
         self,
@@ -64,6 +82,7 @@ class AsyncRankingClient:
         *,
         name: str = "",
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> list[Any]:
         """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
 
@@ -71,7 +90,9 @@ class AsyncRankingClient:
         early-terminate the kernel instead of ranking everything; the
         returned identifiers equal the full ranking's top ``k``.
         """
-        reply = await self.service.submit(data, rf, name=name, top_k=k, approx=approx)
+        reply = await self.service.submit(
+            data, rf, name=name, top_k=k, approx=approx, deadline_ms=deadline_ms
+        )
         return [item.tid for item in reply.result]
 
     async def top_k_detailed(
@@ -82,9 +103,12 @@ class AsyncRankingClient:
         *,
         name: str = "",
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> ServiceReply:
         """The full reply envelope of a pruned top-``k`` request."""
-        return await self.service.submit(data, rf, name=name, top_k=k, approx=approx)
+        return await self.service.submit(
+            data, rf, name=name, top_k=k, approx=approx, deadline_ms=deadline_ms
+        )
 
     async def rank_all(
         self, requests: Iterable[tuple[Any, RankingFunction]]
@@ -123,15 +147,34 @@ class TCPRankingClient:
 
         async with await TCPRankingClient.connect("127.0.0.1", 8765) as client:
             ranking = await client.rank(relation, PRFe(0.95), k=10)
+
+    A client opened through :meth:`connect` remembers its endpoint and
+    transparently reconnects on a connection reset, replaying the failed
+    request once — every protocol op is idempotent (ranking is
+    read-only, ``register`` overwrites, ``resize`` targets an absolute
+    shard count), so a reset mid-pipeline costs one round trip instead
+    of surfacing :class:`ConnectionError` to every caller.  Server-side
+    failures (:class:`RemoteServiceError`) are never retried.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        endpoint: tuple[str, int] | None = None,
+        line_limit: int = 64 * 1024 * 1024,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        self._endpoint = endpoint
+        self._line_limit = int(line_limit)
         self._ids = itertools.count(1)
         self._waiting: dict[int, "asyncio.Future[dict[str, Any]]"] = {}
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
         self._closed = False
+        self._generation = 0
+        self._reconnect_lock = asyncio.Lock()
 
     @classmethod
     async def connect(
@@ -148,7 +191,7 @@ class TCPRankingClient:
         asyncio's 64 KiB default.
         """
         reader, writer = await asyncio.open_connection(host, port, limit=int(line_limit))
-        return cls(reader, writer)
+        return cls(reader, writer, endpoint=(host, port), line_limit=int(line_limit))
 
     async def __aenter__(self) -> "TCPRankingClient":
         """``async with`` support."""
@@ -199,6 +242,57 @@ class TCPRankingClient:
                 future.set_exception(exc)
 
     async def _call(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one request, reconnecting and replaying once on a reset.
+
+        Every op is idempotent, so replaying a request whose connection
+        died (whether the send or the reply was lost) is safe; the retry
+        is bounded to one so a dead server fails fast instead of
+        spinning.  :class:`RemoteServiceError` — the server answered —
+        propagates without any retry.
+        """
+        generation = self._generation
+        try:
+            return await self._call_once(message)
+        except ConnectionError:
+            if self._endpoint is None or self._closed:
+                raise
+            await self._reconnect(generation)
+            return await self._call_once(message)
+
+    async def _reconnect(self, generation: int) -> None:
+        """Replace a dead transport with a fresh connection (once per reset).
+
+        Concurrent callers that all observed the same dead ``generation``
+        share one reconnect: the first through the lock replaces the
+        transport and bumps the generation, the rest see the bump and
+        return to retry on the new connection.
+        """
+        async with self._reconnect_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if self._generation != generation or self._endpoint is None:
+                return
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
+            self._fail_waiting(ConnectionError("connection reset; reconnecting"))
+            host, port = self._endpoint
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=self._line_limit
+            )
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+            self._generation += 1
+
+    async def _call_once(self, message: dict[str, Any]) -> dict[str, Any]:
         """Send one request object and await its matching response line."""
         if self._closed:
             raise ConnectionError("client is closed")
@@ -227,6 +321,7 @@ class TCPRankingClient:
         k: int | None = None,
         name: str = "",
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> list[tuple[Any, complex | float]]:
         """Rank a dataset remotely; returns ranked ``(tid, value)`` pairs.
 
@@ -236,7 +331,9 @@ class TCPRankingClient:
         dataset previously :meth:`register`\\ ed on the server.  Floats
         survive the wire exactly, so the returned values equal a local
         ``Engine.rank`` bit for bit.  ``approx=epsilon`` forwards a
-        per-request error budget to the server's planner.
+        per-request error budget to the server's planner;
+        ``deadline_ms`` a relative end-to-end budget after which the
+        server sheds the request (error type ``"deadline"``).
         """
         message: dict[str, Any] = {
             "op": "rank",
@@ -249,6 +346,8 @@ class TCPRankingClient:
             message["name"] = name
         if approx is not None:
             message["approx"] = float(approx)
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
         response = await self._call(message)
         return [
             (entry["tid"], decode_value(entry["value"])) for entry in response["ranking"]
@@ -262,6 +361,7 @@ class TCPRankingClient:
         k: int | None = None,
         name: str = "",
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Rank remotely and return the raw response object (with metadata)."""
         message: dict[str, Any] = {
@@ -275,6 +375,8 @@ class TCPRankingClient:
             message["name"] = name
         if approx is not None:
             message["approx"] = float(approx)
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
         return await self._call(message)
 
     async def top_k(
@@ -285,6 +387,7 @@ class TCPRankingClient:
         *,
         name: str = "",
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> list[Any]:
         """Identifiers of the ``k`` highest-ranked tuples under ``rf``.
 
@@ -302,8 +405,24 @@ class TCPRankingClient:
             message["name"] = name
         if approx is not None:
             message["approx"] = float(approx)
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
         response = await self._call(message)
         return [entry["tid"] for entry in response["ranking"]]
+
+    async def resize(self, shards: int, *, token: str) -> dict[str, Any]:
+        """Live-resize the server's worker pool (operator command).
+
+        Requires the server's admin token; the returned event echoes the
+        transition (``{"from": 4, "to": 6, "changed": true}``).  Fails
+        with :class:`RemoteServiceError` kind ``"unauthorized"`` on a
+        bad or missing token and ``"protocol"`` on a non-pooled server.
+        """
+        response = await self._call(
+            {"op": "resize", "shards": int(shards), "token": token}
+        )
+        event: dict[str, Any] = response["resize"]
+        return event
 
     async def register(self, dataset_name: str, data: Any) -> None:
         """Upload a dataset once; later requests may reference it by name."""

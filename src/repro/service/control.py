@@ -1,0 +1,99 @@
+"""Authenticated operator commands of the serving tier.
+
+The TCP front-end is deliberately open for *data* operations — any
+client may rank, register datasets, and read stats.  Operations that
+change the topology of the service itself (today: live pool resizing)
+go through this control plane instead: the operator configures a shared
+admin token (``python -m repro.service --admin-token ...``), and every
+control request must present it.  With no token configured, control
+operations are disabled entirely — a service cannot be resized by
+anyone who merely reaches its port.
+
+Request shape::
+
+    {"id": 7, "op": "resize", "shards": 6, "token": "<admin token>"}
+
+The response echoes the resize event (``{"from": 4, "to": 6}``); an
+unauthenticated or malformed request fails with error type
+``"unauthorized"`` / ``"protocol"`` without touching the pool.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Any
+
+from .spec import ProtocolError
+
+__all__ = ["ControlAuthError", "ControlPlane"]
+
+
+class ControlAuthError(RuntimeError):
+    """A control request was rejected (missing/invalid token, or disabled)."""
+
+
+class ControlPlane:
+    """Token-gated operator commands over a running service.
+
+    Parameters
+    ----------
+    token:
+        The shared admin secret.  ``None`` disables every control
+        operation (the safe default: an un-configured service cannot be
+        resized remotely).
+    min_shards / max_shards:
+        Bounds a resize target must respect; the ceiling keeps a typo'd
+        ``"shards": 40000`` from fork-bombing the host.
+    """
+
+    def __init__(
+        self,
+        token: str | None = None,
+        *,
+        min_shards: int = 1,
+        max_shards: int = 64,
+    ) -> None:
+        if min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {min_shards}")
+        if max_shards < min_shards:
+            raise ValueError(
+                f"max_shards ({max_shards}) must be >= min_shards ({min_shards})"
+            )
+        self.token = token
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+
+    def authorize(self, message: dict[str, Any]) -> None:
+        """Validate the request's admin token; raises on any mismatch."""
+        if self.token is None:
+            raise ControlAuthError(
+                "operator commands are disabled (no admin token configured; "
+                "start the server with --admin-token)"
+            )
+        presented = message.get("token")
+        if not isinstance(presented, str) or not hmac.compare_digest(
+            presented.encode(), self.token.encode()
+        ):
+            raise ControlAuthError("invalid admin token")
+
+    async def resize(self, service: Any, message: dict[str, Any]) -> dict[str, Any]:
+        """Authorize and execute one live-resize request.
+
+        ``service`` must be a pooled service (anything exposing an async
+        ``resize(shards)``); the plain single-engine service has no pool
+        to resize and reports a protocol error.
+        """
+        self.authorize(message)
+        shards = message.get("shards")
+        if isinstance(shards, bool) or not isinstance(shards, int):
+            raise ProtocolError(f"resize requires an integer 'shards', got {shards!r}")
+        if not self.min_shards <= shards <= self.max_shards:
+            raise ProtocolError(
+                f"resize target must be in [{self.min_shards}, {self.max_shards}], "
+                f"got {shards}"
+            )
+        resize = getattr(service, "resize", None)
+        if resize is None:
+            raise ProtocolError("resize requires a pooled service (--pool-shards > 0)")
+        event: dict[str, Any] = await resize(shards)
+        return event

@@ -29,12 +29,17 @@ _SERVICE_COUNTERS = (
     "cache_hits",
     "deduplicated",
     "shed",
+    "deadline_shed",
+    "degraded",
     "batches",
     "executed",
     "errors",
 )
 #: Service fields that are point-in-time values.
 _SERVICE_GAUGES = ("largest_batch", "pending")
+
+#: Numeric encoding of breaker states for the ``breaker_state`` gauge.
+_BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
 
 
 def _metric(
@@ -128,6 +133,49 @@ def _render_pool(lines: list[str], pool: dict[str, Any]) -> None:
         "Faults injected by the active fault plan.",
         [("", pool.get("faults_injected", 0))],
     )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_resizes_total",
+        "counter",
+        "Live pool resizes applied.",
+        [("", pool.get("resizes_total", 0))],
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_hedges_fired_total",
+        "counter",
+        "Hedged duplicate dispatches fired, pool-wide.",
+        [("", pool.get("hedges_fired", 0))],
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_pool_hedges_won_total",
+        "counter",
+        "Hedged dispatches whose duplicate answered first, pool-wide.",
+        [("", pool.get("hedges_won", 0))],
+    )
+    breakers = pool.get("breakers")
+    if isinstance(breakers, dict):
+        _metric(
+            lines,
+            f"{_PREFIX}_pool_breaker_state",
+            "gauge",
+            "Shard circuit-breaker state (0=closed, 1=half-open, 2=open).",
+            [
+                (f'{{shard="{shard}"}}', _BREAKER_STATE_VALUES.get(state, 0))
+                for shard, state in enumerate(breakers.get("state", ()))
+            ],
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_pool_breaker_opens_total",
+            "counter",
+            "Times the shard's circuit breaker has tripped open.",
+            [
+                (f'{{shard="{shard}"}}', opens)
+                for shard, opens in enumerate(breakers.get("opens", ()))
+            ],
+        )
     _metric(
         lines,
         f"{_PREFIX}_pool_shard_up",

@@ -55,8 +55,18 @@ from ..core.prf import RankingFunction
 from ..core.result import RankingResult
 from ..engine.cache import dataset_fingerprint
 from ..engine.facade import Engine
+from .resilience import (
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    DegradePolicy,
+    HedgePolicy,
+    LatencyWindow,
+    median_or_none,
+)
 from .router import FingerprintRouter, HotSpotTracker, stable_hash
 from .service import (
+    DeadlineExceededError,
     RankingService,
     ServiceOverloadedError,
     ServiceReply,
@@ -68,6 +78,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "WorkerDiedError",
+    "ShardRetiredError",
     "ShardStats",
     "ProcessWorker",
     "ThreadWorker",
@@ -78,6 +89,16 @@ __all__ = [
 
 class WorkerDiedError(RuntimeError):
     """A worker crashed (or was killed) while holding dispatched work."""
+
+
+class ShardRetiredError(RuntimeError):
+    """A dispatch targeted a shard retired by a live shrink.
+
+    Deliberately *not* a :class:`ServiceOverloadedError`: the request
+    was not shed — its routing decision merely raced a resize.  The
+    pooled service catches this and re-routes the sub-batch through the
+    post-resize router, so admitted requests survive a shrink.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -120,9 +141,21 @@ class FaultPlan:
     delay:
         Seconds a drawn ``delay`` fault sleeps.
     max_faults:
-        Hard bound on total injected faults (scripted + drawn); once
-        reached the plan goes quiet, so a chaos run converges back to a
-        healthy pool.  ``None`` means unbounded.
+        Hard bound on total injected faults (scripted + flap + drawn);
+        once reached the plan goes quiet, so a chaos run converges back
+        to a healthy pool.  ``None`` means unbounded.  The persistent
+        ``slow`` skew is exempt: it models a degraded host, not an
+        event, and stays until :meth:`clear_slow`.
+    slow:
+        ``{shard: seconds}`` of *persistent latency skew* — every
+        dispatch on the shard sleeps that long (a degraded-host model;
+        the breaker is expected to demote and isolate it).  Counted
+        separately in :attr:`slow_injected`.
+    flap:
+        ``{shard: period}`` — the shard's worker is killed on every
+        ``period``-th dispatch (periodic kill/recover), so the pool's
+        respawn machinery runs continuously.  Flap kills count toward
+        ``max_faults``.
     """
 
     def __init__(
@@ -135,6 +168,8 @@ class FaultPlan:
         drop_rate: float = 0.0,
         delay: float = 0.01,
         max_faults: int | None = None,
+        slow: dict[int, float] | None = None,
+        flap: dict[int, int] | None = None,
     ) -> None:
         self.scripted = list(faults)
         self.seed = int(seed)
@@ -143,43 +178,79 @@ class FaultPlan:
         self.drop_rate = float(drop_rate)
         self.delay = float(delay)
         self.max_faults = max_faults
+        self._slow = dict(slow or {})
+        self._flap = dict(flap or {})
         self._fired: set[int] = set()
         self._injected = 0
+        self._slow_injected = 0
         self._lock = threading.Lock()
 
     @property
     def injected(self) -> int:
-        """Total faults injected so far (scripted + drawn)."""
+        """Total event faults injected so far (scripted + flap + drawn)."""
         with self._lock:
             return self._injected
+
+    @property
+    def slow_injected(self) -> int:
+        """Dispatches delayed by the persistent slow-shard skew."""
+        with self._lock:
+            return self._slow_injected
+
+    def clear_slow(self, shard: int | None = None) -> None:
+        """Lift the persistent latency skew of ``shard`` (or of every shard).
+
+        The chaos soak uses this to model a degraded host recovering, so
+        the breaker's half-open re-admission path runs under load.
+        """
+        with self._lock:
+            if shard is None:
+                self._slow.clear()
+            else:
+                self._slow.pop(shard, None)
 
     def draw(self, shard: int, sequence: int) -> Fault | None:
         """The fault (if any) to inject at dispatch ``sequence`` of ``shard``."""
         with self._lock:
-            if self.max_faults is not None and self._injected >= self.max_faults:
-                return None
-            for index, fault in enumerate(self.scripted):
-                if index in self._fired:
-                    continue
-                if fault.shard is not None and fault.shard != shard:
-                    continue
-                if fault.batch is not None and fault.batch != sequence:
-                    continue
-                self._fired.add(index)
-                self._injected += 1
+            fault = self._draw_event_locked(shard, sequence)
+            if fault is not None:
                 return fault
-            value = random.Random(stable_hash("fault", self.seed, shard, sequence)).random()
-            threshold = self.kill_rate
-            if value < threshold:
-                kind = "kill"
-            elif value < (threshold := threshold + self.delay_rate):
-                kind = "delay"
-            elif value < threshold + self.drop_rate:
-                kind = "drop"
-            else:
-                return None
+            skew = self._slow.get(shard)
+            if skew:
+                self._slow_injected += 1
+                return Fault("delay", shard=shard, batch=sequence, delay=skew)
+            return None
+
+    def _draw_event_locked(self, shard: int, sequence: int) -> Fault | None:
+        """One scripted / flap / seeded-random fault, under ``max_faults``."""
+        if self.max_faults is not None and self._injected >= self.max_faults:
+            return None
+        for index, fault in enumerate(self.scripted):
+            if index in self._fired:
+                continue
+            if fault.shard is not None and fault.shard != shard:
+                continue
+            if fault.batch is not None and fault.batch != sequence:
+                continue
+            self._fired.add(index)
             self._injected += 1
-            return Fault(kind, shard=shard, batch=sequence, delay=self.delay)
+            return fault
+        period = self._flap.get(shard)
+        if period is not None and period > 0 and sequence > 0 and sequence % period == 0:
+            self._injected += 1
+            return Fault("kill", shard=shard, batch=sequence)
+        value = random.Random(stable_hash("fault", self.seed, shard, sequence)).random()
+        threshold = self.kill_rate
+        if value < threshold:
+            kind = "kill"
+        elif value < (threshold := threshold + self.delay_rate):
+            kind = "delay"
+        elif value < threshold + self.drop_rate:
+            kind = "drop"
+        else:
+            return None
+        self._injected += 1
+        return Fault(kind, shard=shard, batch=sequence, delay=self.delay)
 
 
 # ----------------------------------------------------------------------
@@ -697,6 +768,10 @@ class ShardStats:
     faults: int = 0
     #: Requests routed here as a hot-fingerprint replica (non-primary).
     replica_routed: int = 0
+    #: Hedge duplicates dispatched *to* this shard.
+    hedges: int = 0
+    #: Requests shed on this shard because their deadline expired.
+    deadline_shed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (JSON-friendly)."""
@@ -710,6 +785,8 @@ class ShardStats:
             "shed": self.shed,
             "faults": self.faults,
             "replica_routed": self.replica_routed,
+            "hedges": self.hedges,
+            "deadline_shed": self.deadline_shed,
         }
 
 
@@ -758,6 +835,19 @@ class WorkerPool:
         exhausted budget sheds instead of restarting (restart-storm brake).
     fault_plan:
         Optional :class:`FaultPlan` threaded through every dispatch.
+    breaker:
+        Optional :class:`~repro.service.resilience.BreakerConfig`
+        enabling a per-shard circuit breaker: dispatch outcomes and
+        probe timings feed EWMA latency/error trackers, slow or erroring
+        shards are demoted (rendezvous weight scaling) or isolated
+        (breaker open) and re-admitted via half-open trial traffic.
+        ``None`` (the default) disables breakers — routing is exactly
+        the PR-8 behavior.
+    hedge:
+        Optional :class:`~repro.service.resilience.HedgePolicy` enabling
+        hedged requests: a dispatch still unanswered after the policy's
+        latency quantile fans a duplicate to a replica shard and the
+        first reply wins.  ``None`` disables hedging.
     mp_context / dataset_cache_entries:
         Forwarded to the default :class:`ProcessWorker` factory.
     """
@@ -777,6 +867,8 @@ class WorkerPool:
         reply_timeout_per_item: float = 0.25,
         max_restarts: int | None = None,
         fault_plan: FaultPlan | None = None,
+        breaker: BreakerConfig | None = None,
+        hedge: HedgePolicy | None = None,
         mp_context: str | None = None,
         dataset_cache_entries: int = 512,
     ) -> None:
@@ -795,6 +887,14 @@ class WorkerPool:
         self.reply_timeout_per_item = float(reply_timeout_per_item)
         self.max_restarts = max_restarts
         self.fault_plan = fault_plan
+        self.breaker_config = breaker
+        self.breakers: list[CircuitBreaker] | None = (
+            [CircuitBreaker(breaker) for _ in range(self.shards)]
+            if breaker is not None
+            else None
+        )
+        self.hedge = hedge
+        self.latencies = LatencyWindow()
         if worker_factory is None:
             worker_factory = lambda shard: ProcessWorker(  # noqa: E731
                 shard,
@@ -820,6 +920,15 @@ class WorkerPool:
         # taken on the event loop by every admission path.
         self._spawn_locks = [threading.Lock() for _ in range(self.shards)]
         self.shard_stats = [ShardStats() for _ in range(self.shards)]
+        # Live-resize state: shard indices beyond ``self.shards`` whose
+        # slots still exist (arrays never shrink mid-flight) but must
+        # reject new dispatches; ``_resize_lock`` serializes resizes.
+        self._retired: set[int] = set()
+        self._resize_lock = asyncio.Lock()
+        self._resizes = 0
+        self._hedges_fired = 0
+        self._hedges_won = 0
+        self._stragglers: set["asyncio.Task[Any]"] = set()
         self.started = False
 
     # -- lifecycle -----------------------------------------------------
@@ -833,9 +942,9 @@ class WorkerPool:
         return self
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop every worker (idempotent)."""
+        """Stop every worker, including not-yet-drained retired slots."""
         with self._lock:
-            workers, self._workers = self._workers, [None] * self.shards
+            workers, self._workers = self._workers, [None] * len(self._workers)
             self.started = False
         for worker in workers:
             if worker is not None:
@@ -857,16 +966,67 @@ class WorkerPool:
         affinity); once the hot tracker crosses its threshold, requests
         round-robin across the top ``replicas`` shards of the preference
         order, so one viral dataset stops serializing on one worker.
+        With breakers enabled, per-shard health weights scale the
+        rendezvous draw — demoted shards win fewer keys, open shards
+        none — while all-healthy weights reproduce the unweighted
+        routing bit for bit.
         """
         count = self.hot.record(fingerprint)
+        weights = self.route_weights()
         if self.replicas > 1 and self.hot.is_hot(fingerprint):
-            preference = self.router.preference(fingerprint, self.replicas)
+            preference = self.router.preference(fingerprint, self.replicas, weights=weights)
             shard = preference[count % len(preference)]
             if shard != preference[0]:
                 with self._lock:
                     self.shard_stats[shard].replica_routed += 1
             return shard
-        return self.router.shard(fingerprint)
+        return self.router.shard(fingerprint, weights=weights)
+
+    def route_weights(self) -> list[float] | None:
+        """Per-shard routing weights under the breakers, or ``None``.
+
+        ``None`` means "use unweighted routing": breakers disabled,
+        every shard healthy, or — degenerately — every breaker open (a
+        request must route *somewhere*; the dispatch path will then
+        shed or recover through retries).
+        """
+        if self.breakers is None:
+            return None
+        reference = self._reference_latency()
+        weights = [
+            self.breakers[shard].route_weight(self._reference_latency(exclude=shard))
+            if reference is not None
+            else self.breakers[shard].route_weight(None)
+            for shard in range(self.shards)
+        ]
+        if all(weight == 1.0 for weight in weights):
+            return None
+        if all(weight <= 0.0 for weight in weights):
+            return None
+        return weights
+
+    def _reference_latency(self, exclude: int | None = None) -> float | None:
+        """Median EWMA latency of the *other* closed shards (the healthy bar)."""
+        if self.breakers is None:
+            return None
+        values: list[float] = []
+        for shard in range(self.shards):
+            if shard == exclude:
+                continue
+            candidate = self.breakers[shard]
+            if candidate.state != BREAKER_OPEN:
+                latency = candidate.latency
+                if latency is not None:
+                    values.append(latency)
+        return median_or_none(values)
+
+    def open_breakers(self) -> int:
+        """Number of shards whose breaker is currently open."""
+        if self.breakers is None:
+            return 0
+        return sum(
+            1 for shard in range(self.shards) if self.breakers[shard].state == BREAKER_OPEN
+        )
 
     def depth(self, shard: int) -> int:
         """Requests currently in flight on ``shard``."""
@@ -881,16 +1041,45 @@ class WorkerPool:
         *,
         top_k: int | None = None,
         approx: float | None = None,
+        deadline: float | None = None,
+        fingerprint: str | None = None,
     ) -> list[RankingResult]:
         """Run one sub-batch on ``shard``, retrying across worker failures.
 
         Sheds with :class:`ServiceOverloadedError` when the shard queue
-        is full or the retry/restart budget is exhausted; otherwise the
-        returned results are bit-identical to ``Engine.rank_batch`` on
-        the same inputs.
+        is full or the retry/restart budget is exhausted, and with
+        :class:`DeadlineExceededError` once ``deadline`` (an absolute
+        monotonic instant) passes; otherwise the returned results are
+        bit-identical to ``Engine.rank_batch`` on the same inputs.  With
+        hedging enabled and a ``fingerprint`` to derive the replica set
+        from, a dispatch still unanswered after the hedge delay races a
+        duplicate on a replica shard and the first success wins.
         """
+        if (
+            self.hedge is not None
+            and fingerprint is not None
+            and self.shards > 1
+        ):
+            return await self._execute_hedged(
+                shard, datasets, rf, top_k, approx, deadline, fingerprint
+            )
+        return await self._execute_on(shard, datasets, rf, top_k, approx, deadline)
+
+    async def _execute_on(
+        self,
+        shard: int,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        top_k: int | None,
+        approx: float | None,
+        deadline: float | None,
+    ) -> list[RankingResult]:
+        """The retry loop of one sub-batch, pinned to ``shard``."""
         size = len(datasets)
+        self._check_deadline(shard, size, deadline)
         with self._lock:
+            if shard >= self.shards or shard in self._retired:
+                raise ShardRetiredError(f"shard {shard} was retired by a resize")
             if self._depth[shard] + size > self.max_shard_depth:
                 self.shard_stats[shard].shed += size
                 raise ServiceOverloadedError(
@@ -902,22 +1091,144 @@ class WorkerPool:
             attempt = 0
             while True:
                 try:
-                    return await self._dispatch_once(shard, datasets, rf, top_k, approx)
+                    return await self._dispatch_once(
+                        shard, datasets, rf, top_k, approx, deadline
+                    )
                 except (WorkerDiedError, ServiceOverloadedError) as exc:
                     if isinstance(exc, ServiceOverloadedError):
                         raise
+                    if self.breakers is not None:
+                        self.breakers[shard].record_failure()
                     attempt += 1
                     with self._lock:
                         self.shard_stats[shard].failures += 1
                         self.shard_stats[shard].retries += 1
+                        retired = shard in self._retired
+                    if retired:
+                        # The shard shrank away mid-flight; its worker is
+                        # stopping.  Re-route instead of burning retries.
+                        raise ShardRetiredError(
+                            f"shard {shard} was retired by a resize"
+                        ) from exc
                     if attempt > self.max_retries:
                         raise ServiceOverloadedError(
                             f"shard {shard} failed {attempt} dispatch attempts: {exc}"
                         ) from exc
-                    await asyncio.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                    backoff = self.retry_backoff * (2 ** (attempt - 1))
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            self._count_deadline_shed(shard, size)
+                            raise DeadlineExceededError(
+                                f"shard {shard} deadline expired during retry backoff"
+                            ) from exc
+                        backoff = min(backoff, remaining)
+                    await asyncio.sleep(backoff)
+                    self._check_deadline(shard, size, deadline)
         finally:
             with self._lock:
                 self._depth[shard] -= size
+
+    def _check_deadline(self, shard: int, size: int, deadline: float | None) -> None:
+        """Shed with :class:`DeadlineExceededError` once ``deadline`` passed."""
+        if deadline is not None and deadline - time.monotonic() <= 0:
+            self._count_deadline_shed(shard, size)
+            raise DeadlineExceededError(
+                f"shard {shard} deadline expired before dispatch"
+            )
+
+    def _count_deadline_shed(self, shard: int, size: int) -> None:
+        with self._lock:
+            if shard < len(self.shard_stats):
+                self.shard_stats[shard].deadline_shed += size
+
+    async def _execute_hedged(
+        self,
+        shard: int,
+        datasets: Sequence[Any],
+        rf: RankingFunction,
+        top_k: int | None,
+        approx: float | None,
+        deadline: float | None,
+        fingerprint: str,
+    ) -> list[RankingResult]:
+        """Race a replica duplicate against a dispatch that missed the quantile.
+
+        The duplicate is safe because replies are bit-identical by
+        content fingerprint — either answer is *the* answer.  A racer
+        that fails defers to the other; only when both fail does the
+        primary's error propagate.
+        """
+        assert self.hedge is not None
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(
+            self._execute_on(shard, datasets, rf, top_k, approx, deadline)
+        )
+        delay = self.hedge.delay(self.latencies)
+        if delay is None:
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if done:
+            return await primary
+        backup_shard = self._hedge_target(fingerprint, shard)
+        if backup_shard is None:
+            return await primary
+        with self._lock:
+            self._hedges_fired += 1
+            self.shard_stats[backup_shard].hedges += len(datasets)
+        backup = loop.create_task(
+            self._execute_on(backup_shard, datasets, rf, top_k, approx, deadline)
+        )
+        pending: set[asyncio.Task[list[RankingResult]]] = {primary, backup}
+        primary_error: BaseException | None = None
+        backup_error: BaseException | None = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    error = task.exception()
+                    if error is None:
+                        if task is backup:
+                            with self._lock:
+                                self._hedges_won += 1
+                        return await task
+                    if task is primary:
+                        primary_error = error
+                    else:
+                        backup_error = error
+            raise primary_error if primary_error is not None else (
+                backup_error or WorkerDiedError("hedged dispatch lost both racers")
+            )
+        finally:
+            # Let the losing racer run to completion detached instead of
+            # cancelling it: the worker thread computes either way, and
+            # the loser's outcome is the breaker's only view of a slow
+            # shard — cancelling it would let hedging mask exactly the
+            # latency signal that drives demotion.  Losers self-bound
+            # via the reply timeout, so the straggler set stays small.
+            for task in pending:
+                self._stragglers.add(task)
+                task.add_done_callback(self._reap_straggler)
+
+    def _reap_straggler(self, task: "asyncio.Task[Any]") -> None:
+        """Drop a finished hedge loser; its outcome already fed the breakers."""
+        self._stragglers.discard(task)
+        if not task.cancelled():
+            task.exception()  # consume: losers may fail after the race is over
+
+    def _hedge_target(self, fingerprint: str, primary: int) -> int | None:
+        """The replica shard a hedge duplicate goes to, or ``None``."""
+        replicas = max(2, self.replicas)
+        preference = self.router.preference(
+            fingerprint, replicas, weights=self.route_weights()
+        )
+        with self._lock:
+            for shard in preference:
+                if shard != primary and shard < self.shards and shard not in self._retired:
+                    return shard
+        return None
 
     async def _dispatch_once(
         self,
@@ -926,12 +1237,14 @@ class WorkerPool:
         rf: RankingFunction,
         top_k: int | None,
         approx: float | None,
+        deadline: float | None = None,
     ) -> list[RankingResult]:
         """One dispatch attempt: fault draw, submit, await the reply."""
         worker = await self._ensure_worker_async(shard)
         with self._lock:
             sequence = self._sequence[shard]
             self._sequence[shard] += 1
+        started = time.monotonic()
         fault = self.fault_plan.draw(shard, sequence) if self.fault_plan else None
         if fault is not None:
             with self._lock:
@@ -940,6 +1253,8 @@ class WorkerPool:
                 await asyncio.sleep(fault.delay)
         with self._lock:
             self.shard_stats[shard].dispatched += 1
+        if self.breakers is not None:
+            self.breakers[shard].on_dispatch()
         # submit only enqueues (process workers pickle payloads on a
         # dedicated writer thread), so calling it from the event loop
         # cannot stall the coalescing window or connection handling.
@@ -952,12 +1267,37 @@ class WorkerPool:
             future.add_done_callback(_consume_future)
             future = concurrent.futures.Future()  # never resolved: simulates the drop
         timeout = self.reply_timeout + self.reply_timeout_per_item * len(datasets)
+        deadline_bound = False
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._count_deadline_shed(shard, len(datasets))
+                raise DeadlineExceededError(
+                    f"shard {shard} deadline expired before the reply wait"
+                )
+            if remaining < timeout:
+                timeout = remaining
+                deadline_bound = True
         wrapped = asyncio.wrap_future(future)
         wrapped.add_done_callback(_consume_async_future)
         try:
             results = await asyncio.wait_for(asyncio.shield(wrapped), timeout)
         except (asyncio.TimeoutError, TimeoutError):
+            if deadline_bound:
+                # The *deadline* expired, not the wedge detector: the
+                # worker is presumed healthy, so abandon the reply
+                # without probing or killing anything.
+                self._count_deadline_shed(shard, len(datasets))
+                raise DeadlineExceededError(
+                    f"shard {shard} deadline expired awaiting the reply"
+                ) from None
             results = await self._recover_silent_reply(shard, worker, wrapped, timeout)
+        elapsed = time.monotonic() - started
+        self.latencies.observe(elapsed)
+        if self.breakers is not None:
+            self.breakers[shard].record_success(
+                elapsed, reference=self._reference_latency(exclude=shard)
+            )
         with self._lock:
             self.shard_stats[shard].executed += len(datasets)
         return results
@@ -1039,6 +1379,81 @@ class WorkerPool:
             worker.stop(timeout=1.0)
         return replacement
 
+    # -- live resizing -------------------------------------------------
+    async def resize(self, shards: int, *, drain_timeout: float = 10.0) -> dict[str, Any]:
+        """Live-resize the pool to ``shards`` workers without dropping work.
+
+        Rendezvous routing makes this minimal-disruption: growing moves
+        only the keys the new shards win, shrinking moves only the
+        retired shards' keys.  Slot arrays never truncate — a shrunk
+        shard's slot is *retired* (new dispatches raise
+        :class:`ShardRetiredError` and the pooled service re-routes
+        them), its in-flight work drains for up to ``drain_timeout``
+        seconds, and its worker then stops.  Growing reuses retired
+        slots with a fresh breaker before appending new ones.
+
+        Returns the resize event, e.g. ``{"from": 4, "to": 6}``.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        async with self._resize_lock:
+            old = self.shards
+            if shards == old:
+                return {"from": old, "to": shards, "changed": False}
+            if shards > old:
+                with self._lock:
+                    self._grow_slots_locked(shards)
+                    for shard in range(old, shards):
+                        self._retired.discard(shard)
+                    self.shards = shards
+                    self.router = FingerprintRouter(shards)
+                    self._resizes += 1
+                if self.started:
+                    for shard in range(old, shards):
+                        await self._ensure_worker_async(shard)
+                return {"from": old, "to": shards, "changed": True}
+            with self._lock:
+                self.shards = shards
+                self.router = FingerprintRouter(shards)
+                for shard in range(shards, old):
+                    self._retired.add(shard)
+                self._resizes += 1
+            deadline = time.monotonic() + drain_timeout
+            while (
+                any(self._depth[shard] > 0 for shard in range(shards, old))
+                and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.005)
+            stopped: list[Any] = []
+            with self._lock:
+                for shard in range(shards, old):
+                    worker, self._workers[shard] = self._workers[shard], None
+                    if worker is not None:
+                        stopped.append(worker)
+            for worker in stopped:
+                await asyncio.to_thread(worker.stop)
+            return {"from": old, "to": shards, "changed": True}
+
+    def _grow_slots_locked(self, shards: int) -> None:
+        """Extend per-shard slot arrays to cover ``shards`` (under ``_lock``).
+
+        A retired slot being re-admitted keeps its cumulative stats (the
+        counters are lifetime totals) but gets a fresh breaker — the old
+        worker is gone, and its health history with it.
+        """
+        if self.breakers is not None:
+            for shard in range(self.shards, min(shards, len(self.breakers))):
+                self.breakers[shard] = CircuitBreaker(self.breaker_config)
+        while len(self._workers) < shards:
+            self._workers.append(None)
+            self._depth.append(0)
+            self._sequence.append(0)
+            self._respawn_locks.append(asyncio.Lock())
+            self._spawn_locks.append(threading.Lock())
+            self.shard_stats.append(ShardStats())
+            if self.breakers is not None:
+                self.breakers.append(CircuitBreaker(self.breaker_config))
+
     async def _ensure_worker_async(self, shard: int) -> Any:
         """Async twin of :meth:`_ensure_worker` that never blocks the loop.
 
@@ -1096,48 +1511,82 @@ class WorkerPool:
 
     # -- observability -------------------------------------------------
     def health(self) -> dict[str, Any]:
-        """Liveness/depth/restart snapshot of every shard (cheap, no I/O)."""
+        """Liveness/depth/restart snapshot of every live shard (cheap, no I/O)."""
         with self._lock:
+            count = self.shards
             return {
-                "shards": self.shards,
+                "shards": count,
                 "alive": [
-                    worker is not None and worker.alive for worker in self._workers
+                    worker is not None and worker.alive
+                    for worker in self._workers[:count]
                 ],
-                "depth": list(self._depth),
-                "restarts": [stats.restarts for stats in self.shard_stats],
+                "depth": list(self._depth[:count]),
+                "restarts": [stats.restarts for stats in self.shard_stats[:count]],
             }
 
     async def probe(self, timeout: float = 5.0) -> list[float | None]:
-        """Round-trip a ping through every worker; ``None`` marks a dead one."""
+        """Round-trip a ping through every worker; ``None`` marks a dead one.
+
+        With breakers enabled the probe timings feed them too: a dead or
+        silent worker records a failure, a live one records its ping
+        latency — so an idle slow shard is demoted (and a recovered one
+        re-admitted) without waiting for real traffic to sample it.
+        """
 
         async def one(shard: int) -> float | None:
             worker = self._workers[shard]
             if worker is None or not worker.alive:
+                if self.breakers is not None and shard < len(self.breakers):
+                    self.breakers[shard].record_failure()
                 return None
             try:
-                return await asyncio.to_thread(worker.ping, timeout)
+                elapsed = await asyncio.to_thread(worker.ping, timeout)
             except Exception:  # noqa: BLE001 - dead/wedged workers probe as None
+                if self.breakers is not None and shard < len(self.breakers):
+                    self.breakers[shard].record_failure()
                 return None
+            if self.breakers is not None and shard < len(self.breakers):
+                self.breakers[shard].record_success(
+                    elapsed, reference=self._reference_latency(exclude=shard)
+                )
+            return elapsed
 
         return list(await asyncio.gather(*(one(shard) for shard in range(self.shards))))
 
     def snapshot(self) -> dict[str, Any]:
         """Consistent pool counters for the stats/metrics endpoints."""
         with self._lock:
-            per_shard = [stats.as_dict() for stats in self.shard_stats]
-            alive = [worker is not None and worker.alive for worker in self._workers]
-            depth = list(self._depth)
+            count = self.shards
+            per_shard = [stats.as_dict() for stats in self.shard_stats[:count]]
+            alive = [
+                worker is not None and worker.alive for worker in self._workers[:count]
+            ]
+            depth = list(self._depth[:count])
             restarts_total = self._restarts_total
-        totals = {
-            key: sum(stats[key] for stats in per_shard) for key in per_shard[0]
-        }
+            resizes = self._resizes
+            hedges_fired = self._hedges_fired
+            hedges_won = self._hedges_won
+        breakers: dict[str, Any] | None = None
+        if self.breakers is not None:
+            states = [breaker.state for breaker in self.breakers[:count]]
+            breakers = {
+                "state": states,
+                "opens": [breaker.opens for breaker in self.breakers[:count]],
+                "open": states.count(BREAKER_OPEN),
+            }
         return {
-            "shards": self.shards,
+            "shards": count,
             "alive": alive,
             "depth": depth,
             "restarts_total": restarts_total,
+            "resizes_total": resizes,
+            "hedges_fired": hedges_fired,
+            "hedges_won": hedges_won,
             "faults_injected": self.fault_plan.injected if self.fault_plan else 0,
-            "totals": totals,
+            "breakers": breakers,
+            "totals": {
+                key: sum(stats[key] for stats in per_shard) for key in per_shard[0]
+            },
             "per_shard": per_shard,
         }
 
@@ -1194,10 +1643,26 @@ class PooledRankingService(RankingService):
         Planning engine (never executes kernels in pooled mode).
     pool_kwargs:
         Extra :class:`WorkerPool` arguments of an internally built pool.
+    degrade:
+        Optional :class:`~repro.service.resilience.DegradePolicy`: under
+        sustained pressure (admission queue near its bound, or an open
+        shard breaker) exact ``rank`` requests run through the certified
+        ``approx=`` error-budget path instead of being shed.  Degraded
+        replies are tagged and never cached under the exact key.
+        ``None`` (the default) never degrades.
+    probe_interval:
+        Seconds between background :meth:`WorkerPool.probe` sweeps
+        feeding the breakers while traffic is idle.  ``None`` disables
+        the background prober.
     **service_kwargs:
         Forwarded to :class:`RankingService` (coalescing window, cache,
         admission bound, ...).
     """
+
+    #: Bound on re-route hops after :class:`ShardRetiredError` (a resize
+    #: can race the re-route at most once per concurrent resize; repeated
+    #: misses mean the pool is churning faster than work can land).
+    MAX_REROUTES = 5
 
     def __init__(
         self,
@@ -1206,11 +1671,16 @@ class PooledRankingService(RankingService):
         shards: int = 4,
         engine: Engine | None = None,
         pool_kwargs: dict[str, Any] | None = None,
+        degrade: DegradePolicy | None = None,
+        probe_interval: float | None = None,
         **service_kwargs: Any,
     ) -> None:
         super().__init__(engine, **service_kwargs)
         self.pool = pool if pool is not None else WorkerPool(shards, **(pool_kwargs or {}))
         self._owns_pool = pool is None
+        self.degrade = degrade
+        self.probe_interval = probe_interval
+        self._probe_task: asyncio.Task[None] | None = None
         self._window_tasks: set[asyncio.Task[None]] = set()
 
     async def start(self) -> "PooledRankingService":
@@ -1218,18 +1688,44 @@ class PooledRankingService(RankingService):
         if not self.pool.started:
             await asyncio.to_thread(self.pool.start)
         await super().start()
+        if self.probe_interval is not None and self._probe_task is None:
+            self._probe_task = asyncio.get_running_loop().create_task(self._probe_loop())
         return self
 
     async def stop(self) -> None:
         """Stop coalescing, finish in-flight windows, stop owned workers."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
         await super().stop()
         if self._window_tasks:
             await asyncio.gather(*self._window_tasks, return_exceptions=True)
         if self._owns_pool:
             await asyncio.to_thread(self.pool.close)
 
+    async def _probe_loop(self) -> None:
+        """Periodically ping every worker so idle shards keep breaker state."""
+        assert self.probe_interval is not None
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            try:
+                await self.pool.probe()
+            except Exception:  # noqa: BLE001 - probing must never kill the loop
+                continue
+
+    async def resize(self, shards: int) -> dict[str, Any]:
+        """Live-resize the worker pool (see :meth:`WorkerPool.resize`)."""
+        return await self.pool.resize(shards)
+
     async def _execute(self, batch: list[_PendingRequest]) -> None:
         """Launch one coalesced window as a pipelined background task."""
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         self.stats.observe_batch(len(batch))
         task = asyncio.get_running_loop().create_task(self._execute_window(batch))
         self._window_tasks.add(task)
@@ -1273,17 +1769,87 @@ class PooledRankingService(RankingService):
                 for request in unresolved:
                     self._resolve_error(request, exc)
 
-    async def _execute_shard(self, shard: int, requests: list[_PendingRequest]) -> None:
-        """Run one shard's sub-batch and resolve its requests."""
+    @staticmethod
+    def _request_fingerprint(request: _PendingRequest) -> str:
+        """The content fingerprint routing decisions key on."""
+        if request.key is not None:
+            return str(request.key[0])
+        return dataset_fingerprint(request.data)
+
+    @staticmethod
+    def _batch_deadline(requests: list[_PendingRequest]) -> float | None:
+        """The sub-batch deadline: the latest member deadline, if all have one.
+
+        A sub-batch executes as one dispatch, so a deadline can only be
+        enforced batch-wide; ``max`` never sheds a member before its own
+        deadline, and a single deadline-free member disables enforcement
+        (it must not be shed on a neighbour's budget).
+        """
+        deadlines = [request.deadline for request in requests]
+        if any(deadline is None for deadline in deadlines):
+            return None
+        return max(deadline for deadline in deadlines if deadline is not None)
+
+    async def _execute_shard(
+        self, shard: int, requests: list[_PendingRequest], *, reroutes: int = 0
+    ) -> None:
+        """Run one shard's sub-batch and resolve its requests.
+
+        A :class:`ShardRetiredError` (the routing decision raced a live
+        shrink) re-partitions the sub-batch through the post-resize
+        router and recurses — admitted requests survive a resize instead
+        of being shed.
+        """
         datasets = [request.data for request in requests]
         rf = requests[0].rf
         top_k = requests[0].top_k
         approx = requests[0].approx
+        degraded = False
+        if (
+            approx is None
+            and self.degrade is not None
+            and self.degrade.active(
+                self._pending, self.max_pending, self.pool.open_breakers()
+            )
+        ):
+            approx = self.degrade.approx
+            degraded = True
         try:
             plans = self.engine.plan_batch(datasets, rf, top_k=top_k, approx=approx)
             results = await self.pool.execute(
-                shard, datasets, rf, top_k=top_k, approx=approx
+                shard,
+                datasets,
+                rf,
+                top_k=top_k,
+                approx=approx,
+                deadline=self._batch_deadline(requests),
+                fingerprint=self._request_fingerprint(requests[0]),
             )
+        except ShardRetiredError as exc:
+            if reroutes >= self.MAX_REROUTES:
+                self.stats.add(shed=len(requests))
+                overloaded = ServiceOverloadedError(
+                    f"no live shard after {reroutes} re-routes: {exc}"
+                )
+                for request in requests:
+                    self._resolve_error(request, overloaded)
+                return
+            by_shard: "OrderedDict[int, list[_PendingRequest]]" = OrderedDict()
+            for request in requests:
+                fingerprint = self._request_fingerprint(request)
+                by_shard.setdefault(self.pool.route(fingerprint), []).append(request)
+            await asyncio.gather(
+                *(
+                    self._execute_shard(target, group, reroutes=reroutes + 1)
+                    for target, group in by_shard.items()
+                )
+            )
+            return
+        except DeadlineExceededError as exc:
+            self.stats.add(deadline_shed=len(requests))
+            for request in requests:
+                self._resolve_error(request, exc)
+            return
         except ServiceOverloadedError as exc:
             self.stats.add(shed=len(requests))
             for request in requests:
@@ -1294,6 +1860,8 @@ class PooledRankingService(RankingService):
             for request in requests:
                 self._resolve_error(request, exc)
             return
+        if degraded:
+            self.stats.add(degraded=len(requests))
         for request, result, plan in zip(requests, results, plans):
             expected = request.name or getattr(request.data, "name", "")
             if expected and result.name != expected:
@@ -1305,8 +1873,11 @@ class PooledRankingService(RankingService):
                 batch_size=len(requests),
                 k=top_k,
                 approx=plan.approx.as_dict() if plan.approx is not None else None,
+                degraded=degraded,
             )
-            if request.key is not None:
+            if request.key is not None and not degraded:
+                # A degraded answer must never be served later for an
+                # exact request — the cache keeps only exact replies.
                 self.results.put(request.key, reply)
             self._resolve(request, reply)
 

@@ -1,0 +1,498 @@
+"""Self-healing primitives of the serving tier.
+
+The worker pool (:mod:`repro.service.pool`) can retry, restart and shed
+— but nothing in PR-8 *adapts*: a slow shard keeps receiving its full
+rendezvous share, callers have no end-to-end deadline, and tail latency
+is whatever the slowest shard makes it.  This module provides the
+control-loop building blocks the pool wires into its dispatch path:
+
+* :class:`Ewma` — an exponentially-weighted moving average, the latency
+  and error-rate estimator behind every breaker decision.
+* :class:`CircuitBreaker` — a per-shard closed → open → half-open state
+  machine over EWMA latency and error rate.  A shard whose error rate
+  crosses the threshold, or whose latency runs ``latency_factor`` times
+  the healthy reference, *opens* (weight 0 in the rendezvous routing);
+  after ``open_duration`` it goes *half-open* and re-admits a bounded
+  trickle of trial traffic; sustained healthy trials close it again.
+  Between healthy and open, latency-aware *demotion* scales the shard's
+  rendezvous weight smoothly, so a merely-sluggish shard sheds load
+  proportionally instead of flapping between all and nothing.
+* :class:`LatencyWindow` — a bounded reservoir of recent dispatch
+  latencies with quantile lookup, driving the hedging trigger.
+* :class:`HedgePolicy` — when to fan a duplicate of a still-unanswered
+  dispatch to a replica shard (after the ``quantile`` latency of recent
+  traffic) and take the first reply.
+* :class:`DegradePolicy` — when, under sustained overload or open
+  breakers, the service downgrades exact ``rank`` requests to the
+  certified ``approx=`` error-budget path instead of shedding them.
+
+Deadlines are plain monotonic-clock floats: the wire carries a relative
+``deadline_ms`` budget, the admission tier resolves it to an absolute
+:func:`time.monotonic` instant once, and every later hop compares
+against the same clock (see :func:`deadline_from_ms` /
+:func:`remaining_seconds`).
+
+Every class takes an injectable ``clock`` so the chaos suite can drive
+state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Ewma",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "LatencyWindow",
+    "HedgePolicy",
+    "DegradePolicy",
+    "deadline_from_ms",
+    "remaining_seconds",
+]
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+def deadline_from_ms(
+    deadline_ms: float, clock: Callable[[], float] = time.monotonic
+) -> float:
+    """The absolute monotonic deadline of a relative ``deadline_ms`` budget.
+
+    Parameters
+    ----------
+    deadline_ms:
+        Milliseconds of remaining budget; must be positive.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+    budget = float(deadline_ms)
+    if not math.isfinite(budget) or budget <= 0:
+        raise ValueError(f"deadline_ms must be a positive number, got {deadline_ms!r}")
+    return clock() + budget / 1000.0
+
+
+def remaining_seconds(
+    deadline: float | None, clock: Callable[[], float] = time.monotonic
+) -> float | None:
+    """Seconds left until ``deadline`` (negative if expired, None if unset)."""
+    if deadline is None:
+        return None
+    return deadline - clock()
+
+
+# ----------------------------------------------------------------------
+# EWMA estimation
+# ----------------------------------------------------------------------
+class Ewma:
+    """An exponentially-weighted moving average with an observation count.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; higher weighs recent samples
+        more.  The first observation seeds the average directly.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._value: float | None = None
+        self._count = 0
+
+    @property
+    def value(self) -> float | None:
+        """The current average, or ``None`` before any observation."""
+        return self._value
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in."""
+        return self._count
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample in; returns the updated average."""
+        self._count += 1
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget every observation (used when a breaker closes afresh)."""
+        self._value = None
+        self._count = 0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of one per-shard :class:`CircuitBreaker`.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor of the latency and error-rate trackers.
+    error_threshold:
+        EWMA error rate at which a closed breaker trips.
+    latency_factor:
+        Multiple of the healthy-reference latency beyond which a shard
+        is considered broken-slow and its breaker trips.
+    min_observations:
+        Observations required before the EWMAs are trusted to trip or
+        demote; protects cold shards from one unlucky sample.
+    open_duration:
+        Seconds an open breaker blocks all traffic before going
+        half-open.
+    half_open_trials:
+        Successful trial dispatches required to close a half-open
+        breaker; also the bound on concurrently admitted trials.
+    trial_weight:
+        Rendezvous weight of a half-open shard (a trickle, not a flood).
+    demotion_floor:
+        Lower bound of latency-aware demotion for a *closed* shard — it
+        always keeps at least this fraction of its rendezvous weight, so
+        demotion alone never fully blackholes a shard (only an open
+        breaker does).
+    """
+
+    alpha: float = 0.2
+    error_threshold: float = 0.5
+    latency_factor: float = 4.0
+    min_observations: int = 8
+    open_duration: float = 1.0
+    half_open_trials: int = 3
+    trial_weight: float = 0.1
+    demotion_floor: float = 0.1
+
+
+class CircuitBreaker:
+    """Per-shard health state machine: closed → open → half-open → closed.
+
+    Parameters
+    ----------
+    config:
+        The breaker tuning (see :class:`BreakerConfig`).
+    clock:
+        Monotonic time source; tests inject a fake clock to step the
+        open → half-open transition deterministically.
+
+    The pool feeds the breaker from both real dispatch outcomes and the
+    periodic :meth:`~repro.service.pool.WorkerPool.probe` timings, and
+    reads :meth:`route_weight` on every routing decision.  Thread-safe:
+    probes run off-loop while dispatch outcomes land on the event loop.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._latency = Ewma(self.config.alpha)
+        self._errors = Ewma(self.config.alpha)
+        self._state = BREAKER_CLOSED
+        self._opened_at = 0.0
+        self._trials_started = 0
+        self._trial_successes = 0
+        self._opens = 0
+        self._last_reason: str | None = None
+
+    # -- read side -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current state, resolving the timed open → half-open step."""
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def latency(self) -> float | None:
+        """EWMA dispatch latency in seconds (``None`` before observations)."""
+        with self._lock:
+            return self._latency.value
+
+    @property
+    def error_rate(self) -> float:
+        """EWMA error rate in ``[0, 1]``."""
+        with self._lock:
+            return self._errors.value or 0.0
+
+    @property
+    def observations(self) -> int:
+        """Outcomes observed since the breaker last closed."""
+        with self._lock:
+            return self._errors.count
+
+    @property
+    def opens(self) -> int:
+        """Times the breaker has tripped open (monotonic counter)."""
+        with self._lock:
+            return self._opens
+
+    @property
+    def last_reason(self) -> str | None:
+        """Why the breaker last tripped (``"error"`` / ``"slow"``), if ever."""
+        with self._lock:
+            return self._last_reason
+
+    # -- state feed ----------------------------------------------------
+    def record_success(self, latency: float, reference: float | None = None) -> None:
+        """Account one successful dispatch taking ``latency`` seconds.
+
+        ``reference`` is the healthy-shard latency to compare against
+        (the pool passes the median EWMA of the *other* closed shards);
+        a half-open shard whose trial succeeds but still runs
+        ``latency_factor`` beyond the reference re-opens — success alone
+        must not re-admit a persistently slow shard.
+        """
+        with self._lock:
+            state = self._state_locked()
+            self._latency.observe(latency)
+            self._errors.observe(0.0)
+            if state == BREAKER_HALF_OPEN:
+                if self._slow_locked(reference, latency):
+                    self._trip_locked("slow")
+                    return
+                self._trial_successes += 1
+                if self._trial_successes >= self.config.half_open_trials:
+                    self._close_locked()
+            elif state == BREAKER_CLOSED and self._slow_locked(reference):
+                self._trip_locked("slow")
+
+    def record_failure(self) -> None:
+        """Account one failed dispatch (worker death, wedge, failed probe)."""
+        with self._lock:
+            state = self._state_locked()
+            self._errors.observe(1.0)
+            if state == BREAKER_HALF_OPEN:
+                self._trip_locked("error")
+            elif (
+                state == BREAKER_CLOSED
+                and self._errors.count >= self.config.min_observations
+                and (self._errors.value or 0.0) >= self.config.error_threshold
+            ):
+                self._trip_locked("error")
+
+    def on_dispatch(self) -> None:
+        """Note a dispatch admitted to the shard (bounds half-open trials)."""
+        with self._lock:
+            if self._state_locked() == BREAKER_HALF_OPEN:
+                self._trials_started += 1
+
+    # -- routing -------------------------------------------------------
+    def route_weight(self, reference: float | None = None) -> float:
+        """The shard's rendezvous weight scale under this breaker.
+
+        ``1.0`` for a healthy closed shard, a demoted fraction for a
+        closed-but-slow one (``reference`` is the healthy comparison
+        latency), ``trial_weight`` for a half-open shard with trial
+        budget left, and ``0.0`` for an open (or trial-exhausted
+        half-open) shard.  Reading the weight may itself trip a
+        breaker whose EWMA latency has drifted past ``latency_factor``
+        times the reference.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == BREAKER_OPEN:
+                return 0.0
+            if state == BREAKER_HALF_OPEN:
+                if self._trials_started < self.config.half_open_trials:
+                    return self.config.trial_weight
+                return 0.0
+            if self._slow_locked(reference):
+                self._trip_locked("slow")
+                return 0.0
+            latency = self._latency.value
+            if (
+                reference is None
+                or reference <= 0.0
+                or latency is None
+                or self._latency.count < self.config.min_observations
+            ):
+                return 1.0
+            ratio = latency / reference
+            if ratio <= 1.0:
+                return 1.0
+            return max(self.config.demotion_floor, 1.0 / ratio)
+
+    # -- internals (all called under self._lock) -----------------------
+    def _state_locked(self) -> str:
+        if (
+            self._state == BREAKER_OPEN
+            and self.clock() - self._opened_at >= self.config.open_duration
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._trials_started = 0
+            self._trial_successes = 0
+        return self._state
+
+    def _slow_locked(self, reference: float | None, latency: float | None = None) -> bool:
+        """Whether ``latency`` (or the EWMA) is broken-slow vs ``reference``."""
+        if reference is None or reference <= 0.0:
+            return False
+        observed = latency if latency is not None else self._latency.value
+        if observed is None or self._latency.count < self.config.min_observations:
+            return False
+        return observed >= self.config.latency_factor * reference
+
+    def _trip_locked(self, reason: str) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self.clock()
+        self._opens += 1
+        self._last_reason = reason
+        self._trials_started = 0
+        self._trial_successes = 0
+
+    def _close_locked(self) -> None:
+        self._state = BREAKER_CLOSED
+        self._trials_started = 0
+        self._trial_successes = 0
+        # Forget the open-era statistics: the shard starts a fresh
+        # probation, and min_observations guards against an instant
+        # re-trip on one stale sample.
+        self._latency.reset()
+        self._errors.reset()
+
+
+# ----------------------------------------------------------------------
+# Hedging
+# ----------------------------------------------------------------------
+class LatencyWindow:
+    """A bounded reservoir of recent latencies with quantile lookup.
+
+    Parameters
+    ----------
+    size:
+        Samples retained (oldest evicted first).
+
+    Thread-safe; :meth:`quantile` sorts a bounded copy, so lookups stay
+    cheap regardless of traffic.
+    """
+
+    def __init__(self, size: int = 512) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._samples: "deque[float]" = deque(maxlen=int(size))
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def observe(self, latency: float) -> None:
+        """Record one dispatch latency in seconds."""
+        with self._lock:
+            self._samples.append(float(latency))
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile of retained samples (``None`` when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to duplicate a slow dispatch to a replica shard.
+
+    A dispatch still unanswered after the ``quantile`` latency of recent
+    traffic fans a duplicate to the next shard of the rendezvous
+    preference order; the first successful reply wins (dedup by content
+    fingerprint makes the duplicate bit-identical, so either answer is
+    correct).
+
+    Parameters
+    ----------
+    quantile:
+        Latency quantile of the recent-dispatch window that arms the
+        hedge timer.
+    min_samples:
+        Window samples required before hedging activates (no hedging on
+        a cold pool — there is no tail to cap yet).
+    min_delay / max_delay:
+        Clamp on the hedge delay in seconds.
+    """
+
+    quantile: float = 0.95
+    min_samples: int = 20
+    min_delay: float = 0.001
+    max_delay: float = 5.0
+
+    def delay(self, window: LatencyWindow) -> float | None:
+        """Seconds to wait before hedging, or ``None`` (window too cold)."""
+        if len(window) < self.min_samples:
+            return None
+        observed = window.quantile(self.quantile)
+        if observed is None:
+            return None
+        return min(self.max_delay, max(self.min_delay, observed))
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradePolicy:
+    """When the service downgrades exact requests instead of shedding.
+
+    Under pressure — admission queue beyond ``pending_fraction`` of the
+    bound, or any shard breaker open — exact ``rank`` requests run
+    through the certified ``approx=`` error-budget path (see
+    :meth:`repro.engine.facade.Engine.rank`) instead of being shed.
+    Degraded replies are tagged (``ServiceReply.degraded``) and **never
+    cached** under the exact request key, so the bit-identity contract
+    of non-degraded traffic is untouched.
+
+    Parameters
+    ----------
+    approx:
+        Error budget substituted for exact requests while degrading.
+    pending_fraction:
+        Fraction of ``max_pending`` beyond which degradation engages.
+    on_open_breaker:
+        Whether an open shard breaker alone engages degradation.
+    """
+
+    approx: float = 1e-3
+    pending_fraction: float = 0.75
+    on_open_breaker: bool = True
+
+    def active(self, pending: int, max_pending: int, open_breakers: int) -> bool:
+        """Whether degradation should engage given the current pressure."""
+        if self.on_open_breaker and open_breakers > 0:
+            return True
+        return pending >= self.pending_fraction * max_pending
+
+
+def median_or_none(values: list[float]) -> float | None:
+    """The median of ``values``, or ``None`` for an empty list."""
+    if not values:
+        return None
+    return float(statistics.median(values))

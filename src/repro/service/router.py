@@ -28,10 +28,14 @@ serves.  This module provides the routing half of that contract:
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
-from typing import Iterable
+from typing import Iterable, Sequence
 
 __all__ = ["stable_hash", "FingerprintRouter", "HotSpotTracker"]
+
+#: Exclusive upper bound of :func:`stable_hash` values (64-bit digest).
+_HASH_SPAN = 2**64
 
 
 def stable_hash(*parts: object) -> int:
@@ -61,6 +65,16 @@ class FingerprintRouter:
     Routing is pure and deterministic: two router instances with the
     same shard count agree on every key, so a restarted pool re-routes
     identically and tests can predict placements.
+
+    Routing also accepts per-shard ``weights`` (the circuit breakers'
+    health-scaled capacities) through the *weighted rendezvous* score
+    ``-w / ln(u)`` where ``u`` is the shard's hash draw mapped into
+    ``(0, 1)``.  The score is a strictly increasing function of ``u``
+    for any fixed positive ``w``, so **equal weights reproduce the
+    unweighted routing exactly** (same argmax, same preference order),
+    and lowering one shard's weight moves keys only *away from* that
+    shard — the minimal-disruption property extends to demotion.  A
+    weight of ``0`` excludes the shard entirely.
     """
 
     def __init__(self, shards: int) -> None:
@@ -72,22 +86,85 @@ class FingerprintRouter:
         """The rendezvous weight of ``fingerprint`` on ``shard``."""
         return stable_hash("rendezvous", fingerprint, shard)
 
-    def shard(self, fingerprint: str) -> int:
-        """The shard owning ``fingerprint`` (its highest-weight shard)."""
-        return max(range(self.shards), key=lambda shard: self.weight(fingerprint, shard))
+    def uniform(self, fingerprint: str, shard: int) -> float:
+        """The shard's hash draw mapped into the open interval ``(0, 1)``."""
+        return (self.weight(fingerprint, shard) + 1) / (_HASH_SPAN + 1)
 
-    def preference(self, fingerprint: str, count: int | None = None) -> list[int]:
+    def score(self, fingerprint: str, shard: int, weight: float) -> float:
+        """The weighted-rendezvous score ``-weight / ln(u)`` of a shard.
+
+        ``-inf`` for non-positive weights (the shard never wins); for a
+        fixed positive weight the score is strictly increasing in the
+        hash draw, so all-equal weights preserve the unweighted order.
+        """
+        if weight <= 0.0:
+            return float("-inf")
+        return -weight / math.log(self.uniform(fingerprint, shard))
+
+    def _validated_weights(self, weights: Sequence[float] | None) -> Sequence[float] | None:
+        """``weights`` if usable, else ``None`` (fall back to unweighted).
+
+        All-equal positive weights route identically to the unweighted
+        path, so they short-circuit to it (exact integer comparison, no
+        float edge cases); all-non-positive weights mean "nothing is
+        healthy", where routing *somewhere* beats routing nowhere.
+        """
+        if weights is None:
+            return None
+        if len(weights) != self.shards:
+            raise ValueError(
+                f"expected {self.shards} weights, got {len(weights)}"
+            )
+        first = weights[0]
+        if all(weight == first for weight in weights) or all(
+            weight <= 0.0 for weight in weights
+        ):
+            return None
+        return weights
+
+    def shard(self, fingerprint: str, weights: Sequence[float] | None = None) -> int:
+        """The shard owning ``fingerprint`` (its highest-weight shard).
+
+        With ``weights`` (one per shard), the weighted-rendezvous winner
+        instead; equal weights give the identical unweighted answer.
+        """
+        weights = self._validated_weights(weights)
+        if weights is None:
+            return max(range(self.shards), key=lambda shard: self.weight(fingerprint, shard))
+        return max(
+            range(self.shards),
+            key=lambda shard: self.score(fingerprint, shard, weights[shard]),
+        )
+
+    def preference(
+        self,
+        fingerprint: str,
+        count: int | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> list[int]:
         """Shards ordered by descending rendezvous weight for ``fingerprint``.
 
         ``preference(fp)[0] == shard(fp)``; the prefix of length ``r``
         is the replica set a hot fingerprint fans out across.  ``count``
-        truncates the returned list.
+        truncates the returned list; ``weights`` applies the weighted-
+        rendezvous ordering (zero-weight shards sort last).
         """
-        order = sorted(
-            range(self.shards),
-            key=lambda shard: self.weight(fingerprint, shard),
-            reverse=True,
-        )
+        weights = self._validated_weights(weights)
+        if weights is None:
+            order = sorted(
+                range(self.shards),
+                key=lambda shard: self.weight(fingerprint, shard),
+                reverse=True,
+            )
+        else:
+            order = sorted(
+                range(self.shards),
+                key=lambda shard: (
+                    self.score(fingerprint, shard, weights[shard]),
+                    self.weight(fingerprint, shard),
+                ),
+                reverse=True,
+            )
         return order if count is None else order[: max(1, int(count))]
 
     def assignments(self, fingerprints: Iterable[str]) -> dict[str, int]:

@@ -44,6 +44,7 @@ from ..engine.approx import validated_budget
 from ..engine.cache import dataset_fingerprint
 from ..engine.facade import Engine
 from ..engine.topk import validated_k
+from .resilience import deadline_from_ms
 from .spec import ranking_function_key
 
 __all__ = [
@@ -51,12 +52,24 @@ __all__ = [
     "ServiceReply",
     "ServiceStats",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
     "TTLCache",
 ]
 
 
 class ServiceOverloadedError(RuntimeError):
     """Raised when the service sheds a request because its queue is full."""
+
+
+class DeadlineExceededError(ServiceOverloadedError):
+    """A request's end-to-end deadline expired before it could be served.
+
+    Subclasses :class:`ServiceOverloadedError` because it is a shed, not
+    a computation failure: the work was never (fully) done, and every
+    hop that already treats overload as a clean client-visible rejection
+    handles deadline expiry the same way.  The TCP front-end maps it to
+    error type ``"deadline"``.
+    """
 
 
 @dataclass(frozen=True)
@@ -84,6 +97,11 @@ class ServiceReply:
     #: carrying an ``approx=`` error budget (``None`` when no budget was
     #: given): ``{"budget", "used", "terms", "error_bound"}``.
     approx: dict[str, Any] | None = None
+    #: Whether the degradation policy downgraded this exact request to
+    #: the ``approx=`` error-budget path under overload / open breakers.
+    #: Degraded replies are never inserted into the result cache, so the
+    #: bit-identity contract of non-degraded traffic is untouched.
+    degraded: bool = False
 
     def top_k(self, k: int) -> list[Any]:
         """Identifiers of the top ``k`` tuples (best first)."""
@@ -118,6 +136,10 @@ class ServiceStats:
     largest_batch: int = 0
     #: Requests that failed with an engine/planner error.
     errors: int = 0
+    #: Requests shed because their end-to-end deadline expired.
+    deadline_shed: int = 0
+    #: Exact requests downgraded to the ``approx=`` path under pressure.
+    degraded: int = 0
 
     def __post_init__(self) -> None:
         """Create the lock guarding every mutation and snapshot."""
@@ -148,6 +170,8 @@ class ServiceStats:
                 "executed": self.executed,
                 "largest_batch": self.largest_batch,
                 "errors": self.errors,
+                "deadline_shed": self.deadline_shed,
+                "degraded": self.degraded,
             }
 
 
@@ -220,6 +244,10 @@ class _PendingRequest:
     future: "asyncio.Future[ServiceReply]" = field(repr=False)
     top_k: int | None = None
     approx: float | None = None
+    #: Absolute monotonic deadline (``None`` = no deadline).  Resolved
+    #: once at admission from the wire's relative ``deadline_ms`` budget
+    #: so every later hop compares against the same clock.
+    deadline: float | None = None
 
 
 class RankingService:
@@ -331,6 +359,7 @@ class RankingService:
         name: str = "",
         top_k: int | None = None,
         approx: float | None = None,
+        deadline_ms: float | None = None,
     ) -> ServiceReply:
         """Rank one dataset, coalescing with every other in-flight request.
 
@@ -345,7 +374,11 @@ class RankingService:
         :meth:`~repro.engine.facade.Engine.rank`); the budget joins the
         request identity too — replies computed under different budgets
         never serve each other — and the reply's ``approx`` field
-        records the planner's decision.  Raises
+        records the planner's decision.  With ``deadline_ms`` set the
+        request carries an end-to-end budget: once it expires the
+        request is shed with :class:`DeadlineExceededError` at whichever
+        hop notices first (admission, window execution, pool dispatch)
+        instead of computed-then-discarded.  Raises
         :class:`ServiceOverloadedError` when the request is shed.
         """
         if not self.running:
@@ -354,6 +387,7 @@ class RankingService:
             top_k = validated_k(top_k)
         if approx is not None:
             approx = validated_budget(approx)
+        deadline = deadline_from_ms(deadline_ms) if deadline_ms is not None else None
         self.stats.add(requests=1)
         key = self._request_key(data, rf, name, top_k, approx)
         if key is not None:
@@ -376,7 +410,14 @@ class RankingService:
         # cancelled submitter; mark it retrieved to keep logs clean.
         future.add_done_callback(_consume_exception)
         request = _PendingRequest(
-            data=data, rf=rf, name=name, key=key, top_k=top_k, approx=approx, future=future
+            data=data,
+            rf=rf,
+            name=name,
+            key=key,
+            top_k=top_k,
+            approx=approx,
+            deadline=deadline,
+            future=future,
         )
         if key is not None:
             self._inflight[key] = future
@@ -448,8 +489,38 @@ class RankingService:
             if stop:
                 return
 
+    def _shed_expired(self, batch: list[_PendingRequest]) -> list[_PendingRequest]:
+        """Shed batch members whose deadline already passed; returns the rest.
+
+        Runs at the execution hop (after coalescing): a request that
+        spent its whole budget waiting in the window is rejected with
+        :class:`DeadlineExceededError` instead of burning a kernel on an
+        answer nobody is waiting for.
+        """
+        now = time.monotonic()
+        live: list[_PendingRequest] = []
+        expired: list[_PendingRequest] = []
+        for request in batch:
+            if request.deadline is not None and request.deadline <= now:
+                expired.append(request)
+            else:
+                live.append(request)
+        if expired:
+            self.stats.add(deadline_shed=len(expired))
+            for request in expired:
+                self._resolve_error(
+                    request,
+                    DeadlineExceededError(
+                        "request deadline expired before execution"
+                    ),
+                )
+        return live
+
     async def _execute(self, batch: list[_PendingRequest]) -> None:
         """Run one window: group by ranking function, one engine batch each."""
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         self.stats.observe_batch(len(batch))
         groups: "OrderedDict[Hashable, list[_PendingRequest]]" = OrderedDict()
         for request in batch:

@@ -15,6 +15,19 @@ Request objects::
     {"id": 4, "op": "stats"}
     {"id": 5, "op": "ping"}
     {"id": 6, "op": "metrics"}
+    {"id": 7, "op": "resize", "shards": 6, "token": "<admin token>"}
+
+``rank`` / ``top_k`` additionally accept ``deadline_ms`` — a relative
+end-to-end budget in milliseconds.  The admission tier resolves it to
+an absolute monotonic instant once; every later hop (coalescing window,
+shard dispatch, retry backoff) sheds the request with error type
+``"deadline"`` instead of spending work on an answer the caller has
+already abandoned.
+
+``resize`` live-resizes the worker pool (pooled services only) and is
+gated by the operator control plane (:mod:`repro.service.control`): the
+server must be started with an admin token and the request must present
+it, else the request fails with error type ``"unauthorized"``.
 
 The ``metrics`` op returns the service (and, in pooled mode, per-shard
 worker-pool) counters rendered in the Prometheus text exposition format
@@ -33,10 +46,13 @@ early-terminate, and its response additionally echoes ``k``.  Both ops
 accept an optional ``approx`` per-request error budget (a positive
 number); the response's ``approx`` object echoes the planner's
 exact-vs-approximate decision (``{"budget", "used", "terms",
-"error_bound"}``).  Failures
-hold ``error: {type, message}`` with type ``"overloaded"`` for shed
-requests and ``"protocol"`` for malformed payloads.  Dataset and value
-payload formats live in :mod:`repro.service.spec`.
+"error_bound"}``), and ``degraded`` marks a reply the service computed
+through the approximate path because overload degradation engaged.
+Failures hold ``error: {type, message}`` with type ``"overloaded"`` for
+shed requests, ``"deadline"`` for expired-budget sheds,
+``"unauthorized"`` for rejected control requests and ``"protocol"`` for
+malformed payloads.  Dataset and value payload formats live in
+:mod:`repro.service.spec`.
 """
 
 from __future__ import annotations
@@ -45,8 +61,14 @@ import asyncio
 import json
 from typing import Any
 
+from .control import ControlAuthError, ControlPlane
 from .metrics import render_metrics
-from .service import RankingService, ServiceOverloadedError, ServiceReply
+from .service import (
+    DeadlineExceededError,
+    RankingService,
+    ServiceOverloadedError,
+    ServiceReply,
+)
 from .spec import (
     ProtocolError,
     dataset_from_payload,
@@ -71,6 +93,7 @@ async def serve_tcp(
     *,
     max_registered: int = 256,
     line_limit: int = DEFAULT_LINE_LIMIT,
+    control: ControlPlane | None = None,
 ) -> asyncio.Server:
     """Start the JSON-lines server on ``host:port`` over a running service.
 
@@ -81,6 +104,8 @@ async def serve_tcp(
     entries (re-registering an existing name always succeeds), so the
     ``register`` op cannot grow server memory without limit.
     ``line_limit`` bounds a single request line's size in bytes.
+    ``control`` enables the authenticated operator ops (``resize``); a
+    server without one rejects every control request.
     """
     registry: dict[str, Any] = _BoundedRegistry(max_registered)
 
@@ -100,7 +125,7 @@ async def serve_tcp(
                     await _serve_http_metrics(service, writer)
                     break
                 task = asyncio.get_running_loop().create_task(
-                    _respond(service, registry, line, writer, lock)
+                    _respond(service, registry, line, writer, lock, control)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -196,15 +221,20 @@ async def _respond(
     line: bytes,
     writer: asyncio.StreamWriter,
     lock: asyncio.Lock,
+    control: ControlPlane | None = None,
 ) -> None:
     """Handle one request line and write its response line."""
     request_id: Any = None
     try:
         message = json.loads(line)
         request_id = message.get("id") if isinstance(message, dict) else None
-        response = await _dispatch(service, registry, message)
+        response = await _dispatch(service, registry, message, control)
+    except DeadlineExceededError as exc:
+        response = _error(request_id, "deadline", str(exc))
     except ServiceOverloadedError as exc:
         response = _error(request_id, "overloaded", str(exc))
+    except ControlAuthError as exc:
+        response = _error(request_id, "unauthorized", str(exc))
     except ProtocolError as exc:
         response = _error(request_id, "protocol", str(exc))
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -222,7 +252,10 @@ async def _respond(
 
 
 async def _dispatch(
-    service: RankingService, registry: dict[str, Any], message: Any
+    service: RankingService,
+    registry: dict[str, Any],
+    message: Any,
+    control: ControlPlane | None = None,
 ) -> dict[str, Any]:
     """Route one decoded request object to its operation."""
     if not isinstance(message, dict):
@@ -231,6 +264,14 @@ async def _dispatch(
     request_id = message.get("id")
     if op == "ping":
         return {"id": request_id, "ok": True, "pong": True}
+    if op == "resize":
+        if control is None:
+            raise ControlAuthError(
+                "operator commands are disabled (no admin token configured; "
+                "start the server with --admin-token)"
+            )
+        event = await control.resize(service, message)
+        return {"id": request_id, "ok": True, "resize": event}
     if op == "stats":
         return {"id": request_id, "ok": True, "stats": service.stats_snapshot()}
     if op == "metrics":
@@ -273,6 +314,18 @@ def _approx_budget(message: dict[str, Any]) -> float | None:
     return float(budget)
 
 
+def _deadline_ms(message: dict[str, Any]) -> float | None:
+    """The optional ``deadline_ms`` budget of a request, validated."""
+    budget = message.get("deadline_ms")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)) or budget <= 0:
+        raise ProtocolError(
+            f"deadline_ms must be a positive number of milliseconds, got {budget!r}"
+        )
+    return float(budget)
+
+
 async def _rank(
     service: RankingService, registry: dict[str, Any], message: dict[str, Any]
 ) -> dict[str, Any]:
@@ -283,7 +336,13 @@ async def _rank(
     k = message.get("k")
     if k is not None and (not isinstance(k, int) or k < 0):
         raise ProtocolError(f"k must be a non-negative integer, got {k!r}")
-    reply = await service.submit(data, rf, name=name, approx=_approx_budget(message))
+    reply = await service.submit(
+        data,
+        rf,
+        name=name,
+        approx=_approx_budget(message),
+        deadline_ms=_deadline_ms(message),
+    )
     items = reply.result[: k] if k is not None else reply.result
     return _ranking_response(message.get("id"), reply, items)
 
@@ -298,7 +357,14 @@ async def _top_k(
     k = message.get("k")
     if not isinstance(k, int) or isinstance(k, bool) or k < 0:
         raise ProtocolError(f"top_k requires a non-negative integer 'k', got {k!r}")
-    reply = await service.submit(data, rf, name=name, top_k=k, approx=_approx_budget(message))
+    reply = await service.submit(
+        data,
+        rf,
+        name=name,
+        top_k=k,
+        approx=_approx_budget(message),
+        deadline_ms=_deadline_ms(message),
+    )
     response = _ranking_response(message.get("id"), reply, reply.result)
     response["k"] = k
     return response
@@ -315,6 +381,7 @@ def _ranking_response(request_id: Any, reply: ServiceReply, items: Any) -> dict[
         "cached": reply.cached,
         "deduplicated": reply.deduplicated,
         "batch_size": reply.batch_size,
+        "degraded": reply.degraded,
         "ranking": [
             {
                 "position": item.position,

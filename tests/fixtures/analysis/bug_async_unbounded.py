@@ -1,0 +1,42 @@
+"""Fixture: unbounded network/queue awaits for ASYNC104.
+
+Every await below parks its coroutine forever the moment the peer goes
+quiet (or the queue goes empty).  The class at the bottom shows the
+hang surviving an enclosing ``async with`` that is *not* a timeout
+scope — only ``asyncio.timeout(...)`` bounds the body.
+"""
+
+import asyncio
+
+
+async def reads_forever(reader) -> bytes:
+    return await reader.readline()  # BUG: ASYNC104 expected here
+
+
+async def reads_exactly_forever(reader) -> bytes:
+    return await reader.readexactly(4)  # BUG: ASYNC104 expected here
+
+
+async def flushes_forever(writer) -> None:
+    writer.write(b"payload")
+    await writer.drain()  # BUG: ASYNC104 expected here
+
+
+async def dials_forever(host: str, port: int):
+    return await asyncio.open_connection(host, port)  # BUG: ASYNC104 expected here
+
+
+async def consumes_forever(queue):
+    return await queue.get()  # BUG: ASYNC104 expected here
+
+
+class Session:
+    async def close(self) -> None:
+        self._writer.close()
+        await self._writer.wait_closed()  # BUG: ASYNC104 expected here
+
+    async def request(self, payload: bytes) -> bytes:
+        async with self._lock:
+            self._writer.write(payload)
+            await self._writer.drain()  # BUG: ASYNC104 expected here (lock is not a timeout)
+            return await self._reader.readline()  # BUG: ASYNC104 expected here

@@ -1,0 +1,45 @@
+"""Fixture: timeout-bounded network/queue awaits that ASYNC104 must pass.
+
+Each pattern below bounds the hang-prone await — either by making it an
+*argument* of a directly awaited ``asyncio.wait_for(...)`` or by running
+it under an ``async with asyncio.timeout(...)`` scope (including from an
+outer block, and via ``timeout_at``).  Awaits that are not hang-prone
+(plain coroutines, futures, ``asyncio.sleep``) are never flagged.
+"""
+
+import asyncio
+
+
+async def reads_with_wait_for(reader) -> bytes:
+    return await asyncio.wait_for(reader.readline(), timeout=5.0)
+
+
+async def flushes_in_timeout_scope(writer) -> None:
+    writer.write(b"payload")
+    async with asyncio.timeout(5.0):
+        await writer.drain()
+
+
+async def dials_in_outer_scope(host: str, port: int):
+    async with asyncio.timeout(2.0):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"hello")
+        await writer.drain()
+    return reader, writer
+
+
+async def consumes_with_deadline(queue, when: float):
+    async with asyncio.timeout_at(when):
+        return await queue.get()
+
+
+async def polls_with_wait_for(queue):
+    try:
+        return await asyncio.wait_for(queue.get(), 0.05)
+    except TimeoutError:
+        return None
+
+
+async def unflagged_awaits(worker) -> None:
+    await asyncio.sleep(0.01)
+    await worker.run()

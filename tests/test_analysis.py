@@ -95,6 +95,16 @@ class TestTruePositives:
         for line in expected_bug_lines("bug_async_lock_held.py", "ASYNC103"):
             assert "ASYNC103" in flagged.get(line, set())
 
+    def test_unbounded_await_fixture(self):
+        """Bare network/queue awaits flagged; timeout-free async-with is no guard."""
+        report = analyze("bug_async_unbounded.py")
+        flagged = ids_by_line(report)
+        expected = expected_bug_lines("bug_async_unbounded.py", "ASYNC104")
+        assert len(expected) == 8
+        for line in expected:
+            assert "ASYNC104" in flagged.get(line, set()), f"line {line} not flagged"
+        assert all(ids == {"ASYNC104"} for ids in flagged.values())
+
     @pytest.mark.parametrize("checker_id", ["DET301", "DET302", "DET303", "DET304"])
     def test_determinism_fixture(self, checker_id):
         report = analyze("bug_determinism.py")
@@ -117,7 +127,13 @@ class TestTruePositives:
 class TestZeroFalsePositives:
     @pytest.mark.parametrize(
         "fixture",
-        ["clean_async.py", "clean_lock.py", "clean_determinism.py", "clean_resources.py"],
+        [
+            "clean_async.py",
+            "clean_async_timeout.py",
+            "clean_lock.py",
+            "clean_determinism.py",
+            "clean_resources.py",
+        ],
     )
     def test_clean_fixture_is_clean(self, fixture):
         report = analyze(fixture)
@@ -300,10 +316,20 @@ class TestCli:
 # The repo's own gate
 # ----------------------------------------------------------------------
 class TestRepoGate:
-    def test_src_tree_passes_the_gate(self):
-        """The invariant CI enforces, kept under plain pytest too."""
-        report = run_analysis([REPO_ROOT / "src"])
+    def test_src_tree_passes_the_gate(self, monkeypatch):
+        """The invariant CI enforces, kept under plain pytest too.
+
+        Runs from the repo root (baseline keys are cwd-relative) against
+        the committed baseline, and insists the baseline carries no
+        stale entries — legacy ASYNC104 waits stay visible, fixed ones
+        must be pruned.
+        """
+        monkeypatch.chdir(REPO_ROOT)
+        report = run_analysis(
+            [Path("src")], baseline_path=Path("analysis-baseline.json")
+        )
         assert report.findings == [], [f.render() for f in report.findings]
+        assert report.stale_baseline == []
 
     def test_syntax_error_is_reported_not_crashed(self, tmp_path):
         path = tmp_path / "broken.py"

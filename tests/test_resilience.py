@@ -1,0 +1,888 @@
+"""Chaos suite for the self-healing resilience layer.
+
+The contracts under test, matching the acceptance criteria of the
+resilience PR:
+
+* **deadline propagation** — a ``deadline_ms`` budget rides the request
+  from the wire into the coalescer and the pool, is shed at every hop
+  with :class:`DeadlineExceededError` (error type ``"deadline"`` over
+  TCP), and never costs an innocent worker a restart;
+* **circuit breakers** — a deterministically slow shard trips its
+  breaker open (fake-clock unit tests walk the whole
+  closed → open → half-open → closed machine), the healthy shards' p99
+  stays within 1.5x of a no-fault baseline, and hedged/degraded
+  counters account for the affected traffic;
+* **hedged requests** — a dispatch that misses the latency quantile is
+  duplicated to a replica shard and the first reply wins;
+* **live resizing** — an authenticated ``resize`` op shrinks/grows the
+  pool under Poisson load with zero admitted requests lost, and the
+  control plane rejects bad tokens without touching the pool;
+* **bit-identity** — with degradation off, every reply equals a direct
+  ``Engine.rank`` bit for bit, breakers and hedges notwithstanding;
+  with degradation on, replies are tagged, counted, and never cached;
+* the TCP client reconnects transparently across a connection reset and
+  replays the (idempotent) in-flight request.
+
+Everything runs on :class:`ThreadWorker` shards with seeded fault plans
+and injected clocks — deterministic and CI-fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro import Engine, PRFe, ProbabilisticRelation
+from repro.engine.cache import dataset_fingerprint
+from repro.service import (
+    BreakerConfig,
+    CircuitBreaker,
+    ControlAuthError,
+    ControlPlane,
+    DeadlineExceededError,
+    DegradePolicy,
+    Ewma,
+    FaultPlan,
+    HedgePolicy,
+    LatencyWindow,
+    PooledRankingService,
+    RankingService,
+    RemoteServiceError,
+    ServiceOverloadedError,
+    TCPRankingClient,
+    ThreadWorker,
+    WorkerPool,
+    deadline_from_ms,
+    render_metrics,
+    serve_tcp,
+)
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    median_or_none,
+    remaining_seconds,
+)
+from repro.service.spec import ProtocolError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_relation(n: int, seed: int, name: str = "") -> ProbabilisticRelation:
+    rng = np.random.default_rng(seed)
+    return ProbabilisticRelation.from_arrays(
+        rng.uniform(0.0, 1000.0, n), rng.uniform(0.0, 1.0, n), name=name or f"rel-{seed}"
+    )
+
+
+def thread_pool(shards: int = 2, **kwargs) -> WorkerPool:
+    kwargs.setdefault("worker_factory", lambda shard: ThreadWorker(shard))
+    kwargs.setdefault("retry_backoff", 0.001)
+    return WorkerPool(shards, **kwargs)
+
+
+def assert_bitwise_equal(result, reference, context=""):
+    assert result.tids() == reference.tids(), context
+    assert [item.value for item in result] == [item.value for item in reference], context
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Deadline helpers
+# ----------------------------------------------------------------------
+class TestDeadlineHelpers:
+    def test_deadline_from_ms_is_absolute_monotonic(self):
+        clock = FakeClock(50.0)
+        assert deadline_from_ms(250.0, clock) == pytest.approx(50.25)
+
+    def test_remaining_seconds(self):
+        clock = FakeClock(10.0)
+        assert remaining_seconds(None, clock) is None
+        assert remaining_seconds(10.5, clock) == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert remaining_seconds(10.5, clock) == pytest.approx(-0.5)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            deadline_from_ms(0.0)
+        with pytest.raises(ValueError):
+            deadline_from_ms(-5.0)
+
+
+class TestEwma:
+    def test_starts_empty_and_converges(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.value is None and ewma.count == 0
+        ewma.observe(1.0)
+        assert ewma.value == pytest.approx(1.0)
+        for _ in range(20):
+            ewma.observe(3.0)
+        assert ewma.value == pytest.approx(3.0, rel=1e-3)
+        assert ewma.count == 21
+
+    def test_reset(self):
+        ewma = Ewma()
+        ewma.observe(1.0)
+        ewma.reset()
+        assert ewma.value is None and ewma.count == 0
+
+    def test_median_or_none(self):
+        assert median_or_none([]) is None
+        assert median_or_none([3.0, 1.0, 2.0]) == pytest.approx(2.0)
+        assert median_or_none([4.0, 1.0]) == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine (fake clock)
+# ----------------------------------------------------------------------
+def make_breaker(clock: FakeClock, **overrides) -> CircuitBreaker:
+    defaults = dict(
+        alpha=0.5,
+        error_threshold=0.5,
+        latency_factor=4.0,
+        min_observations=4,
+        open_duration=1.0,
+        half_open_trials=2,
+        trial_weight=0.1,
+        demotion_floor=0.1,
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_error_rate_trips_open(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 1
+        assert breaker.last_reason == "error"
+        assert breaker.route_weight() == 0.0
+
+    def test_cold_shard_never_trips_under_min_observations(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.route_weight() == 1.0
+
+    def test_persistent_slowness_trips_open(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record_success(1.0, reference=0.01)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.last_reason == "slow"
+
+    def test_open_walks_to_half_open_then_closes_on_trials(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(1.5)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.route_weight() == pytest.approx(0.1)
+        breaker.record_success(0.01, reference=0.01)
+        breaker.record_success(0.01, reference=0.01)
+        assert breaker.state == BREAKER_CLOSED
+        # Closing resets the EWMAs: the old failure storm is forgotten.
+        assert breaker.observations == 0
+        assert breaker.route_weight() == 1.0
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 2
+
+    def test_half_open_slow_trial_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_success(1.0, reference=0.01)
+        clock.advance(1.5)
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success(1.0, reference=0.01)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_half_open_trial_budget_bounds_admission(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.route_weight() == pytest.approx(0.1)
+        breaker.on_dispatch()
+        breaker.on_dispatch()
+        # Trial budget (2) exhausted: no more traffic until an outcome.
+        assert breaker.route_weight() == 0.0
+
+    def test_latency_demotion_scales_weight_with_floor(self):
+        breaker = make_breaker(FakeClock(), latency_factor=100.0)
+        for _ in range(8):
+            breaker.record_success(0.02, reference=0.01)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.route_weight(reference=0.01) == pytest.approx(0.5, rel=0.05)
+        assert breaker.route_weight(reference=0.0004) == pytest.approx(0.1)
+        assert breaker.route_weight(reference=0.05) == 1.0
+
+    def test_weight_is_one_without_reference(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_success(5.0)
+        assert breaker.route_weight() == 1.0
+
+
+class TestLatencyWindowAndHedge:
+    def test_window_quantiles(self):
+        window = LatencyWindow(size=16)
+        assert window.quantile(0.5) is None
+        for sample in range(1, 11):
+            window.observe(sample / 100.0)
+        assert window.quantile(0.0) == pytest.approx(0.01)
+        assert window.quantile(1.0) == pytest.approx(0.10)
+        assert window.quantile(0.5) >= window.quantile(0.25)
+
+    def test_hedge_delay_needs_samples_and_clamps(self):
+        policy = HedgePolicy(quantile=0.95, min_samples=4, min_delay=0.01, max_delay=0.1)
+        window = LatencyWindow()
+        assert policy.delay(window) is None
+        for _ in range(4):
+            window.observe(0.0001)
+        assert policy.delay(window) == pytest.approx(0.01)  # clamped up
+        for _ in range(64):
+            window.observe(10.0)
+        assert policy.delay(window) == pytest.approx(0.1)  # clamped down
+
+
+class TestDegradePolicy:
+    def test_activates_on_pending_fraction(self):
+        policy = DegradePolicy(approx=1e-3, pending_fraction=0.5, on_open_breaker=False)
+        assert not policy.active(4, 10, open_breakers=0)
+        assert policy.active(5, 10, open_breakers=0)
+
+    def test_activates_on_open_breaker(self):
+        policy = DegradePolicy(approx=1e-3, pending_fraction=1.1, on_open_breaker=True)
+        assert not policy.active(0, 10, open_breakers=0)
+        assert policy.active(0, 10, open_breakers=1)
+
+
+# ----------------------------------------------------------------------
+# Deadline propagation through the serving stack
+# ----------------------------------------------------------------------
+class TestDeadlinePropagation:
+    def test_expired_deadline_sheds_before_execution(self):
+        rel = make_relation(30, 40)
+
+        async def scenario():
+            async with RankingService(max_delay=0.005) as service:
+                with pytest.raises(DeadlineExceededError):
+                    await service.submit(rel, PRFe(0.9), deadline_ms=0.001)
+                return service.stats_snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["deadline_shed"] == 1
+        assert snapshot["pending"] == 0
+
+    def test_deadline_shed_is_an_overload_subclass(self):
+        assert issubclass(DeadlineExceededError, ServiceOverloadedError)
+
+    def test_generous_deadline_succeeds_pooled(self):
+        rel = make_relation(30, 41)
+        expected = Engine().rank(rel, PRFe(0.9), name=rel.name)
+
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                reply = await service.submit(
+                    rel, PRFe(0.9), name=rel.name, deadline_ms=30_000.0
+                )
+                return reply, service.stats_snapshot()
+
+        reply, snapshot = run(scenario())
+        assert_bitwise_equal(reply.result, expected)
+        assert not reply.degraded
+        assert snapshot["deadline_shed"] == 0
+
+    def test_expired_deadline_sheds_pooled_and_counts(self):
+        rel = make_relation(30, 42)
+
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.005) as service:
+                with pytest.raises(DeadlineExceededError):
+                    await service.submit(rel, PRFe(0.9), deadline_ms=0.001)
+                return service.stats_snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["deadline_shed"] >= 1
+        assert snapshot["pending"] == 0
+
+    def test_deadline_error_type_over_tcp(self):
+        rel = make_relation(25, 43)
+
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.005) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RemoteServiceError) as excinfo:
+                        await client.rank(rel, PRFe(0.9), deadline_ms=0.001)
+                    ranking = await client.rank(rel, PRFe(0.9), deadline_ms=30_000.0)
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return excinfo.value, ranking
+
+        error, ranking = run(scenario())
+        assert error.kind == "deadline"
+        expected = Engine().rank(rel, PRFe(0.9))
+        assert [tid for tid, _ in ranking] == expected.tids()
+
+    def test_wire_rejects_garbage_deadline(self):
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.005) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RemoteServiceError) as excinfo:
+                        await client.rank(make_relation(10, 44), PRFe(0.9), deadline_ms=-5)
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return excinfo.value
+
+        assert run(scenario()).kind == "protocol"
+
+
+# ----------------------------------------------------------------------
+# Hedged requests
+# ----------------------------------------------------------------------
+class TestHedging:
+    def test_hedge_duplicates_to_replica_and_backup_wins(self):
+        rel = make_relation(40, 50)
+        expected = Engine().rank(rel, PRFe(0.9), name=rel.name)
+
+        async def scenario():
+            fingerprint = dataset_fingerprint(rel)
+            probe_pool = thread_pool(2)
+            slow_shard = probe_pool.route(fingerprint)
+            plan = FaultPlan(slow={slow_shard: 0.5})
+            pool = thread_pool(
+                2,
+                fault_plan=plan,
+                hedge=HedgePolicy(
+                    quantile=0.5, min_samples=4, min_delay=0.001, max_delay=0.02
+                ),
+            )
+            for _ in range(8):
+                pool.latencies.observe(0.002)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                started = time.perf_counter()
+                reply = await service.submit(rel, PRFe(0.9), name=rel.name)
+                elapsed = time.perf_counter() - started
+                return reply, elapsed, pool.snapshot()
+
+        reply, elapsed, snapshot = run(scenario())
+        assert_bitwise_equal(reply.result, expected)
+        assert snapshot["hedges_fired"] >= 1
+        assert snapshot["hedges_won"] >= 1
+        # The backup answered while the primary was stuck in its 500ms skew.
+        assert elapsed < 0.45
+
+    def test_no_hedge_on_single_shard_pool(self):
+        rel = make_relation(30, 51)
+
+        async def scenario():
+            pool = thread_pool(
+                1, hedge=HedgePolicy(quantile=0.5, min_samples=1, min_delay=0.001)
+            )
+            for _ in range(4):
+                pool.latencies.observe(0.001)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                await service.submit(rel, PRFe(0.9), name=rel.name)
+                return pool.snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["hedges_fired"] == 0
+
+
+# ----------------------------------------------------------------------
+# Acceptance (a): slow shard trips its breaker; healthy p99 holds
+# ----------------------------------------------------------------------
+class TestSlowShardIsolation:
+    BREAKER = BreakerConfig(
+        alpha=0.5,
+        error_threshold=0.5,
+        latency_factor=3.0,
+        min_observations=3,
+        open_duration=0.5,
+        half_open_trials=2,
+    )
+
+    @staticmethod
+    async def drive(pool, relations, waves: int = 8, settle: float = 0.0):
+        """Fire ``waves`` rounds of every relation; per-request latencies.
+
+        ``settle`` waits before the final snapshot so hedge losers (which
+        finish detached and feed the breakers their true latency) land.
+        """
+        latencies: dict[str, list[float]] = {rel.name: [] for rel in relations}
+        async with PooledRankingService(pool, max_delay=0.001, cache_ttl=0.0) as service:
+
+            async def one(rel):
+                started = time.perf_counter()
+                reply = await service.submit(rel, PRFe(0.9), name=rel.name)
+                latencies[rel.name].append(time.perf_counter() - started)
+                return reply
+
+            for _ in range(waves):
+                await asyncio.gather(*(one(rel) for rel in relations))
+            if settle:
+                await asyncio.sleep(settle)
+            snapshot = pool.snapshot()
+        return latencies, snapshot
+
+    def test_breaker_trips_and_healthy_p99_within_budget(self):
+        shards = 3
+        relations = [make_relation(30, seed, name=f"iso-{seed}") for seed in range(60, 72)]
+        router_probe = thread_pool(shards)
+        slow_shard = router_probe.route(dataset_fingerprint(relations[0]))
+        healthy = [
+            rel
+            for rel in relations
+            if router_probe.route(dataset_fingerprint(rel)) != slow_shard
+        ]
+        assert healthy, "fixture must include traffic for healthy shards"
+
+        async def baseline():
+            pool = thread_pool(shards, breaker=self.BREAKER)
+            return await self.drive(pool, relations)
+
+        async def chaos():
+            plan = FaultPlan(slow={slow_shard: 0.3})
+            pool = thread_pool(
+                shards,
+                breaker=self.BREAKER,
+                fault_plan=plan,
+                hedge=HedgePolicy(
+                    quantile=0.5, min_samples=4, min_delay=0.001, max_delay=0.02
+                ),
+            )
+            for _ in range(8):
+                pool.latencies.observe(0.002)
+            return await self.drive(pool, relations, settle=0.8)
+
+        base_lat, _ = run(baseline())
+        chaos_lat, snapshot = run(chaos())
+
+        def p99(samples: list[float]) -> float:
+            ordered = sorted(samples)
+            return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+        base_healthy = [s for rel in healthy for s in base_lat[rel.name]]
+        chaos_healthy = [s for rel in healthy for s in chaos_lat[rel.name]]
+        # The slow shard tripped its breaker...
+        assert snapshot["breakers"]["opens"][slow_shard] >= 1
+        # ...affected traffic is accounted by the hedge counters...
+        assert snapshot["hedges_fired"] >= 1
+        # ...and healthy-shard tail latency stayed within 1.5x of the
+        # no-fault baseline (50ms absolute slack, far below the 300ms skew).
+        assert p99(chaos_healthy) <= 1.5 * p99(base_healthy) + 0.05, (
+            p99(chaos_healthy),
+            p99(base_healthy),
+        )
+
+    def test_open_breaker_demotes_shard_in_route_weights(self):
+        async def scenario():
+            pool = thread_pool(3, breaker=self.BREAKER)
+            pool.start()
+            try:
+                assert pool.route_weights() is None  # healthy: exact integer path
+                assert pool.breakers is not None
+                for _ in range(4):
+                    pool.breakers[1].record_failure()
+                weights = pool.route_weights()
+                assert weights is not None
+                assert weights[1] == 0.0
+                assert weights[0] > 0.0 and weights[2] > 0.0
+                assert pool.open_breakers() == 1
+            finally:
+                pool.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Acceptance (b): live resize under Poisson load loses nothing
+# ----------------------------------------------------------------------
+class TestLiveResize:
+    def test_resize_under_poisson_load_loses_zero_admitted_requests(self):
+        shards, total, rate = 4, 240, 500.0
+        relations = [make_relation(25, seed, name=f"rz-{seed}") for seed in range(80, 92)]
+        reference = {
+            rel.name: Engine().rank(rel, PRFe(0.9), name=rel.name) for rel in relations
+        }
+        rng = np.random.default_rng(123)
+        offsets = np.cumsum(rng.exponential(1.0 / rate, size=total))
+
+        async def scenario():
+            pool = thread_pool(shards, breaker=BreakerConfig())
+            ok = shed = 0
+            async with PooledRankingService(
+                pool, max_delay=0.001, max_pending=4096, cache_ttl=0.0
+            ) as service:
+                start = time.perf_counter()
+
+                async def fire(index: int, offset: float):
+                    delay = start + offset - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    rel = relations[index % len(relations)]
+                    try:
+                        reply = await service.submit(rel, PRFe(0.9), name=rel.name)
+                    except ServiceOverloadedError:
+                        return ("shed", None, rel.name)
+                    return ("ok", reply, rel.name)
+
+                async def director():
+                    await asyncio.sleep(float(offsets[-1]) * 0.35)
+                    first = await service.resize(2)
+                    await asyncio.sleep(float(offsets[-1]) * 0.3)
+                    second = await service.resize(shards)
+                    return first, second
+
+                resize_task = asyncio.get_running_loop().create_task(director())
+                outcomes = await asyncio.gather(
+                    *(fire(index, float(off)) for index, off in enumerate(offsets))
+                )
+                events = await resize_task
+                pending = service.pending()
+                snapshot = pool.snapshot()
+            for outcome, reply, name in outcomes:
+                if outcome == "ok":
+                    ok += 1
+                    assert_bitwise_equal(reply.result, reference[name], name)
+                else:
+                    shed += 1
+            return ok, shed, pending, snapshot, events
+
+        ok, shed, pending, snapshot, events = run(scenario())
+        assert ok + shed == 240
+        assert ok > 0
+        assert pending == 0
+        assert snapshot["resizes_total"] == 2
+        assert snapshot["shards"] == 4
+        assert all(snapshot["alive"])
+        assert events[0]["from"] == 4 and events[0]["to"] == 2
+        assert events[1]["from"] == 2 and events[1]["to"] == 4
+
+    def test_same_size_resize_is_a_noop(self):
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                event = await service.resize(2)
+                return event, pool.snapshot()
+
+        event, snapshot = run(scenario())
+        assert event["changed"] is False
+        assert snapshot["resizes_total"] == 0
+
+
+# ----------------------------------------------------------------------
+# Control plane: authenticated resize over TCP
+# ----------------------------------------------------------------------
+class TestControlPlane:
+    def test_authorize_rejects_when_disabled_or_bad_token(self):
+        disabled = ControlPlane(None)
+        with pytest.raises(ControlAuthError):
+            disabled.authorize({"token": "anything"})
+        plane = ControlPlane("secret")
+        with pytest.raises(ControlAuthError):
+            plane.authorize({})
+        with pytest.raises(ControlAuthError):
+            plane.authorize({"token": "wrong"})
+        plane.authorize({"token": "secret"})  # does not raise
+
+    def test_resize_validates_target(self):
+        plane = ControlPlane("secret", min_shards=1, max_shards=8)
+
+        async def attempt(message):
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                return await plane.resize(service, message)
+
+        with pytest.raises(ProtocolError):
+            run(attempt({"token": "secret", "shards": "three"}))
+        with pytest.raises(ProtocolError):
+            run(attempt({"token": "secret", "shards": True}))
+        with pytest.raises(ProtocolError):
+            run(attempt({"token": "secret", "shards": 0}))
+        with pytest.raises(ProtocolError):
+            run(attempt({"token": "secret", "shards": 9}))
+
+    def test_resize_rejects_unpooled_service(self):
+        plane = ControlPlane("secret")
+
+        async def attempt():
+            async with RankingService(max_delay=0.001) as service:
+                return await plane.resize(service, {"token": "secret", "shards": 2})
+
+        with pytest.raises(ProtocolError):
+            run(attempt())
+
+    def test_resize_over_tcp_requires_token(self):
+        async def scenario():
+            pool = thread_pool(2)
+            control = ControlPlane("hunter2", max_shards=8)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0, control=control)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RemoteServiceError) as bad:
+                        await client.resize(3, token="wrong")
+                    event = await client.resize(3, token="hunter2")
+                    shards_after = pool.snapshot()["shards"]
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return bad.value, event, shards_after
+
+        error, event, shards_after = run(scenario())
+        assert error.kind == "unauthorized"
+        assert event["from"] == 2 and event["to"] == 3
+        assert shards_after == 3
+
+    def test_resize_over_tcp_disabled_without_control_plane(self):
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RemoteServiceError) as excinfo:
+                        await client.resize(3, token="anything")
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return excinfo.value
+
+        assert run(scenario()).kind == "unauthorized"
+
+
+# ----------------------------------------------------------------------
+# Acceptance (c): bit-identity with degradation off; tagging when on
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_replies_bit_identical_with_resilience_on_and_degradation_off(self):
+        relations = [make_relation(20 + seed, seed, name=f"bi-{seed}") for seed in range(95, 103)]
+        reference = {
+            rel.name: Engine().rank(rel, PRFe(0.9), name=rel.name) for rel in relations
+        }
+
+        async def scenario():
+            slow_shard = 0
+            pool = thread_pool(
+                3,
+                breaker=BreakerConfig(min_observations=3, open_duration=0.3),
+                fault_plan=FaultPlan(slow={slow_shard: 0.1}),
+                hedge=HedgePolicy(quantile=0.5, min_samples=4, min_delay=0.001, max_delay=0.02),
+            )
+            for _ in range(8):
+                pool.latencies.observe(0.002)
+            replies = []
+            async with PooledRankingService(pool, max_delay=0.001, cache_ttl=0.0) as service:
+                for _ in range(3):
+                    for rel in relations:
+                        replies.append((rel.name, await service.submit(rel, PRFe(0.9), name=rel.name)))
+            return replies
+
+        for name, reply in run(scenario()):
+            assert not reply.degraded
+            assert_bitwise_equal(reply.result, reference[name], name)
+
+    def test_degraded_replies_are_tagged_counted_and_never_cached(self):
+        rel = make_relation(200, 105, name="degrade-me")
+
+        async def scenario():
+            pool = thread_pool(2)
+            degrade = DegradePolicy(approx=1e-3, pending_fraction=0.0, on_open_breaker=True)
+            async with PooledRankingService(
+                pool, max_delay=0.001, cache_ttl=60.0, degrade=degrade
+            ) as service:
+                first = await service.submit(rel, PRFe(0.9), name=rel.name)
+                second = await service.submit(rel, PRFe(0.9), name=rel.name)
+                explicit = await service.submit(
+                    rel, PRFe(0.9), name=rel.name, approx=1e-6
+                )
+                return first, second, explicit, service.stats_snapshot()
+
+        first, second, explicit, snapshot = run(scenario())
+        assert first.degraded and second.degraded
+        # A request that chose its own approx budget is not "degraded".
+        assert not explicit.degraded
+        assert snapshot["degraded"] == 2
+        # Degraded replies must never serve later exact requests.
+        assert snapshot["cache_hits"] == 0
+
+    def test_degraded_flag_rideses_the_wire(self):
+        rel = make_relation(150, 106, name="wire-degrade")
+
+        async def scenario():
+            pool = thread_pool(2)
+            degrade = DegradePolicy(approx=1e-3, pending_fraction=0.0)
+            async with PooledRankingService(
+                pool, max_delay=0.001, degrade=degrade
+            ) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    detailed = await client.rank_detailed(rel, PRFe(0.9))
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return detailed
+
+        detailed = run(scenario())
+        assert detailed["degraded"] is True
+
+
+# ----------------------------------------------------------------------
+# TCP client transparent reconnect
+# ----------------------------------------------------------------------
+class TestClientReconnect:
+    def test_client_survives_a_server_restart(self):
+        rel = make_relation(30, 110, name="reconnect")
+        expected = Engine().rank(rel, PRFe(0.9), name=rel.name)
+
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    before = await client.rank(rel, PRFe(0.9), name=rel.name)
+                    # Hard restart: every connection dies, same endpoint.
+                    server.close()
+                    await server.wait_closed()
+                    server = await serve_tcp(service, "127.0.0.1", port)
+                    after = await client.rank(rel, PRFe(0.9), name=rel.name)
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return before, after
+
+        before, after = run(scenario())
+        assert [tid for tid, _ in before] == expected.tids()
+        assert after == before
+
+    def test_server_side_errors_are_not_retried(self):
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RemoteServiceError):
+                        await client.rank("no-such-dataset", PRFe(0.9))
+                    # The connection is still healthy afterwards.
+                    rel = make_relation(10, 111)
+                    ranking = await client.rank(rel, PRFe(0.9))
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return ranking
+
+        assert run(scenario())
+
+    def test_close_disables_reconnect(self):
+        rel = make_relation(10, 112)
+
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await TCPRankingClient.connect("127.0.0.1", port)
+                await client.close()
+                with pytest.raises(ConnectionError):
+                    await client.rank(rel, PRFe(0.9))
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Metrics: the new resilience families render
+# ----------------------------------------------------------------------
+class TestResilienceMetrics:
+    def test_breaker_hedge_resize_and_deadline_families_render(self):
+        rel = make_relation(20, 120, name="metrics")
+
+        async def scenario():
+            pool = thread_pool(2, breaker=BreakerConfig())
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                await service.submit(rel, PRFe(0.9), name=rel.name)
+                await service.resize(3)
+                with pytest.raises(DeadlineExceededError):
+                    await service.submit(rel, PRFe(0.9), deadline_ms=0.001)
+                return render_metrics(service.stats_snapshot())
+
+        text = run(scenario())
+        assert 'repro_pool_breaker_state{shard="0"} 0' in text
+        assert 'repro_pool_breaker_opens_total{shard="2"} 0' in text
+        assert "repro_pool_resizes_total 1" in text
+        assert "repro_pool_hedges_fired_total 0" in text
+        assert "repro_pool_hedges_won_total 0" in text
+        assert "repro_service_deadline_shed_total 1" in text
+        assert "repro_service_degraded_total 0" in text
+        families = [
+            line.split()[2] for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(families) == len(set(families))
+
+    def test_breaker_families_absent_without_breakers(self):
+        async def scenario():
+            pool = thread_pool(2)
+            async with PooledRankingService(pool, max_delay=0.001) as service:
+                return render_metrics(service.stats_snapshot())
+
+        text = run(scenario())
+        assert "repro_pool_breaker_state" not in text

@@ -112,6 +112,97 @@ class TestResizeStability:
                 assert small[key] == big[key], key
 
 
+class TestWeightedRouting:
+    """Breaker-driven weight scaling must never break routing invariants."""
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(fingerprints, min_size=1, max_size=32, unique=True),
+        shard_counts,
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    )
+    def test_equal_weights_are_bit_identical_to_unweighted(self, keys, shards, w):
+        """Healthy breakers (all weights equal) take the exact integer path."""
+        router = FingerprintRouter(shards)
+        weights = [w] * shards
+        for key in keys:
+            assert router.shard(key, weights=weights) == router.shard(key)
+            assert router.preference(key, weights=weights) == router.preference(key)
+
+    @settings(max_examples=50)
+    @given(st.lists(fingerprints, min_size=1, max_size=32, unique=True), st.integers(2, 9))
+    def test_zero_weight_shard_is_never_selected(self, keys, shards):
+        router = FingerprintRouter(shards)
+        weights = [1.0] * shards
+        weights[0] = 0.0
+        for key in keys:
+            assert router.shard(key, weights=weights) != 0
+
+    @settings(max_examples=50)
+    @given(st.lists(fingerprints, min_size=1, max_size=32, unique=True), st.integers(2, 9))
+    def test_demotion_moves_keys_only_off_the_demoted_shard(self, keys, shards):
+        """Scaling one shard's weight down never reshuffles the others."""
+        router = FingerprintRouter(shards)
+        demoted = [1.0] * shards
+        demoted[0] = 0.1
+        before = router.assignments(keys)
+        for key in keys:
+            after = router.shard(key, weights=demoted)
+            if before[key] != 0:
+                assert after == before[key], key
+
+    @given(st.lists(fingerprints, min_size=1, max_size=16, unique=True), shard_counts)
+    def test_all_nonpositive_weights_fall_back_to_unweighted(self, keys, shards):
+        """A pool with every breaker open still routes (and deterministically)."""
+        router = FingerprintRouter(shards)
+        for key in keys:
+            assert router.shard(key, weights=[0.0] * shards) == router.shard(key)
+
+
+class TestConcurrentResizeModel:
+    """Router-level model of a live resize with requests in flight.
+
+    The pool's re-route path — a dispatch hits ``ShardRetiredError``
+    and routes again on the post-resize router — is sound iff every
+    in-flight fingerprint lands on a live shard of the *new* topology,
+    and fingerprints whose shard survived the resize do not move (so a
+    request already executing on a surviving shard never needed the
+    re-route at all).
+    """
+
+    @settings(max_examples=100)
+    @given(
+        st.lists(fingerprints, min_size=1, max_size=64, unique=True),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_inflight_keys_land_live_with_minimal_disruption(self, keys, old, new):
+        before = FingerprintRouter(old).assignments(keys)
+        after = FingerprintRouter(new).assignments(keys)
+        for key in keys:
+            src, dst = before[key], after[key]
+            assert 0 <= dst < new, key
+            if new >= old:
+                # Grow: keys keep their shard or move to a *new* slot.
+                assert dst == src or dst >= old, key
+            elif src < new:
+                # Shrink: only keys on retired shards may move.
+                assert dst == src, key
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(fingerprints, min_size=1, max_size=32, unique=True),
+        st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=6),
+    )
+    def test_resize_chains_are_path_independent(self, keys, sizes):
+        """Where a key lands depends only on the final shard count."""
+        final = FingerprintRouter(sizes[-1]).assignments(keys)
+        for size in sizes:
+            step = FingerprintRouter(size).assignments(keys)
+            assert all(0 <= step[key] < size for key in keys)
+        assert FingerprintRouter(sizes[-1]).assignments(keys) == final
+
+
 class TestBalance:
     @pytest.mark.parametrize("shards", [2, 3, 4, 8])
     def test_loads_within_constant_factor_of_fair_share(self, shards):
